@@ -1,0 +1,51 @@
+"""Appendix I — the hypercube experiments (plots A-1 .. A-8).
+
+Fibonacci utilization-vs-goals curves on hypercubes of several
+dimensions plus time-series traces on the largest cube.  Asserts that
+the main-body conclusion carries over to hypercubes: CWN wins the bulk
+of the points.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.hypercube_appendix import (
+    run_hypercube_curves,
+    run_hypercube_timeseries,
+)
+from repro.experiments.timeseries import render_timeseries
+from repro.experiments.utilization_curves import render_curve
+
+
+def test_appendix_hypercube_curves(benchmark, save_artifact):
+    curves = benchmark.pedantic(
+        lambda: run_hypercube_curves(seed=1), rounds=1, iterations=1
+    )
+    save_artifact(
+        "appendix_hypercube_curves",
+        "\n\n".join(render_curve(curve) for _dim, curve in curves),
+    )
+
+    total_wins = total_points = 0
+    for _dim, curve in curves:
+        cwn = [u for _, u in curve.series["cwn"]]
+        gm = [u for _, u in curve.series["gm"]]
+        total_wins += sum(c > g for c, g in zip(cwn, gm))
+        total_points += len(cwn)
+    assert total_wins >= 0.6 * total_points, f"{total_wins}/{total_points}"
+
+
+def test_appendix_hypercube_timeseries(benchmark, save_artifact):
+    studies = benchmark.pedantic(
+        lambda: run_hypercube_timeseries(seed=1), rounds=1, iterations=1
+    )
+    save_artifact(
+        "appendix_hypercube_timeseries",
+        "\n\n".join(render_timeseries(study) for _n, study in studies),
+    )
+    # Largest size: CWN must reach a high utilization quickly.
+    from repro.experiments.timeseries import rise_time
+
+    _n, biggest = studies[0]
+    assert rise_time(biggest.series["cwn"], 40.0) <= rise_time(
+        biggest.series["gm"], 40.0
+    )

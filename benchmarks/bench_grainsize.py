@@ -1,0 +1,37 @@
+"""Grain-size sweep — "too small a grainsize would lead to undue overhead".
+
+Measures the introduction's medium-grain argument: speedup collapses at
+tiny grains (communication overhead dominates) and recovers as per-goal
+work grows.  Asserts the collapse and the recovery for both schemes.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.grainsize import render_grainsize, run_grainsize
+from repro.experiments.scale import full_scale
+from repro.topology import paper_grid
+from repro.workload import Fibonacci
+
+
+def test_grainsize_medium_grain_argument(benchmark, save_artifact):
+    program = Fibonacci(15 if full_scale() else 13)
+
+    points = benchmark.pedantic(
+        lambda: run_grainsize(program, paper_grid(64), seed=1),
+        rounds=1,
+        iterations=1,
+    )
+    save_artifact("grainsize", render_grainsize(points))
+
+    by_grain = {p.grain: p for p in points}
+    tiny, medium, large = by_grain[0.05], by_grain[1.0], by_grain[20.0]
+
+    # "Too small a grainsize would lead to undue overhead": both schemes
+    # lose most of their speedup at the tiny grain.
+    assert tiny.cwn_speedup < 0.5 * medium.cwn_speedup
+    assert tiny.gm_speedup < 0.7 * medium.gm_speedup
+    # Amortization: bigger grains never hurt.
+    assert large.cwn_speedup >= medium.cwn_speedup * 0.9
+    # And the paper's regime (grain 1.0 at its low comm ratio) shows the
+    # familiar CWN win.
+    assert medium.ratio > 1.1

@@ -1,0 +1,62 @@
+"""Microbenchmarks of the simulation substrate itself.
+
+Not a paper figure — these track the event kernel's and the end-to-end
+simulator's throughput so performance regressions in the substrate are
+caught by the same harness that regenerates the paper.
+"""
+
+from __future__ import annotations
+
+from repro.core import CWN
+from repro.oracle.config import SimConfig
+from repro.oracle.engine import Engine, hold
+from repro.oracle.machine import Machine
+from repro.topology import Grid
+from repro.workload import Fibonacci
+
+
+def test_engine_event_throughput(benchmark):
+    """Raw calendar throughput: schedule-and-fire 50k events."""
+
+    def run_events():
+        engine = Engine()
+        count = 50_000
+        for i in range(count):
+            engine.schedule(float(i % 97), lambda _: None)
+        engine.run()
+        return engine.events_executed
+
+    executed = benchmark(run_events)
+    assert executed == 50_000
+
+
+def test_engine_process_throughput(benchmark):
+    """Generator-process resumption rate: 10 processes x 2k holds."""
+
+    def run_procs():
+        engine = Engine()
+
+        def proc():
+            for _ in range(2_000):
+                yield hold(1.0)
+
+        for _ in range(10):
+            engine.process(proc())
+        engine.run()
+        return engine.events_executed
+
+    executed = benchmark(run_procs)
+    assert executed >= 20_000
+
+
+def test_end_to_end_simulation_throughput(benchmark):
+    """A full mid-size CWN run: fib(13) on a 64-PE torus."""
+
+    def run_sim():
+        machine = Machine(
+            Grid(8, 8), Fibonacci(13), CWN(radius=5, horizon=1), SimConfig(seed=1)
+        )
+        return machine.run()
+
+    res = benchmark(run_sim)
+    assert res.result_value == 233

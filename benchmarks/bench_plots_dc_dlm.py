@@ -1,0 +1,47 @@
+"""Plots 1-5 — dc utilization vs problem size on the double-lattice-meshes.
+
+One curve pair (CWN, GM) per DLM machine: (5,20,20), (4,16,16),
+(5,10,10), (4,8,8), (5,5,5) at full scale.  Asserts the paper's DLM
+findings: "On the double lattice-meshes also CWN consistently performs
+better than the GM" — consistently, but by smaller margins than on the
+grids (the DLM's small diameter helps GM).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.scale import full_scale, pe_counts
+from repro.experiments.utilization_curves import render_curve, run_curve
+from repro.topology import paper_dlm
+
+PLOT_BY_PES = {400: 1, 256: 2, 100: 3, 64: 4, 25: 5}
+
+
+def test_plots_1_to_5_dc_on_dlm(benchmark, save_artifact, save_svg):
+    full = full_scale()
+
+    def run_all():
+        return [
+            (PLOT_BY_PES[n], run_curve(paper_dlm(n), kind="dc", full=full, seed=1))
+            for n in sorted(pe_counts(full), reverse=True)
+        ]
+
+    curves = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    save_artifact(
+        "plots_dc_dlm",
+        "\n\n".join(render_curve(curve, plot_no) for plot_no, curve in curves),
+    )
+    for plot_no, curve in curves:
+        save_svg(
+            f"plot{plot_no:02d}_dc_dlm",
+            curve.series,
+            title=f"Plot {plot_no}: dc on {curve.topology}",
+            x_label="goals",
+            y_label="% PE utilization",
+            y_max=100.0,
+        )
+
+    for _plot_no, curve in curves:
+        cwn = dict(curve.series["cwn"])
+        gm = dict(curve.series["gm"])
+        wins = sum(cwn[g] > gm[g] for g in cwn)
+        assert wins >= 0.6 * len(cwn), f"{curve.topology}: CWN won only {wins}/{len(cwn)}"

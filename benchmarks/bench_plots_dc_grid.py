@@ -1,0 +1,52 @@
+"""Plots 6-10 — dc utilization vs problem size on the wrap-around grids.
+
+One curve pair (CWN, GM) per torus: 20x20, 10x10, 8x8, 5x5 (the paper
+shows the 10x10 twice).  Asserts the stronger grid-side claim: "On the
+grid topologies, the CWN is a clear winner by substantial margins", and
+the GM "flattening" on large grids (its big-grid utilization stays low
+as problems grow, while CWN keeps climbing).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.scale import full_scale, pe_counts
+from repro.experiments.utilization_curves import render_curve, run_curve
+from repro.topology import paper_grid
+
+PLOT_BY_PES = {400: 6, 100: 7, 64: 9, 25: 10}
+
+
+def test_plots_6_to_10_dc_on_grid(benchmark, save_artifact, save_svg):
+    full = full_scale()
+    sizes = [n for n in sorted(pe_counts(full), reverse=True) if n in PLOT_BY_PES]
+
+    def run_all():
+        return [
+            (PLOT_BY_PES[n], run_curve(paper_grid(n), kind="dc", full=full, seed=1))
+            for n in sizes
+        ]
+
+    curves = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    save_artifact(
+        "plots_dc_grid",
+        "\n\n".join(render_curve(curve, plot_no) for plot_no, curve in curves),
+    )
+    for plot_no, curve in curves:
+        save_svg(
+            f"plot{plot_no:02d}_dc_grid",
+            curve.series,
+            title=f"Plot {plot_no}: dc on {curve.topology}",
+            x_label="goals",
+            y_label="% PE utilization",
+            y_max=100.0,
+        )
+
+    for _plot_no, curve in curves:
+        cwn = dict(curve.series["cwn"])
+        gm = dict(curve.series["gm"])
+        # Clear winner: CWN above GM at every problem size.
+        wins = sum(cwn[g] > gm[g] for g in cwn)
+        assert wins >= 0.8 * len(cwn), f"{curve.topology}: CWN won only {wins}/{len(cwn)}"
+        # Substantial margins at the biggest sizes.
+        biggest = max(cwn)
+        assert cwn[biggest] > 1.15 * gm[biggest], curve.topology

@@ -1,0 +1,49 @@
+"""The fib counterparts of Plots 1-10.
+
+The paper: "The Fibonacci plots are very similar, so we omit them from
+the plots.  However, the comparative figures from all the runs are shown
+in table 2."  We generate them anyway and assert the similarity claim:
+the CWN-over-GM win pattern on fib matches dc's.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.scale import full_scale, pe_counts
+from repro.experiments.utilization_curves import render_curve, run_curve
+from repro.topology import paper_dlm, paper_grid
+
+
+def test_fib_curves_mirror_dc(benchmark, save_artifact):
+    full = full_scale()
+    n_pes = max(pe_counts(full))
+
+    def run_both():
+        out = {}
+        for family, make in (("grid", paper_grid), ("dlm", paper_dlm)):
+            topo = make(n_pes)
+            out[family] = {
+                "fib": run_curve(topo, kind="fib", full=full, seed=1),
+                "dc": run_curve(topo, kind="dc", full=full, seed=1),
+            }
+        return out
+
+    curves = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    save_artifact(
+        "plots_fib_curves",
+        "\n\n".join(
+            render_curve(curves[family]["fib"]) for family in ("grid", "dlm")
+        ),
+    )
+
+    for family in ("grid", "dlm"):
+        fib_curve = curves[family]["fib"]
+        dc_curve = curves[family]["dc"]
+
+        def win_fraction(curve):
+            cwn = [u for _, u in curve.series["cwn"]]
+            gm = [u for _, u in curve.series["gm"]]
+            return sum(c > g for c, g in zip(cwn, gm)) / len(cwn)
+
+        # "Very similar": CWN dominates fib exactly as it dominates dc.
+        assert abs(win_fraction(fib_curve) - win_fraction(dc_curve)) <= 0.4
+        assert win_fraction(fib_curve) >= 0.6

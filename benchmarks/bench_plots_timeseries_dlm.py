@@ -1,0 +1,49 @@
+"""Plots 11-13 — utilization vs time, Fibonacci on the 100-PE DLM.
+
+The paper's diagnostic traces: CWN's fast rise to near-full utilization
+followed by sag (no redistribution) and, on the largest problem, an
+extended tail; GM's slower ramp but steadier plateau.  Asserts the
+rise-time claim quantitatively.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.scale import full_scale
+from repro.experiments.timeseries import render_timeseries, rise_time, run_timeseries
+from repro.topology import paper_dlm
+
+
+def test_plots_11_to_13_fib_timeseries_dlm(benchmark, save_artifact, save_svg):
+    full = full_scale()
+    sizes = (18, 15, 9) if full else (13, 11, 9)
+    topo = paper_dlm(100)
+
+    def run_all():
+        return [(n, run_timeseries(n, topo, seed=1)) for n in sizes]
+
+    studies = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    save_artifact(
+        "plots_timeseries_dlm",
+        "\n\n".join(
+            render_timeseries(study, plot_no)
+            for plot_no, (_n, study) in zip((11, 12, 13), studies)
+        ),
+    )
+    for plot_no, (_n, study) in zip((11, 12, 13), studies):
+        save_svg(
+            f"plot{plot_no}_timeseries_dlm",
+            study.series,
+            title=f"Plot {plot_no}: {study.workload} on {study.topology}",
+            x_label="time",
+            y_label="% PE utilization",
+            y_max=100.0,
+        )
+
+    # "The CWN has much faster 'rise-time' than GM" — on the sizes with
+    # enough work to fill 100 PEs.
+    for n, study in studies:
+        if n < 11:
+            continue  # fib(9): 109 goals cannot meaningfully load 100 PEs
+        assert rise_time(study.series["cwn"], 30.0) <= rise_time(
+            study.series["gm"], 30.0
+        ), f"fib({n}): CWN did not rise faster"

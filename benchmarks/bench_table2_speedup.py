@@ -1,0 +1,44 @@
+"""Table 2 — "Speedup of CWN over GM" (the paper's central result).
+
+Regenerates the 120-cell grid (reduced by default) and asserts the
+paper's headline claims hold in shape:
+
+* CWN wins the overwhelming majority of cells (paper: 118/120);
+* most wins are significant, i.e. >10% (paper: 110/120);
+* grid ratios reach well above DLM ratios (paper: up to ~3x on grids,
+  mostly 1.0-1.5x on DLMs).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.comparison import (
+    render_table2,
+    run_comparison,
+    summarize_claims,
+)
+from repro.experiments.scale import full_scale
+
+
+def test_table2_speedup_of_cwn_over_gm(benchmark, save_artifact):
+    cells = benchmark.pedantic(
+        lambda: run_comparison(kind="both", full=full_scale(), seed=1),
+        rounds=1,
+        iterations=1,
+    )
+    summary = summarize_claims(cells)
+    save_artifact(
+        "table2_speedup",
+        render_table2(cells) + "\n\n" + str(summary),
+    )
+
+    # The paper's qualitative claims, at whatever scale we ran.
+    assert summary.cwn_wins >= 0.85 * summary.total, summary
+    assert summary.significant >= 0.60 * summary.total, summary
+
+    grid_ratios = [c.ratio for c in cells if c.family == "grid"]
+    dlm_ratios = [c.ratio for c in cells if c.family == "dlm"]
+    assert max(grid_ratios) > 1.3, "grids should show strong CWN wins"
+    # Grids benefit more than DLMs on average (larger diameters).
+    assert (sum(grid_ratios) / len(grid_ratios)) > (
+        sum(dlm_ratios) / len(dlm_ratios)
+    ) * 0.95

@@ -1,0 +1,35 @@
+"""Table 3 — distribution of goal-message travel distances.
+
+fib(18) on a 10x10 grid at full scale (fib(15) reduced).  Asserts the
+paper's communication findings:
+
+* CWN's mean goal distance is a multiple of GM's (paper: 3.15 vs 0.92,
+  "typically thrice as much communication");
+* a large share of GM's goals never leave their source PE (paper: 4068
+  of 8361 at 0 hops);
+* CWN's contracted goals all travel (hop 0 only for the injected root).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.hops import render_table3, run_hop_study
+from repro.experiments.scale import full_scale
+
+
+def test_table3_message_distance_distribution(benchmark, save_artifact):
+    fib_n = 18 if full_scale() else 15
+    study = benchmark.pedantic(
+        lambda: run_hop_study(fib_n=fib_n, seed=1), rounds=1, iterations=1
+    )
+    save_artifact(
+        "table3_hops",
+        render_table3(study)
+        + f"\n\ncommunication ratio (CWN/GM mean distance): {study.communication_ratio:.2f}",
+    )
+
+    total = sum(study.cwn.hop_histogram.values())
+    assert study.communication_ratio > 1.8, study.communication_ratio
+    assert study.gm.hop_histogram.get(0, 0) > 0.3 * total
+    assert study.cwn.hop_histogram.get(0, 0) <= 1
+    # CWN respects the radius; its histogram must not extend past it.
+    assert max(study.cwn.hop_histogram) <= 9

@@ -1,0 +1,52 @@
+"""Shared benchmark plumbing.
+
+Every bench regenerates one of the paper's tables or figures (DESIGN.md
+section 4 maps them).  Conventions:
+
+* benches run the experiment inside ``benchmark.pedantic`` (one round —
+  these are simulations, not microkernels; wall time is still recorded
+  by pytest-benchmark for regression tracking);
+* rendered paper-style output is printed *and* written to
+  ``benchmarks/out/<name>.txt`` so EXPERIMENTS.md can quote it;
+* reduced-scale grids by default; ``REPRO_FULL=1`` runs paper scale.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+ARTIFACT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> Path:
+    ARTIFACT_DIR.mkdir(exist_ok=True)
+    return ARTIFACT_DIR
+
+
+@pytest.fixture
+def save_artifact(artifact_dir):
+    """Write (and echo) a bench's rendered output."""
+
+    def _save(name: str, text: str) -> None:
+        path = artifact_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save
+
+
+@pytest.fixture
+def save_svg(artifact_dir):
+    """Write a figure bench's SVG rendering (publication-style twin of
+    the text artifact)."""
+
+    def _save(name: str, series: dict, **kwargs) -> None:
+        from repro.experiments.svg import svg_line_chart
+
+        path = artifact_dir / f"{name}.svg"
+        path.write_text(svg_line_chart(series, **kwargs))
+
+    return _save

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Irregular workloads: past the paper's predictable trees.
+
+The paper used dc and fib *because* they are predictable (§3).  Real
+symbolic computations are not — that is the introduction's whole case
+for dynamic load balancing.  This example runs the library's irregular
+workload generators (UTS geometric trees, randomized quicksort,
+binomial coefficients) under four strategies and shows that the ranking
+the paper found on predictable trees persists on hostile ones.
+
+Run:  python examples/irregular_workloads.py
+"""
+
+from repro import simulate
+from repro.workload import QuicksortTree, UnbalancedTreeSearch
+
+TOPOLOGY = "grid:8x8"
+STRATEGIES = ["cwn", "gm", "stealing", "local"]
+
+
+def main() -> None:
+    workloads = [
+        UnbalancedTreeSearch(seed=7, root_children=32, q=0.47, m=2),
+        QuicksortTree(4000, seed=7),
+    ]
+    for program in workloads:
+        print(f"\n{program.label} — {program.total_goals()} goals on {TOPOLOGY}")
+        print(f"  {'strategy':12s} {'speedup':>8s} {'util %':>7s} {'mean hops':>9s}")
+        for spec in STRATEGIES:
+            res = simulate(program, TOPOLOGY, spec, seed=1)
+            print(
+                f"  {spec:12s} {res.speedup:8.1f} {res.utilization_percent:7.1f} "
+                f"{res.mean_goal_distance:9.2f}"
+            )
+
+    print("""
+Reading the table: UTS subtree sizes vary over orders of magnitude and
+quicksort's splits are data-dependent, yet the ordering matches the
+paper's predictable-tree finding — eager directed placement (CWN)
+spreads irregular work better than hoard-until-abundant (GM), and both
+beat no distribution.  Work stealing is competitive when idleness, not
+placement, is the binding constraint.""")
+
+
+if __name__ == "__main__":
+    main()

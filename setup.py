@@ -1,0 +1,23 @@
+"""Setuptools entry point.
+
+Kept as a classic setup.py (rather than pyproject [project] metadata) so
+``pip install -e .`` works in offline environments without the ``wheel``
+package — see the note in pyproject.toml.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of Kale (ICPP 1988): Comparing the Performance of "
+        "Two Dynamic Load Distribution Methods"
+    ),
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy>=1.24"],
+    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+    entry_points={"console_scripts": ["repro=repro.cli:main"]},
+)

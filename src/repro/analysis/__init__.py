@@ -1,0 +1,57 @@
+"""Statistical analysis of simulation results.
+
+The paper argues from raw counts ("In 118 out of 120 cases, the CWN is
+seen to be better.  In 110 of those cases, the difference is
+significant, i.e. more than 10%").  This package supplies the machinery
+to make and check such claims properly:
+
+* :mod:`repro.analysis.stats` — exact sign test (the 118/120 sentence
+  *is* a sign test, just unnamed), Wilcoxon signed-rank for paired
+  magnitudes, bootstrap confidence intervals, and paired-comparison
+  summaries;
+* :mod:`repro.analysis.crossover` — locating where two strategies'
+  curves cross in a parameter sweep (the paper eyeballs one crossover in
+  Plot 3; we compute them);
+* :mod:`repro.analysis.metrics` — parallel-performance derivations:
+  efficiency, Karp-Flatt experimentally determined serial fraction, and
+  scaled-size efficiency tables;
+* :mod:`repro.analysis.report` — rendering any of the above (plus
+  comparison grids) into Markdown for EXPERIMENTS.md-style records.
+
+Everything is deterministic: bootstrap resampling takes an explicit
+seed, and no module draws from global RNG state.
+"""
+
+from __future__ import annotations
+
+from .crossover import Crossover, find_crossovers
+from .metrics import (
+    efficiency,
+    isoefficiency_table,
+    karp_flatt,
+    speedup_table,
+)
+from .report import markdown_table, render_report
+from .stats import (
+    PairedComparison,
+    bootstrap_ci,
+    paired_summary,
+    sign_test,
+    wilcoxon_signed_rank,
+)
+
+__all__ = [
+    "Crossover",
+    "PairedComparison",
+    "bootstrap_ci",
+    "efficiency",
+    "find_crossovers",
+    "isoefficiency_table",
+    "karp_flatt",
+    "markdown_table",
+    "paired_summary",
+    "render_report",
+    "sign_test",
+    "speedup_table",
+    "wilcoxon_signed_rank",
+]

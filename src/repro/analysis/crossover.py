@@ -1,0 +1,87 @@
+"""Crossover detection in parameter sweeps.
+
+The paper notes exactly one cell where GM beats CWN (dc(1,4181), 100-PE
+DLM, Plot 3) and speculates about where CWN "may lose some of its edge"
+as the communication ratio grows.  Both are *crossover* questions: along
+some swept axis, where does the sign of (A - B) flip?
+
+:func:`find_crossovers` answers it for any pair of sampled curves:
+given matched samples ``(x_i, a_i, b_i)`` it reports every interval
+where ``a - b`` changes sign, with the linearly interpolated crossing
+abscissa.  The comm-ratio bench uses it to report the ratio at which
+CWN's advantage disappears instead of just printing two endpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["Crossover", "find_crossovers"]
+
+
+@dataclass(frozen=True)
+class Crossover:
+    """One sign change of ``a - b`` between two adjacent samples."""
+
+    #: swept-axis interval bracketing the crossing
+    x_left: float
+    x_right: float
+    #: linear-interpolation estimate of the crossing abscissa
+    x_estimate: float
+    #: sign of (a - b) left of the crossing: +1 means A was ahead
+    sign_before: int
+
+    def __str__(self) -> str:
+        leader = "A" if self.sign_before > 0 else "B"
+        return (
+            f"{leader} leads until x ~ {self.x_estimate:.4g} "
+            f"(bracket [{self.x_left:.4g}, {self.x_right:.4g}])"
+        )
+
+
+def find_crossovers(
+    xs: Sequence[float],
+    a_values: Sequence[float],
+    b_values: Sequence[float],
+) -> list[Crossover]:
+    """Every sign change of ``a - b`` along ``xs``.
+
+    ``xs`` must be strictly increasing and all three sequences the same
+    length.  Samples where ``a == b`` exactly are treated as the end of
+    the preceding regime: a crossing is reported at that abscissa if the
+    sign afterwards differs from the sign before.
+    """
+    n = len(xs)
+    if not (n == len(a_values) == len(b_values)):
+        raise ValueError("xs, a_values, b_values must have equal length")
+    if n < 2:
+        return []
+    if any(xs[i] >= xs[i + 1] for i in range(n - 1)):
+        raise ValueError("xs must be strictly increasing")
+
+    def sign(v: float) -> int:
+        return (v > 0) - (v < 0)
+
+    diffs = [a - b for a, b in zip(a_values, b_values)]
+    crossings: list[Crossover] = []
+    prev_sign = sign(diffs[0])
+    prev_x = xs[0]
+    prev_diff = diffs[0]
+    for x, d in zip(xs[1:], diffs[1:]):
+        s = sign(d)
+        if s != 0 and prev_sign != 0 and s != prev_sign:
+            # Linear interpolation of the zero of (a-b).
+            frac = prev_diff / (prev_diff - d)
+            estimate = prev_x + frac * (x - prev_x)
+            crossings.append(Crossover(prev_x, x, estimate, prev_sign))
+        if s != 0:
+            prev_sign = s
+            prev_diff = d
+            prev_x = x
+        else:
+            # Exact tie: remember where it happened; the regime ends
+            # here if the next nonzero sign differs.
+            prev_diff = d if prev_sign == 0 else prev_diff
+            prev_x = x
+    return crossings

@@ -1,0 +1,106 @@
+"""Parallel-performance metrics derived from simulation results.
+
+The paper reports average PE utilization and derives speedup as
+``PEs * utilization``.  This module adds the standard derived metrics a
+modern evaluation would include:
+
+* :func:`efficiency` — speedup / P, i.e. exactly the paper's average
+  utilization, named;
+* :func:`karp_flatt` — the experimentally determined serial fraction
+  ``e = (1/S - 1/P) / (1 - 1/P)``: a diagnostic that separates
+  "parallelism ran out" (e grows with P) from "overhead is constant"
+  (e flat), sharpening the paper's scaling discussion;
+* :func:`speedup_table` / :func:`isoefficiency_table` — sweep summaries
+  relating problem size and machine size, quantifying the paper's
+  observation that each machine size needs a certain problem size
+  before utilization is respectable.
+
+All functions take plain floats/sequences so they work on
+:class:`~repro.oracle.stats.SimResult` fields or paper-transcribed
+numbers alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = [
+    "efficiency",
+    "isoefficiency_table",
+    "karp_flatt",
+    "speedup_table",
+    "SpeedupRow",
+]
+
+
+def efficiency(speedup: float, n_pes: int) -> float:
+    """Parallel efficiency ``S / P`` (== the paper's avg utilization)."""
+    if n_pes < 1:
+        raise ValueError("n_pes must be >= 1")
+    if speedup < 0:
+        raise ValueError("speedup must be >= 0")
+    return speedup / n_pes
+
+
+def karp_flatt(speedup: float, n_pes: int) -> float:
+    """Karp-Flatt experimentally determined serial fraction.
+
+    ``e = (1/S - 1/P) / (1 - 1/P)``.  Undefined for P == 1 (raises);
+    near 0 for embarrassingly parallel executions; grows with P when the
+    computation (or the load balancer) cannot feed the machine.
+    """
+    if n_pes < 2:
+        raise ValueError("karp_flatt needs n_pes >= 2")
+    if speedup <= 0:
+        raise ValueError("speedup must be positive")
+    return (1.0 / speedup - 1.0 / n_pes) / (1.0 - 1.0 / n_pes)
+
+
+@dataclass(frozen=True)
+class SpeedupRow:
+    """One (problem size, machine size) sample of a scaling sweep."""
+
+    problem_size: int
+    n_pes: int
+    speedup: float
+
+    @property
+    def efficiency(self) -> float:
+        return efficiency(self.speedup, self.n_pes)
+
+    @property
+    def karp_flatt(self) -> float:
+        return karp_flatt(self.speedup, self.n_pes)
+
+
+def speedup_table(
+    rows: Sequence[SpeedupRow],
+) -> dict[int, dict[int, SpeedupRow]]:
+    """Index sweep samples as ``table[problem_size][n_pes]``."""
+    table: dict[int, dict[int, SpeedupRow]] = {}
+    for row in rows:
+        table.setdefault(row.problem_size, {})[row.n_pes] = row
+    return table
+
+
+def isoefficiency_table(
+    rows: Sequence[SpeedupRow], target_efficiency: float = 0.5
+) -> dict[int, int | None]:
+    """Smallest problem size reaching ``target_efficiency`` per machine size.
+
+    The isoefficiency function's empirical form: how fast must the
+    problem grow to hold efficiency as the machine grows?  Returns
+    ``None`` for machine sizes where no sampled problem size suffices —
+    itself a finding (the sweep's sizes are too small for that machine).
+    """
+    if not 0.0 < target_efficiency <= 1.0:
+        raise ValueError("target_efficiency must be in (0, 1]")
+    by_pes: dict[int, list[SpeedupRow]] = {}
+    for row in rows:
+        by_pes.setdefault(row.n_pes, []).append(row)
+    result: dict[int, int | None] = {}
+    for n_pes, group in sorted(by_pes.items()):
+        qualifying = [r.problem_size for r in group if r.efficiency >= target_efficiency]
+        result[n_pes] = min(qualifying) if qualifying else None
+    return result

@@ -1,0 +1,84 @@
+"""Markdown rendering of analysis results.
+
+EXPERIMENTS.md records paper-versus-measured for every table and figure;
+these helpers generate those records from live results so the document
+can be regenerated rather than hand-edited.  Only Markdown is produced
+(no HTML, no plotting dependencies): the audience is a code reviewer
+reading a diff.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from .stats import PairedComparison
+
+__all__ = ["markdown_table", "render_report"]
+
+
+def markdown_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    align: str | None = None,
+) -> str:
+    """A GitHub-flavored Markdown table.
+
+    ``align`` is an optional string of one character per column:
+    ``"l"``, ``"r"`` or ``"c"``.  Cells are str()-ed; floats are the
+    caller's formatting problem (pass pre-formatted strings).
+    """
+    n_cols = len(headers)
+    if align is not None and len(align) != n_cols:
+        raise ValueError(f"align has {len(align)} entries for {n_cols} columns")
+    for i, row in enumerate(rows):
+        if len(row) != n_cols:
+            raise ValueError(f"row {i} has {len(row)} cells for {n_cols} columns")
+
+    def sep(col: int) -> str:
+        mark = align[col] if align else "l"
+        return {"l": ":---", "r": "---:", "c": ":--:"}[mark]
+
+    lines = [
+        "| " + " | ".join(str(h) for h in headers) + " |",
+        "| " + " | ".join(sep(c) for c in range(n_cols)) + " |",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def render_report(
+    title: str,
+    comparison: PairedComparison,
+    paper_claims: Mapping[str, object] | None = None,
+    notes: Sequence[str] = (),
+) -> str:
+    """One experiment's Markdown section: measured claims vs the paper's.
+
+    ``paper_claims`` maps claim names to the paper's values (printed
+    alongside ours); ``notes`` are free-form bullet lines.
+    """
+    measured = {
+        "cells": comparison.n,
+        "wins": comparison.wins,
+        f"wins by >{comparison.significance_margin:.0%}": comparison.significant_wins,
+        "geometric-mean ratio": f"{comparison.geometric_mean_ratio:.3f}",
+        "max ratio": f"{comparison.max_ratio:.2f}",
+        "min ratio": f"{comparison.min_ratio:.2f}",
+        "sign-test p": f"{comparison.sign_test_p:.2e}",
+    }
+    lines = [f"## {title}", ""]
+    if paper_claims:
+        keys = sorted(set(measured) | set(paper_claims), key=str)
+        rows = [
+            [k, str(paper_claims.get(k, "—")), str(measured.get(k, "—"))] for k in keys
+        ]
+        lines.append(markdown_table(["claim", "paper", "measured"], rows))
+    else:
+        rows = [[k, v] for k, v in measured.items()]
+        lines.append(markdown_table(["claim", "measured"], rows))
+    if notes:
+        lines.append("")
+        lines.extend(f"- {note}" for note in notes)
+    lines.append("")
+    return "\n".join(lines)

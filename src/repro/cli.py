@@ -1,0 +1,274 @@
+"""Command-line interface: ``repro <command>`` (or ``python -m repro``).
+
+Commands map one-to-one onto the experiment modules:
+
+* ``repro run fib:15 grid:10x10 cwn`` — one simulation, summary line;
+* ``repro table1`` — the parameter-optimization sweep (Table 1);
+* ``repro table2`` — the CWN/GM speedup grid (Table 2);
+* ``repro table3`` — the hop-distance histogram (Table 3);
+* ``repro plots [--kind dc|fib]`` — utilization-vs-goals curves (Plots 1-10);
+* ``repro timeseries`` — utilization-vs-time traces (Plots 11-16);
+* ``repro hypercube`` — the Appendix I experiments;
+* ``repro scaling`` — CWN's edge vs machine size (the diameter conjecture);
+* ``repro grainsize`` — the medium-grain argument, measured;
+* ``repro zoo`` — every implemented strategy on one scenario;
+* ``repro bounds fib:15 grid:10x10`` — analytic completion-time bounds;
+* ``repro monitor fib:13 grid:8x8 cwn`` — the red/blue load film.
+
+All experiment commands accept ``--full`` to run at paper scale
+(equivalently, set ``REPRO_FULL=1``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Kale (ICPP 1988): CWN vs the Gradient Model",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one simulation")
+    run.add_argument("workload", help="e.g. fib:15, dc:1:987, random:seed=3")
+    run.add_argument("topology", help="e.g. grid:10x10, dlm:5x10x10, hypercube:6")
+    run.add_argument("strategy", help="cwn, gm, acwn, local, random, roundrobin")
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--verbose", action="store_true", help="print per-PE stats")
+
+    for name, help_text in (
+        ("table1", "parameter optimization sweep (Table 1)"),
+        ("table2", "CWN/GM speedup comparison grid (Table 2)"),
+        ("table3", "hop-distance histogram (Table 3)"),
+        ("plots", "utilization vs problem size (Plots 1-10)"),
+        ("timeseries", "utilization vs time (Plots 11-16)"),
+        ("hypercube", "Appendix I hypercube experiments"),
+        ("scaling", "CWN's edge vs machine size (diameter conjecture)"),
+        ("grainsize", "grain-size sweep (the medium-grain argument)"),
+        ("zoo", "all strategies on one scenario"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--full", action="store_true", help="paper-scale grids")
+        p.add_argument("--seed", type=int, default=1)
+        if name == "plots":
+            p.add_argument("--kind", choices=("dc", "fib"), default="dc")
+        if name == "table2":
+            p.add_argument("--kind", choices=("dc", "fib", "both"), default="both")
+            p.add_argument(
+                "--report",
+                action="store_true",
+                help="append a Markdown claims report (sign test, gmean CI)",
+            )
+
+    bounds = sub.add_parser("bounds", help="analytic completion-time bounds")
+    bounds.add_argument("workload", help="e.g. fib:15, dc:1:987")
+    bounds.add_argument("topology", help="e.g. grid:10x10 (only n matters)")
+    bounds.add_argument(
+        "--strategy",
+        default=None,
+        help="also run this strategy and score it against the bounds",
+    )
+    bounds.add_argument("--seed", type=int, default=1)
+
+    mon = sub.add_parser("monitor", help="replay a run as a PE-activity film")
+    mon.add_argument("workload")
+    mon.add_argument("topology")
+    mon.add_argument("strategy")
+    mon.add_argument("--seed", type=int, default=1)
+    mon.add_argument("--frames", type=int, default=12, help="number of frames")
+    mon.add_argument("--color", action="store_true", help="ANSI 256-color output")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> None:
+    from .experiments.runner import simulate
+
+    res = simulate(args.workload, args.topology, args.strategy, seed=args.seed)
+    print(res.summary())
+    if args.verbose:
+        import numpy as np
+
+        util = res.per_pe_utilization
+        print(f"result value       : {res.result_value}")
+        print(f"goals executed     : {res.total_goals}")
+        print(f"goal messages      : {res.goal_messages_sent}")
+        print(f"response messages  : {res.response_messages_sent}")
+        print(f"control words      : {res.control_words_sent}")
+        print(f"events executed    : {res.events_executed}")
+        print(
+            "per-PE util        : "
+            f"min={util.min():.2f} median={np.median(util):.2f} max={util.max():.2f}"
+        )
+        print(f"load balance CV    : {res.load_balance_cv:.3f}")
+        print(f"busiest channel    : {res.channel_utilization.max():.2f}")
+
+
+def _cmd_table1(args: argparse.Namespace) -> None:
+    from .experiments.optimization import render_table1, run_optimization
+
+    results = run_optimization(small=not args.full, seed=args.seed)
+    print(render_table1(results))
+
+
+def _cmd_table2(args: argparse.Namespace) -> None:
+    from .experiments.comparison import render_table2, run_comparison, summarize_claims
+
+    cells = run_comparison(kind=args.kind, full=args.full or None, seed=args.seed)
+    print(render_table2(cells))
+    print()
+    print(summarize_claims(cells))
+    if getattr(args, "report", False):
+        from .analysis import paired_summary, render_report
+
+        summary = paired_summary([cell.ratio for cell in cells])
+        print()
+        print(
+            render_report(
+                "Table 2 — speedup of CWN over GM",
+                summary,
+                paper_claims={"wins": "118/120", "wins by >10%": "110/120"},
+                notes=[
+                    f"{len(cells)} cells at "
+                    + ("paper scale" if args.full else "reduced scale"),
+                ],
+            )
+        )
+
+
+def _cmd_table3(args: argparse.Namespace) -> None:
+    from .experiments.hops import render_table3, run_hop_study
+
+    study = run_hop_study(fib_n=18 if args.full else 15, seed=args.seed)
+    print(render_table3(study))
+    print(f"\ncommunication ratio (CWN/GM mean distance): {study.communication_ratio:.2f}")
+
+
+def _cmd_plots(args: argparse.Namespace) -> None:
+    from .experiments.utilization_curves import render_curve, run_all_curves
+
+    for plot_no, curve in run_all_curves(kind=args.kind, full=args.full or None, seed=args.seed):
+        print(render_curve(curve, plot_no))
+        print()
+
+
+def _cmd_timeseries(args: argparse.Namespace) -> None:
+    from .experiments.timeseries import render_timeseries, run_paper_timeseries
+
+    for plot_no, study in run_paper_timeseries(full=args.full or None, seed=args.seed):
+        print(render_timeseries(study, plot_no))
+        print()
+
+
+def _cmd_hypercube(args: argparse.Namespace) -> None:
+    from .experiments.hypercube_appendix import (
+        run_hypercube_curves,
+        run_hypercube_timeseries,
+    )
+    from .experiments.timeseries import render_timeseries
+    from .experiments.utilization_curves import render_curve
+
+    for _dim, curve in run_hypercube_curves(full=args.full or None, seed=args.seed):
+        print(render_curve(curve))
+        print()
+    for _n, study in run_hypercube_timeseries(full=args.full or None, seed=args.seed):
+        print(render_timeseries(study))
+        print()
+
+
+def _cmd_scaling(args: argparse.Namespace) -> None:
+    from .experiments.scaling import render_scaling, run_scaling
+
+    print(render_scaling(run_scaling(full=args.full or None, seed=args.seed)))
+
+
+def _cmd_grainsize(args: argparse.Namespace) -> None:
+    from .experiments.grainsize import render_grainsize, run_grainsize
+
+    print(render_grainsize(run_grainsize(seed=args.seed)))
+
+
+def _cmd_zoo(args: argparse.Namespace) -> None:
+    from .core import make_strategy
+    from .experiments.runner import simulate
+    from .workload import Fibonacci
+
+    fib_n = 15 if args.full else 13
+    for spec in (
+        "cwn", "gm", "acwn", "gm-event", "gm-batch", "threshold", "stealing",
+        "symmetric", "bidding", "diffusion", "randomwalk", "central",
+        "random", "roundrobin", "local",
+    ):
+        res = simulate(Fibonacci(fib_n), "grid:8x8", spec, seed=args.seed)
+        print(res.summary())
+
+
+def _cmd_bounds(args: argparse.Namespace) -> None:
+    from .experiments.runner import build_machine
+    from .validation import completion_bounds
+
+    machine = build_machine(args.workload, args.topology, args.strategy or "local")
+    bounds = completion_bounds(machine.program, machine.config.costs, machine.topology.n)
+    print(f"{args.workload} on {machine.topology.name}:")
+    print(f"  total work T1                : {bounds.work:,.0f}")
+    print(f"  critical path T_inf          : {bounds.span:,.0f}")
+    print(f"  lower bound max(T1/P, T_inf) : {bounds.lower:,.0f}")
+    print(f"  greedy envelope T1/P + T_inf : {bounds.brent_upper:,.0f}")
+    print(f"  best possible speedup        : {bounds.max_speedup:.1f}")
+    if args.strategy:
+        from .experiments.runner import simulate
+
+        res = simulate(args.workload, args.topology, args.strategy, seed=args.seed)
+        print(f"\n{res.summary()}")
+        print(f"  x lower bound  : {res.completion_time / bounds.lower:.2f}")
+        print(f"  x greedy bound : {bounds.quality(res.completion_time):.2f}")
+
+
+def _cmd_monitor(args: argparse.Namespace) -> None:
+    from .experiments.runner import build_machine, simulate
+    from .oracle.config import SimConfig
+    from .oracle.monitor import render_film
+
+    pilot = simulate(args.workload, args.topology, args.strategy, seed=args.seed)
+    interval = max(pilot.completion_time / args.frames, 1.0)
+    cfg = SimConfig(sample_interval=interval, sample_per_pe=True, seed=args.seed)
+    res = simulate(args.workload, args.topology, args.strategy, config=cfg)
+    cols = getattr(build_machine(args.workload, args.topology, "local").topology, "cols", None)
+    print(res.summary())
+    print(render_film(res, cols=cols, color=args.color))
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "table3": _cmd_table3,
+    "plots": _cmd_plots,
+    "timeseries": _cmd_timeseries,
+    "hypercube": _cmd_hypercube,
+    "scaling": _cmd_scaling,
+    "grainsize": _cmd_grainsize,
+    "zoo": _cmd_zoo,
+    "bounds": _cmd_bounds,
+    "monitor": _cmd_monitor,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if getattr(args, "full", False):
+        import os
+
+        os.environ["REPRO_FULL"] = "1"
+    _COMMANDS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,191 @@
+"""Load-distribution strategies: the paper's competitors and extensions.
+
+* :class:`CWN` — Contracting Within a Neighborhood (the paper's scheme).
+* :class:`GradientModel` — Lin & Keller's Gradient Model.
+* :class:`KeepLocal`, :class:`RandomPlacement`, :class:`RoundRobin` —
+  bracketing baselines.
+* :class:`AdaptiveCWN` — the conclusion's proposed CWN improvements
+  (saturation control, bounded redistribution, commitments-aware load).
+
+:func:`paper_cwn` / :func:`paper_gm` construct the competitors with the
+optimized per-topology-family parameters of the paper's Table 1.
+"""
+
+from __future__ import annotations
+
+from .acwn import AdaptiveCWN
+from .base import Strategy, argmin_load
+from .baselines import KeepLocal, RandomPlacement, RoundRobin
+from .bidding import Bidding
+from .central import CentralScheduler
+from .cwn import CWN
+from .diffusion import Diffusion
+from .gm_variants import BatchGradient, EventGradient
+from .gradient import GradientModel
+from .load_metrics import make_load_metric, queue_length, with_commitments
+from .randomwalk import RandomWalk
+from .stealing import WorkStealing
+from .symmetric import Symmetric
+from .threshold import ThresholdRandom
+
+__all__ = [
+    "AdaptiveCWN",
+    "BatchGradient",
+    "Bidding",
+    "CWN",
+    "CentralScheduler",
+    "Diffusion",
+    "EventGradient",
+    "GradientModel",
+    "KeepLocal",
+    "PAPER_PARAMS",
+    "RandomPlacement",
+    "RandomWalk",
+    "RoundRobin",
+    "Strategy",
+    "Symmetric",
+    "ThresholdRandom",
+    "WorkStealing",
+    "argmin_load",
+    "make_load_metric",
+    "make_strategy",
+    "paper_cwn",
+    "paper_gm",
+    "queue_length",
+    "with_commitments",
+]
+
+#: Table 1 — "Selected Parameters" from the paper's optimization
+#: experiments, keyed by topology family.  Hypercubes are not in Table 1
+#: (the appendix does not restate parameters); we use the grid settings,
+#: which our own optimization sweep confirms are near-optimal there too.
+PAPER_PARAMS: dict[str, dict[str, dict[str, float]]] = {
+    "grid": {
+        "cwn": {"radius": 9, "horizon": 2},
+        "gm": {"high_water_mark": 2, "low_water_mark": 1, "interval": 20.0},
+    },
+    "dlm": {
+        "cwn": {"radius": 5, "horizon": 1},
+        "gm": {"high_water_mark": 1, "low_water_mark": 1, "interval": 20.0},
+    },
+    "hypercube": {
+        "cwn": {"radius": 9, "horizon": 2},
+        "gm": {"high_water_mark": 2, "low_water_mark": 1, "interval": 20.0},
+    },
+}
+
+
+def _family_params(family: str, scheme: str) -> dict[str, float]:
+    params = PAPER_PARAMS.get(family)
+    if params is None:
+        params = PAPER_PARAMS["grid"]  # sensible default for other families
+    return params[scheme]
+
+
+def paper_cwn(family: str = "grid") -> CWN:
+    """CWN with the paper's Table 1 parameters for ``family``."""
+    p = _family_params(family, "cwn")
+    return CWN(radius=int(p["radius"]), horizon=int(p["horizon"]))
+
+
+def paper_gm(family: str = "grid") -> GradientModel:
+    """Gradient Model with the paper's Table 1 parameters for ``family``."""
+    p = _family_params(family, "gm")
+    return GradientModel(
+        low_water_mark=p["low_water_mark"],
+        high_water_mark=p["high_water_mark"],
+        interval=p["interval"],
+    )
+
+
+def make_strategy(spec: str, family: str = "grid") -> Strategy:
+    """Build a strategy from a spec string.
+
+    ``"cwn"`` / ``"gm"`` use the paper's Table 1 parameters for
+    ``family``; explicit parameters override, e.g. ``"cwn:radius=4,horizon=1"``
+    or ``"gm:hwm=2,lwm=1,interval=10"``.  Baselines: ``"local"``,
+    ``"random"``, ``"roundrobin"``, ``"acwn"``.
+    """
+    kind, _, rest = spec.partition(":")
+    kind = kind.strip().lower()
+    kwargs: dict[str, float] = {}
+    if rest:
+        for item in rest.split(","):
+            key, _, val = item.partition("=")
+            kwargs[key.strip()] = float(val)
+    if kind == "cwn":
+        base = _family_params(family, "cwn")
+        return CWN(
+            radius=int(kwargs.get("radius", base["radius"])),
+            horizon=int(kwargs.get("horizon", base["horizon"])),
+        )
+    if kind == "gm":
+        base = _family_params(family, "gm")
+        return GradientModel(
+            low_water_mark=kwargs.get("lwm", base["low_water_mark"]),
+            high_water_mark=kwargs.get("hwm", base["high_water_mark"]),
+            interval=kwargs.get("interval", base["interval"]),
+        )
+    if kind == "acwn":
+        base = _family_params(family, "cwn")
+        return AdaptiveCWN(
+            radius=int(kwargs.get("radius", base["radius"])),
+            horizon=int(kwargs.get("horizon", base["horizon"])),
+            saturation=kwargs.get("saturation", 3.0),
+        )
+    if kind == "local":
+        return KeepLocal()
+    if kind == "random":
+        return RandomPlacement()
+    if kind == "roundrobin":
+        return RoundRobin()
+    if kind == "threshold":
+        return ThresholdRandom(
+            threshold=kwargs.get("threshold", 2.0),
+            max_transfers=int(kwargs.get("transfers", 3)),
+        )
+    if kind == "stealing":
+        return WorkStealing(
+            threshold=kwargs.get("threshold", 2.0),
+            max_probes=int(kwargs.get("probes", 3)),
+        )
+    if kind == "diffusion":
+        return Diffusion(
+            alpha=kwargs.get("alpha", 0.25),
+            interval=kwargs.get("interval", 20.0),
+        )
+    if kind == "bidding":
+        return Bidding(threshold=kwargs.get("threshold", 2.0))
+    if kind == "symmetric":
+        return Symmetric(
+            send_threshold=kwargs.get("send", 2.0),
+            radius=int(kwargs.get("radius", 3)),
+            steal_threshold=kwargs.get("steal", 2.0),
+            max_probes=int(kwargs.get("probes", 3)),
+        )
+    if kind == "central":
+        return CentralScheduler(
+            manager=int(kwargs.get("manager", 0)),
+            dispatch_cost=kwargs.get("cost", 0.5),
+        )
+    if kind == "randomwalk":
+        return RandomWalk(
+            radius=int(kwargs.get("radius", 5)),
+            horizon=int(kwargs.get("horizon", 1)),
+            keep_prob=kwargs.get("keep", 0.3),
+        )
+    if kind == "gm-event":
+        base = _family_params(family, "gm")
+        return EventGradient(
+            low_water_mark=kwargs.get("lwm", base["low_water_mark"]),
+            high_water_mark=kwargs.get("hwm", base["high_water_mark"]),
+        )
+    if kind == "gm-batch":
+        base = _family_params(family, "gm")
+        return BatchGradient(
+            low_water_mark=kwargs.get("lwm", base["low_water_mark"]),
+            high_water_mark=kwargs.get("hwm", base["high_water_mark"]),
+            interval=kwargs.get("interval", base["interval"]),
+            batch=int(kwargs.get("batch", 4)),
+        )
+    raise ValueError(f"unknown strategy spec {spec!r}")

@@ -1,0 +1,162 @@
+"""Adaptive CWN — the improvements sketched in the paper's conclusion.
+
+Section 5 lists three specific fixes for CWN's observed weaknesses, each
+"incorporating the good features of GM in CWN":
+
+1. **Saturation control** — "When the system is running at 100%
+   utilization, there is no need to send every goal out to other PEs.
+   Detecting such a situation and then keeping goals locally until the
+   situation changes would be worth investigating."  We detect local
+   saturation: a newly created goal is kept locally when the creating PE
+   already holds at least ``saturation`` load *and no neighbor looks
+   idle* (every believed neighbor load >= 1).  The second clause is what
+   makes the detector safe: it releases the moment anyone nearby runs
+   dry, so the pull component (below) and fresh contract traffic can
+   refill them.  On a saturated 25-PE torus this cuts CWN's goal traffic
+   by ~8x at a modest utilization cost (see
+   ``benchmarks/bench_ablation_acwn.py``), the trade the paper asks for.
+
+2. **A small, well-controlled redistribution component** — "CWN does not
+   allow a goal to be re-distributed once it has been sent to another PE.
+   ... a small, well-controlled (i.e. responsive to runtime conditions)
+   re-distribution component should be added."  We add a receiver-
+   initiated pull: when a PE goes idle it sends a one-word work request
+   to its most-loaded known neighbor; a PE receiving a request ships one
+   queued (not yet started, hence still movable) goal back if it has load
+   to spare.  This restores GM's ability to fix imbalances late in the
+   run without giving up CWN's agility at the start.
+
+3. **Future commitments in the load measure** — see
+   :mod:`repro.core.load_metrics`; enabled here with
+   ``load_metric="commitments"``.
+
+Each component can be switched off independently, so the ablation bench
+can attribute improvements (see ``benchmarks/bench_ablation_acwn.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..oracle.message import GoalMessage
+from ..workload.base import Goal
+from .base import argmin_load
+from .cwn import CWN
+from .load_metrics import make_load_metric
+
+__all__ = ["AdaptiveCWN"]
+
+
+class AdaptiveCWN(CWN):
+    """CWN + saturation control + idle-pull redistribution.
+
+    Parameters
+    ----------
+    radius, horizon, tie_break:
+        As in :class:`~repro.core.cwn.CWN`.
+    saturation:
+        Keep new goals local when this PE already holds at least this
+        much load and no neighbor is believed idle; ``None`` disables
+        the component.
+    pull:
+        Enable the receiver-initiated redistribution component.
+    pull_threshold:
+        A PE answers a work request only while its own load is at least
+        this (so nearly-starved PEs are not robbed).
+    load_metric:
+        ``"queue"`` (the paper's measure) or ``"commitments"``.
+    """
+
+    name = "acwn"
+
+    def __init__(
+        self,
+        radius: int = 5,
+        horizon: int = 1,
+        tie_break: str = "random",
+        saturation: float | None = 3.0,
+        pull: bool = True,
+        pull_threshold: float = 2.0,
+        load_metric: str = "queue",
+        commitment_weight: float = 0.5,
+    ) -> None:
+        super().__init__(radius, horizon, tie_break)
+        if saturation is not None and saturation <= 0:
+            raise ValueError("saturation must be positive (or None to disable)")
+        if pull_threshold < 1:
+            raise ValueError("pull_threshold must be >= 1 (must leave the donor work)")
+        self.saturation = saturation
+        self.pull = pull
+        self.pull_threshold = pull_threshold
+        self.load_metric = load_metric
+        self.commitment_weight = commitment_weight
+        self._kept_saturated = 0
+        self._pulled = 0
+
+    def describe_params(self) -> dict[str, Any]:
+        params = super().describe_params()
+        params.update(
+            saturation=self.saturation,
+            pull=self.pull,
+            load_metric=self.load_metric,
+        )
+        return params
+
+    def setup(self) -> None:
+        self.machine.load_fn = make_load_metric(self.load_metric, self.commitment_weight)
+        self._kept_saturated = 0
+        self._pulled = 0
+
+    # -- saturation control ------------------------------------------------------
+
+    def on_goal_created(self, pe: int, goal: Goal) -> None:
+        if self.saturation is not None:
+            machine = self.machine
+            nbrs = machine.neighbors(pe)
+            if machine.load_of(pe) >= self.saturation and all(
+                machine.known_load(pe, nb) >= 1.0 for nb in nbrs
+            ):
+                self._kept_saturated += 1
+                machine.enqueue(pe, goal)
+                return
+        super().on_goal_created(pe, goal)
+
+    # -- idle pull ----------------------------------------------------------------
+
+    def on_idle(self, pe: int) -> None:
+        if not self.pull:
+            return
+        machine = self.machine
+        nbrs = machine.neighbors(pe)
+        loads = [machine.known_load(pe, nb) for nb in nbrs]
+        # Most-loaded believed neighbor, negated loads reuse the seeded
+        # tie-breaking of argmin_load.
+        if max(loads) < self.pull_threshold:
+            return
+        donor = argmin_load(nbrs, [-ld for ld in loads], machine.rng, self.tie_break)
+        machine.post_word(pe, donor, "workreq", float(pe))
+
+    def on_word(self, dst: int, src: int, kind: str, value: float) -> None:
+        if kind != "workreq":
+            return
+        machine = self.machine
+        if machine.load_of(dst) < self.pull_threshold:
+            return
+        goal = machine.take_shippable(dst, newest_first=True)
+        if goal is None:
+            return
+        self._pulled += 1
+        goal.hops += 1
+        requester = int(value)
+        # target marks this as a directed transfer: the requester accepts
+        # it outright instead of re-running CWN's placement walk.
+        machine.send_goal(
+            dst, requester, GoalMessage(dst, requester, goal, hops=goal.hops, target=requester)
+        )
+
+    def on_goal_message(self, pe: int, msg: GoalMessage) -> None:
+        if msg.target == pe:
+            msg.goal.hops = msg.hops
+            self.machine.enqueue(pe, msg.goal)
+            return
+        super().on_goal_message(pe, msg)

@@ -1,0 +1,162 @@
+"""Receiver-initiated work stealing — the third classic family.
+
+The paper compares a sender-initiated scheme (CWN ships goals at
+creation) against a hybrid (GM hoards until pressure builds).  The
+contemporaneous literature's third option (Eager, Lazowska & Zahorjan,
+1986) is *receiver-initiated*: goals always stay local and **idle** PEs
+ask neighbors for work.  Including it rounds out the design space the
+paper's conclusion gestures at ("the space of possible strategies is
+very large") and gives the strategy-zoo bench a meaningful third corner.
+
+Protocol: when a PE runs out of work it probes its most-loaded believed
+neighbor with a steal request carrying the requester id and a
+remaining-probe budget.  A probed PE ships one queued goal back if it
+has load to spare; otherwise it forwards the request to *its* most-
+loaded believed neighbor (minus the path already charged) until the
+budget runs out.  Requests and forwards are one-word control traffic;
+shipped goals are normal goal messages, so Table-3-style statistics stay
+comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..oracle.message import GoalMessage
+from ..workload.base import Goal
+from .base import Strategy, argmin_load
+
+__all__ = ["WorkStealing"]
+
+
+class WorkStealing(Strategy):
+    """Idle-initiated stealing with bounded probe forwarding.
+
+    Parameters
+    ----------
+    threshold:
+        A victim ships a goal only while its own load is at least this
+        (never robs a nearly-idle PE down to nothing).
+    max_probes:
+        Total hops a steal request may travel before giving up.
+    retry_interval:
+        An idle PE that failed to attract work probes again after this
+        long (0 disables retries; the PE then only re-probes when it
+        goes idle again).
+    """
+
+    name = "stealing"
+
+    def __init__(
+        self,
+        threshold: float = 2.0,
+        max_probes: int = 3,
+        retry_interval: float = 50.0,
+        tie_break: str = "random",
+    ) -> None:
+        super().__init__()
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if max_probes < 1:
+            raise ValueError("max_probes must be >= 1")
+        if retry_interval < 0:
+            raise ValueError("retry_interval must be >= 0")
+        self.threshold = threshold
+        self.max_probes = max_probes
+        self.retry_interval = retry_interval
+        self.tie_break = tie_break
+        self.steals = 0
+        self.failed_probes = 0
+
+    def describe_params(self) -> dict[str, Any]:
+        return {
+            "threshold": self.threshold,
+            "max_probes": self.max_probes,
+            "retry_interval": self.retry_interval,
+        }
+
+    def setup(self) -> None:
+        self.steals = 0
+        self.failed_probes = 0
+        # Pending-probe flag per PE so an idle PE keeps at most one
+        # request in flight.
+        self._probing = [False] * self.machine.topology.n
+
+    # -- local-first placement ----------------------------------------------------
+
+    def on_goal_created(self, pe: int, goal: Goal) -> None:
+        self.machine.enqueue(pe, goal)
+
+    def on_goal_message(self, pe: int, msg: GoalMessage) -> None:
+        # Only stolen goals travel, addressed to their thief: route on
+        # (a forwarded probe's victim can be several hops away).
+        if msg.target != pe:
+            nxt = self.machine.topology.next_hop(pe, msg.target)
+            self.machine.send_goal(pe, nxt, msg)
+            return
+        self._probing[pe] = False
+        self.machine.enqueue(pe, msg.goal)
+
+    # -- stealing ----------------------------------------------------------------
+
+    def on_idle(self, pe: int) -> None:
+        if self._probing[pe]:
+            return  # one request in flight at a time
+        self._probing[pe] = True
+        self._send_probe(pe, pe, self.max_probes)
+
+    def _send_probe(self, requester: int, at: int, budget: int) -> None:
+        """Send (or forward) a steal request from ``at``.
+
+        Candidates never include the requester itself: a probe that
+        cycled back would either die silently (wedging the requester's
+        probe flag) or make the requester "steal from itself".
+        """
+        machine = self.machine
+        if budget <= 0:
+            self._probe_failed(requester)
+            return
+        candidates = [nb for nb in machine.neighbors(at) if nb != requester]
+        if not candidates:
+            self._probe_failed(requester)
+            return
+        loads = [machine.known_load(at, nb) for nb in candidates]
+        victim = argmin_load(candidates, [-ld for ld in loads], machine.rng, self.tie_break)
+        # Encode requester and remaining budget in the word's value.
+        machine.post_word(at, victim, "steal", requester * 100 + (budget - 1))
+
+    def _probe_failed(self, requester: int) -> None:
+        self.failed_probes += 1
+        self._probing[requester] = False
+        self._schedule_retry(requester)
+
+    def on_word(self, dst: int, src: int, kind: str, value: float) -> None:
+        if kind != "steal":
+            return
+        requester, budget = divmod(int(value), 100)
+        machine = self.machine
+        if machine.load_of(dst) >= self.threshold:
+            goal = machine.take_shippable(dst, newest_first=True)
+            if goal is not None:
+                self.steals += 1
+                # The goal's recorded distance is the full victim->thief
+                # route; intermediate forwarding adds no further hops.
+                goal.hops += machine.topology.distance(dst, requester)
+                machine.send_goal(
+                    dst,
+                    machine.topology.next_hop(dst, requester),
+                    GoalMessage(dst, -1, goal, hops=goal.hops, target=requester),
+                )
+                return
+        self._send_probe(requester, dst, budget)
+
+    def _schedule_retry(self, pe: int) -> None:
+        if self.retry_interval <= 0:
+            return
+        machine = self.machine
+
+        def retry(_payload: object) -> None:
+            if machine.pes[pe].idle and not self._probing[pe]:
+                self.on_idle(pe)
+
+        machine.engine.schedule(self.retry_interval, retry)

@@ -1,0 +1,192 @@
+"""Symmetric (sender- + receiver-initiated) placement.
+
+Eager, Lazowska & Zahorjan's follow-up observation — and Shivaratri &
+Krueger's symmetric policies — hold that sender-initiated transfer wins
+at low system load (idle PEs are easy to find) while receiver-initiated
+wins at high load (busy PEs are easy to find).  A *symmetric* policy runs
+both sides and lets whichever matches the current regime do the work:
+
+* **sender side** (CWN-flavored): a PE whose load is at or above
+  ``send_threshold`` contracts new goals out to its least-loaded believed
+  neighbor, bounded by ``radius`` hops — directed like CWN, but only
+  under pressure (no contracting when the local queue is short);
+* **receiver side** (stealing-flavored): a PE going idle probes its
+  most-loaded believed neighbor with a bounded-forwarding steal request,
+  exactly the :class:`~repro.core.stealing.WorkStealing` protocol.
+
+In the strategy zoo this sits between CWN (all-sender, always) and
+WorkStealing (all-receiver) and shows the regimes where each half
+carries the load: during the parallelism ramp-up the sender side spreads
+work CWN-fast; during the tail the receiver side refills PEs that CWN
+would leave idle — the paper's plot-11/12 diagnosis, addressed by
+mechanism rather than by tuning.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..oracle.message import GoalMessage
+from ..workload.base import Goal
+from .base import Strategy, argmin_load
+
+__all__ = ["Symmetric"]
+
+
+class Symmetric(Strategy):
+    """Two-sided transfer: contract out under pressure, steal when idle.
+
+    Parameters
+    ----------
+    send_threshold:
+        Sender side engages while the creating PE's load (queue length)
+        is at or above this; below it new goals stay local.
+    radius:
+        Hop bound for sender-side forwarding (CWN-style must-keep).
+    steal_threshold:
+        A probed victim ships a goal only while its load is at least
+        this.
+    max_probes:
+        Hop budget for receiver-side steal requests.
+    retry_interval:
+        An idle PE re-probes after this long if its last probe failed
+        (0 disables retries).
+    """
+
+    name = "symmetric"
+
+    def __init__(
+        self,
+        send_threshold: float = 2.0,
+        radius: int = 3,
+        steal_threshold: float = 2.0,
+        max_probes: int = 3,
+        retry_interval: float = 50.0,
+        tie_break: str = "random",
+    ) -> None:
+        super().__init__()
+        if send_threshold < 1:
+            raise ValueError("send_threshold must be >= 1")
+        if radius < 1:
+            raise ValueError("radius must be >= 1")
+        if steal_threshold < 1:
+            raise ValueError("steal_threshold must be >= 1")
+        if max_probes < 1:
+            raise ValueError("max_probes must be >= 1")
+        if retry_interval < 0:
+            raise ValueError("retry_interval must be >= 0")
+        self.send_threshold = send_threshold
+        self.radius = radius
+        self.steal_threshold = steal_threshold
+        self.max_probes = max_probes
+        self.retry_interval = retry_interval
+        self.tie_break = tie_break
+        #: diagnostic counters
+        self.sent_out = 0
+        self.steals = 0
+        self.failed_probes = 0
+
+    def describe_params(self) -> dict[str, Any]:
+        return {
+            "send_threshold": self.send_threshold,
+            "radius": self.radius,
+            "steal_threshold": self.steal_threshold,
+            "max_probes": self.max_probes,
+        }
+
+    def setup(self) -> None:
+        self.sent_out = 0
+        self.steals = 0
+        self.failed_probes = 0
+        self._probing = [False] * self.machine.topology.n
+
+    # -- sender side -------------------------------------------------------------
+
+    def on_goal_created(self, pe: int, goal: Goal) -> None:
+        machine = self.machine
+        if machine.load_of(pe) < self.send_threshold:
+            machine.enqueue(pe, goal)
+            return
+        self.sent_out += 1
+        self._forward(pe, GoalMessage(pe, pe, goal, hops=0))
+
+    def on_goal_message(self, pe: int, msg: GoalMessage) -> None:
+        machine = self.machine
+        if msg.target >= 0:
+            # A stolen goal in flight toward its thief: route on.
+            if msg.target != pe:
+                nxt = machine.topology.next_hop(pe, msg.target)
+                machine.send_goal(pe, nxt, msg)
+                return
+            self._probing[pe] = False
+            msg.goal.hops = msg.hops
+            machine.enqueue(pe, msg.goal)
+            return
+        # Sender-side forwarded goal: CWN acceptance rule.
+        if msg.hops >= self.radius or machine.load_of(pe) < self.send_threshold:
+            msg.goal.hops = msg.hops
+            machine.enqueue(pe, msg.goal)
+            return
+        self._forward(pe, msg)
+
+    def _forward(self, pe: int, msg: GoalMessage) -> None:
+        machine = self.machine
+        nbrs = machine.neighbors(pe)
+        loads = [machine.known_load(pe, nb) for nb in nbrs]
+        target = argmin_load(nbrs, loads, machine.rng, self.tie_break)
+        msg.hops += 1
+        machine.send_goal(pe, target, msg)
+
+    # -- receiver side ------------------------------------------------------------
+
+    def on_idle(self, pe: int) -> None:
+        if self._probing[pe]:
+            return
+        self._probing[pe] = True
+        self._send_probe(pe, pe, self.max_probes)
+
+    def _send_probe(self, requester: int, at: int, budget: int) -> None:
+        machine = self.machine
+        if budget <= 0:
+            self._probe_failed(requester)
+            return
+        candidates = [nb for nb in machine.neighbors(at) if nb != requester]
+        if not candidates:
+            self._probe_failed(requester)
+            return
+        loads = [machine.known_load(at, nb) for nb in candidates]
+        victim = argmin_load(
+            candidates, [-ld for ld in loads], machine.rng, self.tie_break
+        )
+        machine.post_word(at, victim, "steal", requester * 100 + (budget - 1))
+
+    def _probe_failed(self, requester: int) -> None:
+        self.failed_probes += 1
+        self._probing[requester] = False
+        if self.retry_interval <= 0:
+            return
+        machine = self.machine
+
+        def retry(_payload: object) -> None:
+            if machine.pes[requester].idle and not self._probing[requester]:
+                self.on_idle(requester)
+
+        machine.engine.schedule(self.retry_interval, retry)
+
+    def on_word(self, dst: int, src: int, kind: str, value: float) -> None:
+        if kind != "steal":
+            return
+        requester, budget = divmod(int(value), 100)
+        machine = self.machine
+        if machine.load_of(dst) >= self.steal_threshold:
+            goal = machine.take_shippable(dst, newest_first=True)
+            if goal is not None:
+                self.steals += 1
+                goal.hops += machine.topology.distance(dst, requester)
+                machine.send_goal(
+                    dst,
+                    machine.topology.next_hop(dst, requester),
+                    GoalMessage(dst, -1, goal, hops=goal.hops, target=requester),
+                )
+                return
+        self._send_probe(requester, dst, budget)

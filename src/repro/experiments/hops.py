@@ -1,0 +1,75 @@
+"""Table 3 — distribution of goal-message travel distances.
+
+The paper's communication-cost analysis: for Fibonacci of 18 on a 10x10
+grid it histograms how far each goal travelled before executing.  CWN's
+row (mean 3.15 hops, a mode at 1 and a pile-up at the radius because "a
+message that has gone that far must stop at that distance") against GM's
+(mean 0.92, almost half the goals never leaving their source), giving
+the paper's "typically thrice as much communication" remark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import paper_cwn, paper_gm
+from ..oracle.config import SimConfig
+from ..oracle.stats import SimResult
+from ..topology import Topology, paper_grid
+from ..workload import Fibonacci, Program
+from .tables import format_table
+
+__all__ = ["HopStudy", "render_table3", "run_hop_study"]
+
+
+@dataclass(frozen=True)
+class HopStudy:
+    """Paired hop histograms for one workload/topology."""
+
+    workload: str
+    topology: str
+    cwn: SimResult
+    gm: SimResult
+
+    @property
+    def communication_ratio(self) -> float:
+        """CWN's mean goal distance over GM's (the "thrice" claim)."""
+        gm_mean = self.gm.mean_goal_distance
+        if gm_mean == 0:
+            return float("inf")
+        return self.cwn.mean_goal_distance / gm_mean
+
+
+def run_hop_study(
+    fib_n: int = 18,
+    topology: Topology | None = None,
+    config: SimConfig | None = None,
+    seed: int = 1,
+) -> HopStudy:
+    """Reproduce Table 3 (fib(18), 10x10 grid by default)."""
+    from .runner import simulate
+
+    topology = topology or paper_grid(100)
+    program: Program = Fibonacci(fib_n)
+    family = topology.family
+    cwn_res = simulate(program, topology, paper_cwn(family), config=config, seed=seed)
+    gm_res = simulate(program, topology, paper_gm(family), config=config, seed=seed)
+    return HopStudy(cwn_res.workload, topology.name, cwn_res, gm_res)
+
+
+def render_table3(study: HopStudy) -> str:
+    """The paper's layout: one row per strategy, one column per hop count."""
+    max_hop = max(
+        max(study.cwn.hop_histogram, default=0), max(study.gm.hop_histogram, default=0)
+    )
+    headers = ["Hops"] + [str(h) for h in range(max_hop + 1)] + ["Average"]
+    rows = []
+    for label, res in (("CWN", study.cwn), ("GM", study.gm)):
+        row: list[object] = [label]
+        row += [res.hop_histogram.get(h, 0) for h in range(max_hop + 1)]
+        row.append(res.mean_goal_distance)
+        rows.append(row)
+    title = (
+        f"Distribution of message distance (Table 3): {study.workload} on {study.topology}"
+    )
+    return format_table(headers, rows, title=title)

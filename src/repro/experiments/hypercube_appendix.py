@@ -1,0 +1,52 @@
+"""Appendix I — the hypercube experiments.
+
+The paper's appendix repeats the Fibonacci comparison "for the
+Hypercubes": utilization-vs-goals curves for hypercubes of several
+dimensions (up to 7, i.e. 128 PEs) and utilization-vs-time traces on the
+dimension-7 cube for three Fibonacci sizes.  The OCR of the appendix is
+rough, but the experiment family is unambiguous and we regenerate it
+whole: one curve per dimension, one time-series study per size.
+"""
+
+from __future__ import annotations
+
+from ..oracle.config import SimConfig
+from ..topology import Hypercube
+from . import scale
+from .timeseries import TimeSeriesStudy, run_timeseries
+from .utilization_curves import UtilizationCurve, run_curve
+
+__all__ = ["run_hypercube_curves", "run_hypercube_timeseries"]
+
+#: Hypercube dimensions in the appendix plots (2**d PEs: 32..128).
+FULL_DIMS: tuple[int, ...] = (5, 6, 7)
+REDUCED_DIMS: tuple[int, ...] = (4, 5, 6)
+
+
+def run_hypercube_curves(
+    full: bool | None = None,
+    config: SimConfig | None = None,
+    seed: int = 1,
+) -> list[tuple[int, UtilizationCurve]]:
+    """Fibonacci utilization-vs-goals on each appendix hypercube."""
+    if full is None:
+        full = scale.full_scale()
+    dims = FULL_DIMS if full else REDUCED_DIMS
+    return [
+        (dim, run_curve(Hypercube(dim), kind="fib", full=full, config=config, seed=seed))
+        for dim in dims
+    ]
+
+
+def run_hypercube_timeseries(
+    full: bool | None = None,
+    config: SimConfig | None = None,
+    seed: int = 1,
+) -> list[tuple[int, TimeSeriesStudy]]:
+    """Utilization-vs-time on the largest appendix cube, three fib sizes."""
+    if full is None:
+        full = scale.full_scale()
+    dim = 7 if full else 6
+    sizes = (18, 15, 9) if full else (13, 11, 9)
+    topo = Hypercube(dim)
+    return [(n, run_timeseries(n, topo, config, seed)) for n in sizes]

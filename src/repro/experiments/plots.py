@@ -1,0 +1,79 @@
+"""ASCII line plots for the paper's figure reproductions.
+
+The paper's Plots 1-16 are utilization curves; in a terminal-only
+environment we render them as character plots: one column per X sample,
+one letter per series.  This is deliberately simple — the *numbers* are
+the deliverable (EXPERIMENTS.md records them); the plots are for eyeballs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["ascii_plot"]
+
+
+def ascii_plot(
+    series: dict[str, Sequence[tuple[float, float]]],
+    title: str = "",
+    width: int = 72,
+    height: int = 18,
+    y_label: str = "%util",
+    x_label: str = "x",
+    y_max: float | None = None,
+) -> str:
+    """Render one or more (x, y) series as an ASCII plot.
+
+    Each series gets the first letter of its name as its marker (upper-
+    cased, disambiguated by position if needed).  Axes are linear; x and
+    y ranges cover all series.  Marker collisions render as ``*``.
+    """
+    if not series or all(len(pts) == 0 for pts in series.values()):
+        return f"{title}\n(no data)"
+    xs = [x for pts in series.values() for x, _ in pts]
+    ys = [y for pts in series.values() for _, y in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo = 0.0
+    y_hi = y_max if y_max is not None else max(ys) * 1.05
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+    x_span = (x_hi - x_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers: dict[str, str] = {}
+    used: set[str] = set()
+    for name in series:
+        mark = name[0].upper()
+        while mark in used:
+            mark = chr(ord(mark) + 1)
+        used.add(mark)
+        markers[name] = mark
+
+    for name, pts in series.items():
+        mark = markers[name]
+        for x, y in pts:
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((min(y, y_hi) - y_lo) / (y_hi - y_lo) * (height - 1))
+            row = min(max(row, 0), height - 1)
+            cell = grid[row][col]
+            grid[row][col] = mark if cell in (" ", mark) else "*"
+
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "   ".join(f"{m}={n}" for n, m in markers.items())
+    lines.append(f"[{legend}]")
+    for i, row_cells in enumerate(grid):
+        if i == 0:
+            label = f"{y_hi:6.1f} |"
+        elif i == height - 1:
+            label = f"{y_lo:6.1f} |"
+        else:
+            label = "       |"
+        lines.append(label + "".join(row_cells))
+    lines.append("       +" + "-" * width)
+    left = f"{x_lo:.0f}"
+    right = f"{x_hi:.0f} {x_label}"
+    pad = max(1, width - len(left) - len(right))
+    lines.append("        " + left + " " * pad + right)
+    return "\n".join(lines)

@@ -1,0 +1,103 @@
+"""Query streams — the open-system extension.
+
+The paper's runs are closed: one query, one machine, run to completion.
+Its own diagnosis of CWN's weakness, though, is about *sustained*
+operation: once every PE has work, CWN's inability to re-shuffle starts
+to cost, while GM "manages to maintain 100% when it reaches that level".
+A stream of queries arriving at different PEs is the regime where that
+difference should matter most — work keeps arriving at arbitrary points
+and the machine is (nearly) never empty.
+
+:func:`run_stream` injects ``queries`` instances of a program,
+``spacing`` apart, round-robin over injection PEs spread across the
+machine, and reports makespan, mean/max response time and utilization
+for each strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import Strategy, paper_cwn, paper_gm
+from ..oracle.config import SimConfig
+from ..oracle.machine import Machine
+from ..topology import Topology, paper_grid
+from ..workload import Fibonacci, Program
+from .tables import format_table
+
+__all__ = ["StreamResult", "render_stream", "run_stream"]
+
+
+@dataclass(frozen=True)
+class StreamResult:
+    """One strategy's behaviour under a query stream."""
+
+    strategy: str
+    makespan: float
+    mean_response: float
+    max_response: float
+    utilization_percent: float
+    results_ok: bool
+
+
+def spread_pes(topology: Topology, count: int) -> list[int]:
+    """``count`` injection points spread evenly over the PE index space."""
+    n = topology.n
+    return [(k * n) // count for k in range(count)]
+
+
+def run_stream(
+    program: Program | None = None,
+    topology: Topology | None = None,
+    strategies: dict[str, Strategy] | None = None,
+    queries: int = 8,
+    spacing: float = 200.0,
+    seed: int = 1,
+    config: SimConfig | None = None,
+) -> list[StreamResult]:
+    """Drive each strategy with the same query stream."""
+    program = program or Fibonacci(11)
+    topology = topology or paper_grid(64)
+    if strategies is None:
+        strategies = {
+            "cwn": paper_cwn(topology.family),
+            "gm": paper_gm(topology.family),
+        }
+    arrival_pes = spread_pes(topology, queries)
+    expected = program.expected_result()
+    out = []
+    for name, strategy in strategies.items():
+        machine = Machine(
+            topology,
+            program,
+            strategy,
+            (config or SimConfig()).replace(seed=seed),
+            queries=queries,
+            arrival_spacing=spacing,
+            arrival_pes=arrival_pes,
+        )
+        res = machine.run()
+        responses = res.response_times
+        out.append(
+            StreamResult(
+                strategy=name,
+                makespan=res.completion_time,
+                mean_response=sum(responses) / len(responses),
+                max_response=max(responses),
+                utilization_percent=res.utilization_percent,
+                results_ok=all(v == expected for v in res.result_value),
+            )
+        )
+    return out
+
+
+def render_stream(results: list[StreamResult], header: str = "") -> str:
+    rows = [
+        (r.strategy, r.makespan, r.mean_response, r.max_response, r.utilization_percent)
+        for r in results
+    ]
+    return format_table(
+        ["strategy", "makespan", "mean response", "max response", "util %"],
+        rows,
+        title=header or "Query-stream study",
+    )

@@ -1,0 +1,114 @@
+"""Multi-seed replication: confidence intervals for the paper's claims.
+
+The paper reports single runs per cell; our simulations break ties with
+a seeded RNG, so any single-seed ratio carries sampling noise.  This
+module reruns a comparison across seeds and reports mean, standard
+deviation and a t-based confidence interval, so benches can assert the
+conclusion is not a tie-breaking artifact.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core import Strategy, paper_cwn, paper_gm
+from ..oracle.config import SimConfig
+from ..topology import Topology
+from ..workload import Program
+from .runner import simulate
+
+__all__ = ["Replication", "replicate_pair", "replicate_metric"]
+
+# Two-sided 95% Student-t critical values for df = 1..30 (no scipy
+# dependency at runtime keeps this importable everywhere; scipy users
+# can of course compute their own).
+_T95 = (
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+)
+
+
+def t95(df: int) -> float:
+    """Two-sided 95% t critical value (1.96 beyond the tabulated range)."""
+    if df < 1:
+        raise ValueError("need at least 2 samples for an interval")
+    return _T95[df - 1] if df <= len(_T95) else 1.96
+
+
+@dataclass(frozen=True)
+class Replication:
+    """Summary of one metric across seeds."""
+
+    values: tuple[float, ...]
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / self.n
+
+    @property
+    def std(self) -> float:
+        if self.n < 2:
+            return 0.0
+        m = self.mean
+        return math.sqrt(sum((v - m) ** 2 for v in self.values) / (self.n - 1))
+
+    @property
+    def ci95(self) -> tuple[float, float]:
+        """95% confidence interval for the mean."""
+        if self.n < 2:
+            return (self.mean, self.mean)
+        half = t95(self.n - 1) * self.std / math.sqrt(self.n)
+        return (self.mean - half, self.mean + half)
+
+    def excludes(self, value: float) -> bool:
+        """True when ``value`` lies outside the 95% CI."""
+        lo, hi = self.ci95
+        return value < lo or value > hi
+
+    def __str__(self) -> str:
+        lo, hi = self.ci95
+        return f"{self.mean:.3f} (95% CI [{lo:.3f}, {hi:.3f}], n={self.n})"
+
+
+def replicate_pair(
+    program: Program,
+    topology: Topology,
+    seeds: Sequence[int] = range(1, 9),
+    config: SimConfig | None = None,
+) -> Replication:
+    """CWN/GM speedup ratio across seeds (both sides share each seed)."""
+    family = topology.family
+    ratios = []
+    for seed in seeds:
+        cwn = simulate(program, topology, paper_cwn(family), config=config, seed=seed)
+        gm = simulate(program, topology, paper_gm(family), config=config, seed=seed)
+        ratios.append(cwn.speedup / gm.speedup)
+    return Replication(tuple(ratios))
+
+
+def replicate_metric(
+    program: Program,
+    topology: Topology,
+    strategy_factory,
+    metric: str = "speedup",
+    seeds: Sequence[int] = range(1, 9),
+    config: SimConfig | None = None,
+) -> Replication:
+    """Any SimResult attribute across seeds for one strategy.
+
+    ``strategy_factory`` is called per seed (strategies carry per-run
+    state); ``metric`` names a SimResult attribute or property.
+    """
+    values = []
+    for seed in seeds:
+        strategy: Strategy = strategy_factory()
+        res = simulate(program, topology, strategy, config=config, seed=seed)
+        values.append(float(getattr(res, metric)))
+    return Replication(tuple(values))

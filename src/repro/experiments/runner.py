@@ -1,0 +1,63 @@
+"""Single-run driver: one (workload, topology, strategy) simulation.
+
+This is the narrow waist of the experiment harness and the library's
+main convenience entry point.  Everything accepts either constructed
+objects or the compact spec strings of the respective ``make`` helpers::
+
+    simulate("fib:15", "grid:10x10", "cwn")
+    simulate(Fibonacci(15), Grid(10, 10), CWN(radius=9, horizon=2))
+"""
+
+from __future__ import annotations
+
+from ..core import Strategy, make_strategy
+from ..oracle.config import SimConfig
+from ..oracle.machine import Machine
+from ..oracle.stats import SimResult
+from ..topology import Topology
+from ..topology import make as make_topology
+from ..workload import Program
+from ..workload import make as make_workload
+
+__all__ = ["build_machine", "simulate"]
+
+
+def build_machine(
+    workload: Program | str,
+    topology: Topology | str,
+    strategy: Strategy | str,
+    config: SimConfig | None = None,
+    start_pe: int = 0,
+) -> Machine:
+    """Construct (but do not run) a fully wired machine.
+
+    Spec strings are resolved here; a strategy given as a bare name
+    (``"cwn"``, ``"gm"``) picks up the paper's Table 1 parameters for the
+    topology's family.
+    """
+    if isinstance(workload, str):
+        workload = make_workload(workload)
+    if isinstance(topology, str):
+        topology = make_topology(topology)
+    if isinstance(strategy, str):
+        strategy = make_strategy(strategy, family=topology.family)
+    return Machine(topology, workload, strategy, config, start_pe)
+
+
+def simulate(
+    workload: Program | str,
+    topology: Topology | str,
+    strategy: Strategy | str,
+    config: SimConfig | None = None,
+    start_pe: int = 0,
+    seed: int | None = None,
+) -> SimResult:
+    """Run one simulation to completion and return its :class:`SimResult`.
+
+    ``seed`` overrides ``config.seed`` as a convenience for replication
+    sweeps.
+    """
+    if seed is not None:
+        config = (config or SimConfig()).replace(seed=seed)
+    machine = build_machine(workload, topology, strategy, config, start_pe)
+    return machine.run()

@@ -1,0 +1,65 @@
+"""Experiment scaling: paper-size vs CI-size grids.
+
+The paper's full evaluation is 240 simulation runs, the largest of which
+(8361 goals on 400 PEs) took "15 minutes to 3 hours" on a VAX-750 and
+takes ~1-2 s here.  The full grid still costs several minutes, so the
+benches default to a reduced grid — same families, same shapes, smaller
+extremes — and honour the environment variable ``REPRO_FULL=1`` for the
+complete reproduction.  Every experiment module takes an explicit
+``full`` flag too; the env var only sets the default.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = [
+    "FULL_DC_SIZES",
+    "FULL_FIB_SIZES",
+    "FULL_PE_COUNTS",
+    "REDUCED_DC_SIZES",
+    "REDUCED_FIB_SIZES",
+    "REDUCED_PE_COUNTS",
+    "dc_sizes",
+    "fib_sizes",
+    "full_scale",
+    "pe_counts",
+]
+
+FULL_PE_COUNTS: tuple[int, ...] = (25, 64, 100, 256, 400)
+REDUCED_PE_COUNTS: tuple[int, ...] = (25, 64, 100)
+
+FULL_FIB_SIZES: tuple[int, ...] = (7, 9, 11, 13, 15, 18)
+REDUCED_FIB_SIZES: tuple[int, ...] = (7, 9, 11, 13, 15)
+
+FULL_DC_SIZES: tuple[int, ...] = (21, 55, 144, 377, 987, 4181)
+REDUCED_DC_SIZES: tuple[int, ...] = (21, 55, 144, 377, 987)
+
+
+def full_scale(default: bool = False) -> bool:
+    """True when the full paper-scale grids were requested via REPRO_FULL."""
+    raw = os.environ.get("REPRO_FULL")
+    if raw is None:
+        return default
+    return raw.strip().lower() not in ("", "0", "false", "no")
+
+
+def pe_counts(full: bool | None = None) -> tuple[int, ...]:
+    """Machine sizes for the chosen scale."""
+    if full is None:
+        full = full_scale()
+    return FULL_PE_COUNTS if full else REDUCED_PE_COUNTS
+
+
+def fib_sizes(full: bool | None = None) -> tuple[int, ...]:
+    """Fibonacci problem sizes for the chosen scale."""
+    if full is None:
+        full = full_scale()
+    return FULL_FIB_SIZES if full else REDUCED_FIB_SIZES
+
+
+def dc_sizes(full: bool | None = None) -> tuple[int, ...]:
+    """dc problem sizes for the chosen scale."""
+    if full is None:
+        full = full_scale()
+    return FULL_DC_SIZES if full else REDUCED_DC_SIZES

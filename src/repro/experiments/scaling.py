@@ -1,0 +1,80 @@
+"""Machine-size scaling study — the paper's diameter conjecture.
+
+Section 4: "The superior performance of CWN on the grids leads us to
+conjecture that it performs better than the GM on large systems, which
+of course tend to have larger diameters."  This study fixes a workload
+and sweeps machine size within each family, recording the CWN/GM ratio
+against PE count and network diameter so the conjecture can be checked
+directly rather than read off Table 2's corners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import paper_cwn, paper_gm
+from ..oracle.config import SimConfig
+from ..topology import paper_dlm, paper_grid
+from ..workload import Fibonacci, Program
+from . import scale
+from .runner import simulate
+from .tables import format_table
+
+__all__ = ["ScalingPoint", "render_scaling", "run_scaling"]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One machine size's paired measurement."""
+
+    family: str
+    n_pes: int
+    diameter: int
+    cwn_speedup: float
+    gm_speedup: float
+
+    @property
+    def ratio(self) -> float:
+        return self.cwn_speedup / self.gm_speedup
+
+
+def run_scaling(
+    program: Program | None = None,
+    families: tuple[str, ...] = ("grid", "dlm"),
+    full: bool | None = None,
+    config: SimConfig | None = None,
+    seed: int = 1,
+) -> list[ScalingPoint]:
+    """Sweep machine sizes with a fixed workload (fib(15) by default)."""
+    if program is None:
+        program = Fibonacci(15 if not scale.full_scale() else 18)
+    points: list[ScalingPoint] = []
+    for family in families:
+        make = paper_grid if family == "grid" else paper_dlm
+        for n_pes in scale.pe_counts(full):
+            topo = make(n_pes)
+            cwn = simulate(program, topo, paper_cwn(family), config=config, seed=seed)
+            gm = simulate(program, topo, paper_gm(family), config=config, seed=seed)
+            points.append(
+                ScalingPoint(family, n_pes, topo.diameter, cwn.speedup, gm.speedup)
+            )
+    return points
+
+
+def render_scaling(points: list[ScalingPoint]) -> str:
+    """Ratio against machine size and diameter, per family."""
+    rows = [
+        (
+            f"{p.family}:{p.n_pes}",
+            p.diameter,
+            p.cwn_speedup,
+            p.gm_speedup,
+            p.ratio,
+        )
+        for p in points
+    ]
+    return format_table(
+        ["machine", "diameter", "CWN speedup", "GM speedup", "CWN/GM"],
+        rows,
+        title="Scaling study: CWN's edge vs machine size (the diameter conjecture)",
+    )

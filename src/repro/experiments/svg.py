@@ -1,0 +1,186 @@
+"""Dependency-free SVG line charts for the figure reproductions.
+
+The ASCII plots (:mod:`repro.experiments.plots`) are the terminal-native
+rendering; this module writes the same series as real vector figures —
+no matplotlib, just SVG markup — so benches can drop publication-style
+versions of Plots 1-16 next to their text artifacts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["svg_line_chart", "svg_spacetime"]
+
+#: distinguishable series colors (CWN first, GM second, like the paper)
+_COLORS = ("#c0392b", "#2980b9", "#27ae60", "#8e44ad", "#f39c12", "#16a085")
+
+_W, _H = 640, 400
+_ML, _MR, _MT, _MB = 64, 16, 36, 48  # margins
+
+
+def _x_map(x: float, lo: float, hi: float) -> float:
+    span = (hi - lo) or 1.0
+    return _ML + (x - lo) / span * (_W - _ML - _MR)
+
+
+def _y_map(y: float, lo: float, hi: float) -> float:
+    span = (hi - lo) or 1.0
+    return _H - _MB - (y - lo) / span * (_H - _MT - _MB)
+
+
+def _ticks(lo: float, hi: float, count: int = 5) -> list[float]:
+    span = (hi - lo) or 1.0
+    return [lo + span * i / (count - 1) for i in range(count)]
+
+
+def svg_line_chart(
+    series: dict[str, Sequence[tuple[float, float]]],
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    y_max: float | None = None,
+) -> str:
+    """Render (x, y) series as a standalone SVG document string."""
+    if not series or all(len(pts) == 0 for pts in series.values()):
+        raise ValueError("no data to plot")
+    xs = [x for pts in series.values() for x, _ in pts]
+    ys = [y for pts in series.values() for _, y in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo = 0.0
+    y_hi = y_max if y_max is not None else max(ys) * 1.05 or 1.0
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_W}" height="{_H}" '
+        f'viewBox="0 0 {_W} {_H}" font-family="sans-serif" font-size="12">',
+        f'<rect width="{_W}" height="{_H}" fill="white"/>',
+        f'<text x="{_W / 2}" y="20" text-anchor="middle" font-size="14">{title}</text>',
+    ]
+
+    # axes + grid + tick labels
+    for ty in _ticks(y_lo, y_hi):
+        py = _y_map(ty, y_lo, y_hi)
+        parts.append(
+            f'<line x1="{_ML}" y1="{py:.1f}" x2="{_W - _MR}" y2="{py:.1f}" '
+            'stroke="#dddddd" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{_ML - 6}" y="{py + 4:.1f}" text-anchor="end">{ty:.0f}</text>'
+        )
+    for tx in _ticks(x_lo, x_hi):
+        px = _x_map(tx, x_lo, x_hi)
+        parts.append(
+            f'<text x="{px:.1f}" y="{_H - _MB + 18}" text-anchor="middle">{tx:.0f}</text>'
+        )
+    parts.append(
+        f'<line x1="{_ML}" y1="{_H - _MB}" x2="{_W - _MR}" y2="{_H - _MB}" '
+        'stroke="black"/>'
+        f'<line x1="{_ML}" y1="{_MT}" x2="{_ML}" y2="{_H - _MB}" stroke="black"/>'
+    )
+    if x_label:
+        parts.append(
+            f'<text x="{(_ML + _W - _MR) / 2}" y="{_H - 10}" text-anchor="middle">'
+            f"{x_label}</text>"
+        )
+    if y_label:
+        parts.append(
+            f'<text x="14" y="{(_MT + _H - _MB) / 2}" text-anchor="middle" '
+            f'transform="rotate(-90 14 {(_MT + _H - _MB) / 2})">{y_label}</text>'
+        )
+
+    # series
+    for idx, (name, pts) in enumerate(series.items()):
+        color = _COLORS[idx % len(_COLORS)]
+        coords = " ".join(
+            f"{_x_map(x, x_lo, x_hi):.1f},{_y_map(min(y, y_hi), y_lo, y_hi):.1f}"
+            for x, y in sorted(pts)
+        )
+        parts.append(
+            f'<polyline points="{coords}" fill="none" stroke="{color}" '
+            'stroke-width="2"/>'
+        )
+        for x, y in pts:
+            parts.append(
+                f'<circle cx="{_x_map(x, x_lo, x_hi):.1f}" '
+                f'cy="{_y_map(min(y, y_hi), y_lo, y_hi):.1f}" r="3" fill="{color}"/>'
+            )
+        # legend
+        ly = _MT + 16 * idx
+        parts.append(
+            f'<rect x="{_W - _MR - 130}" y="{ly - 9}" width="12" height="12" '
+            f'fill="{color}"/>'
+            f'<text x="{_W - _MR - 112}" y="{ly + 2}">{name}</text>'
+        )
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def svg_spacetime(
+    per_pe_series: Sequence[tuple[float, Sequence[float]]],
+    title: str = "",
+    completion: float | None = None,
+) -> str:
+    """The paper's graphics monitor as a figure: a PE x time heat map.
+
+    ``per_pe_series`` is a list of ``(sample_time, per_pe_utilizations)``
+    — exactly what ``SimConfig(sample_interval=..., sample_per_pe=True)``
+    collects into ``SimResult.samples``.  Each cell is one PE over one
+    sampling interval, colored from blue (idle) through white to red
+    (busy) — the paper's "continuum of colors representing relative
+    activity on each PE (red: busy, blue: idle)".
+
+    Returns a standalone SVG document string.
+    """
+    if not per_pe_series:
+        raise ValueError("no samples to plot")
+    n_pes = len(per_pe_series[0][1])
+    if n_pes == 0 or any(len(row) != n_pes for _t, row in per_pe_series):
+        raise ValueError("per-PE sample rows must be non-empty and equal length")
+    n_cols = len(per_pe_series)
+    cell_w = (_W - _ML - _MR) / n_cols
+    cell_h = (_H - _MT - _MB) / n_pes
+
+    def color(u: float) -> str:
+        u = min(1.0, max(0.0, u))
+        if u < 0.5:  # blue -> white
+            f = u / 0.5
+            r, g, b = int(41 + f * 214), int(128 + f * 127), 255
+        else:  # white -> red
+            f = (u - 0.5) / 0.5
+            r, g, b = 255, int(255 - f * 198), int(255 - f * 212)
+        return f"#{r:02x}{g:02x}{b:02x}"
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_W}" height="{_H}" '
+        f'viewBox="0 0 {_W} {_H}" font-family="sans-serif" font-size="12">',
+        f'<rect width="{_W}" height="{_H}" fill="white"/>',
+        f'<text x="{_W / 2}" y="20" text-anchor="middle" font-size="14">{title}</text>',
+    ]
+    for col, (_t, row) in enumerate(per_pe_series):
+        x = _ML + col * cell_w
+        for pe, util in enumerate(row):
+            y = _MT + pe * cell_h
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y:.1f}" width="{cell_w + 0.5:.1f}" '
+                f'height="{cell_h + 0.5:.1f}" fill="{color(util)}"/>'
+            )
+    # axes labels: time ticks along the bottom, PE index on the left
+    t_lo, t_hi = per_pe_series[0][0], per_pe_series[-1][0]
+    if completion is not None:
+        t_hi = max(t_hi, completion)
+    for tick in _ticks(t_lo, t_hi):
+        x = _ML + (tick - t_lo) / ((t_hi - t_lo) or 1.0) * (_W - _ML - _MR)
+        parts.append(
+            f'<text x="{x:.1f}" y="{_H - _MB + 16}" text-anchor="middle">'
+            f"{tick:.0f}</text>"
+        )
+    parts.append(
+        f'<text x="{(_ML + _W - _MR) / 2}" y="{_H - 10}" text-anchor="middle">time</text>'
+        f'<text x="14" y="{(_MT + _H - _MB) / 2}" text-anchor="middle" '
+        f'transform="rotate(-90 14 {(_MT + _H - _MB) / 2})">PE</text>'
+        f'<text x="{_ML}" y="{_MT - 6}" fill="#2980b9">blue = idle</text>'
+        f'<text x="{_W - _MR}" y="{_MT - 6}" text-anchor="end" fill="#c0392b">red = busy</text>'
+    )
+    parts.append("</svg>")
+    return "\n".join(parts)

@@ -1,0 +1,67 @@
+"""Plain-text table rendering for experiment reports.
+
+Every bench prints through these helpers so the harness output is
+greppable and diffable: fixed-width columns, one header row, no box
+drawing.  (The paper's tables are reproduced as text; EXPERIMENTS.md
+embeds the rendered output directly.)
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from typing import Any
+
+__all__ = ["format_table", "format_kv"]
+
+
+def _fmt_cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: str = "",
+    align_first_left: bool = True,
+) -> str:
+    """Render rows as a fixed-width text table.
+
+    Numeric cells are right-aligned, the first column (labels) left-
+    aligned by default.  Floats render with 2 decimals.
+    """
+    str_rows = [[_fmt_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if i == 0 and align_first_left:
+                parts.append(cell.ljust(widths[i]))
+            else:
+                parts.append(cell.rjust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def format_kv(pairs: dict[str, Any], title: str = "") -> str:
+    """Render a key/value block (parameter listings etc.)."""
+    width = max((len(k) for k in pairs), default=0)
+    lines = [title] if title else []
+    lines.extend(f"{k.ljust(width)} : {_fmt_cell(v)}" for k, v in pairs.items())
+    return "\n".join(lines)

@@ -1,0 +1,144 @@
+"""Plots 11-16 — utilization over time within single runs.
+
+"To understand the operation of each method, we plot the utilizations
+during short sampling intervals throughout the course of computation."
+Plots 11-13: Fibonacci of 18/15/9 on the 100-PE double-lattice-mesh;
+Plots 14-16: the same on the 10x10 grid.
+
+These plots carry the paper's key diagnostics:
+
+* CWN's much faster **rise time** — "it spreads work quickly to all the
+  PEs at beginning";
+* CWN's inability to hold 100% once reached (no redistribution), where
+  GM "manages to maintain 100% when it reaches that level";
+* CWN's **extended tail** on fib(18) (the load measure ignores future
+  commitments);
+* GM's slow start and, on the grids, the hoarding "vicious cycle" that
+  flattens its curve.
+
+:func:`rise_time` and :func:`tail_length` quantify the first and third
+observations so tests/benches can assert them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import paper_cwn, paper_gm
+from ..oracle.config import SimConfig
+from ..topology import Topology, paper_dlm, paper_grid
+from ..workload import Fibonacci
+from .plots import ascii_plot
+from .runner import simulate
+
+__all__ = [
+    "TimeSeriesStudy",
+    "render_timeseries",
+    "rise_time",
+    "run_timeseries",
+    "tail_length",
+]
+
+
+@dataclass(frozen=True)
+class TimeSeriesStudy:
+    """One plot: sampled utilization traces for both strategies."""
+
+    topology: str
+    workload: str
+    #: per strategy: list of (time, utilization_percent)
+    series: dict[str, list[tuple[float, float]]]
+    completion: dict[str, float]
+
+
+def run_timeseries(
+    fib_n: int,
+    topology: Topology,
+    config: SimConfig | None = None,
+    seed: int = 1,
+    samples: int = 60,
+) -> TimeSeriesStudy:
+    """Sample both strategies' utilization through a fib(n) run.
+
+    The sampling interval adapts to each run's length so every trace has
+    about ``samples`` points (the paper's "short sampling intervals").
+    """
+    base = config or SimConfig()
+    family = topology.family
+    series: dict[str, list[tuple[float, float]]] = {}
+    completion: dict[str, float] = {}
+    label = ""
+    for name, build in (("cwn", paper_cwn), ("gm", paper_gm)):
+        # Pilot run (no sampling) to size the interval, then the real run.
+        pilot = simulate(Fibonacci(fib_n), topology, build(family), config=base, seed=seed)
+        interval = max(pilot.completion_time / samples, 1.0)
+        cfg = base.replace(sample_interval=interval)
+        res = simulate(Fibonacci(fib_n), topology, build(family), config=cfg, seed=seed)
+        series[name] = [(s.time, 100.0 * s.utilization) for s in res.samples]
+        completion[name] = res.completion_time
+        label = res.workload
+    return TimeSeriesStudy(topology.name, label, series, completion)
+
+
+def run_paper_timeseries(
+    full: bool | None = None,
+    config: SimConfig | None = None,
+    seed: int = 1,
+) -> list[tuple[int, TimeSeriesStudy]]:
+    """Plots 11-16 (fib 18/15/9 on 100-PE DLM, then 10x10 grid).
+
+    At reduced scale fib(18) is replaced by fib(15)'s cheaper cousin
+    fib(13) to keep bench runtimes low; pass ``full=True`` (or set
+    REPRO_FULL=1) for the paper's exact sizes.
+    """
+    from . import scale
+
+    if full is None:
+        full = scale.full_scale()
+    sizes = (18, 15, 9) if full else (13, 11, 9)
+    studies = []
+    plot_no = 11
+    for topo in (paper_dlm(100), paper_grid(100)):
+        for n in sizes:
+            studies.append((plot_no, run_timeseries(n, topo, config, seed)))
+            plot_no += 1
+    return studies
+
+
+def render_timeseries(study: TimeSeriesStudy, plot_no: int | None = None) -> str:
+    """ASCII reproduction of one utilization-vs-time plot."""
+    tag = f"Plot {plot_no}: " if plot_no is not None else ""
+    title = f"{tag}{study.workload} on {study.topology} — % PE utilization vs time"
+    return ascii_plot(study.series, title=title, x_label="time", y_max=100.0)
+
+
+# ---------------------------------------------------------------------------
+# Quantitative reductions of the paper's qualitative observations
+# ---------------------------------------------------------------------------
+
+def rise_time(trace: list[tuple[float, float]], level: float = 50.0) -> float:
+    """First time the trace reaches ``level`` percent utilization.
+
+    The paper: "the CWN has much faster 'rise-time' than GM".  Returns
+    ``inf`` when the level is never reached (GM's flattened grid runs).
+    """
+    for t, u in trace:
+        if u >= level:
+            return t
+    return float("inf")
+
+
+def tail_length(
+    trace: list[tuple[float, float]], completion: float, level: float = 20.0
+) -> float:
+    """Duration of the final low-utilization phase (< ``level`` percent).
+
+    The paper's "extended tail in plot 11": how long the run lingers
+    below ``level`` at the end.
+    """
+    tail_start = completion
+    for t, u in reversed(trace):
+        if u >= level:
+            break
+        tail_start = t
+    return completion - tail_start

@@ -1,0 +1,108 @@
+"""Contended communication channels.
+
+ORACLE models "one process for each communication channel", i.e. every
+channel serves one message at a time and queued messages wait — "thus it
+models contention for the basic resources of a parallel system".  Our
+:class:`Channel` is that resource, implemented with direct event
+callbacks rather than a generator process (the semantics are identical;
+the hot path avoids ~3 generator resumptions per transfer, and channel
+transfers dominate the event count of CWN runs).
+
+A channel is either a point-to-point link (2 members) or a multi-drop bus
+(``span`` members, double-lattice-mesh).  A bus transfer occupies the bus
+once regardless of how many members listen, so :meth:`broadcast` costs a
+single transfer — the DLM's key advantage for one-word load broadcasts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+from typing import Any
+
+from .config import CostModel
+from .engine import Engine
+from .message import Message
+
+__all__ = ["Channel"]
+
+Deliver = Callable[[Message], None]
+
+
+class Channel:
+    """A serially-reusable transmission resource."""
+
+    __slots__ = (
+        "engine",
+        "cid",
+        "members",
+        "costs",
+        "queue",
+        "busy",
+        "busy_time",
+        "messages_carried",
+        "words_carried",
+    )
+
+    def __init__(
+        self, engine: Engine, cid: int, members: tuple[int, ...], costs: CostModel
+    ) -> None:
+        self.engine = engine
+        self.cid = cid
+        self.members = members
+        self.costs = costs
+        self.queue: deque[tuple[Message, Deliver]] = deque()
+        self.busy = False
+        # -- statistics ORACLE reports: per-channel utilization ---------------
+        self.busy_time = 0.0
+        self.messages_carried = 0
+        self.words_carried = 0
+
+    @property
+    def backlog(self) -> int:
+        """Messages queued or in flight (used for channel selection)."""
+        return len(self.queue) + (1 if self.busy else 0)
+
+    def send(self, msg: Message, deliver: Deliver) -> None:
+        """Submit ``msg``; ``deliver(msg)`` fires when the transfer ends."""
+        if self.busy:
+            self.queue.append((msg, deliver))
+        else:
+            self._start(msg, deliver)
+
+    def broadcast(self, msg: Message, deliver_each: Callable[[int, Message], None]) -> None:
+        """One bus transfer delivering ``msg`` to every member except its src."""
+        def fan_out(m: Message, _deliver_each=deliver_each) -> None:
+            for member in self.members:
+                if member != m.src:
+                    _deliver_each(member, m)
+
+        self.send(msg, fan_out)
+
+    # -- internals -------------------------------------------------------------
+
+    def _start(self, msg: Message, deliver: Deliver) -> None:
+        self.busy = True
+        duration = self.costs.transfer_time(msg.size_words)
+        self.busy_time += duration
+        self.messages_carried += 1
+        self.words_carried += msg.size_words
+        self.engine.schedule(duration, self._complete, (msg, deliver))
+
+    def _complete(self, payload: tuple[Message, Deliver]) -> None:
+        msg, deliver = payload
+        self.busy = False
+        if self.queue:
+            nxt_msg, nxt_deliver = self.queue.popleft()
+            self._start(nxt_msg, nxt_deliver)
+        deliver(msg)
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` this channel spent transferring."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state: Any = "busy" if self.busy else "idle"
+        return f"Channel({self.cid}, members={self.members}, {state})"

@@ -1,0 +1,475 @@
+"""The simulated multiprocessor: PEs + channels + strategy plumbing.
+
+:class:`Machine` assembles everything ORACLE takes as "input
+specifications": the number of PEs and their interconnection scheme (a
+:class:`~repro.topology.base.Topology`), the load balancing strategy, the
+program to execute and the times charged for primitive operations
+(:class:`~repro.oracle.config.SimConfig`), and runs the computation to
+completion, returning a :class:`~repro.oracle.stats.SimResult`.
+
+Traffic model
+-------------
+* **goal messages** hop neighbor-to-neighbor under strategy control; each
+  hop occupies a channel (plus the co-processor's ``route_decision``
+  latency) and is counted toward the paper's communication statistics;
+* **responses** route shortest-path hop by hop, also through channels;
+* **load/proximity words** travel per ``SimConfig.load_info``: free of
+  channel bandwidth with a small latency by default (the paper's
+  piggyback-on-a-co-processor assumption), or as genuine channel traffic
+  in the fully charged ``"channel"`` mode.
+
+The machine keeps an ``observer x subject`` matrix of *known* loads: what
+each PE currently believes about each neighbor.  Strategies read beliefs
+(never true remote state) unless the oracle ``"instant"`` mode is chosen
+deliberately.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Any, Callable
+
+import numpy as np
+
+from ..topology.base import Topology
+from ..workload.base import Goal, Program
+from .channel import Channel
+from .config import SimConfig
+from .engine import Engine, SimulationError, hold
+from .message import ControlWord, GoalMessage, LoadUpdate, Message, ResponseMessage
+from .pe import PE
+from .stats import SimResult, StatsCollector, UtilizationSample
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.base import Strategy
+
+__all__ = ["Machine"]
+
+
+class Machine:
+    """One simulation run's worth of multiprocessor."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        program: Program,
+        strategy: "Strategy",
+        config: SimConfig | None = None,
+        start_pe: int = 0,
+        queries: int = 1,
+        arrival_spacing: float = 0.0,
+        arrival_pes: list[int] | None = None,
+        arrival_times: list[float] | None = None,
+    ) -> None:
+        """``queries`` > 1 turns the machine into an open system: that
+        many instances of ``program`` arrive ``arrival_spacing`` apart
+        (query *k* at ``k * arrival_spacing``), each injected at
+        ``arrival_pes[k]`` (default: all at ``start_pe``).  The run ends
+        when the last root response arrives.
+
+        ``arrival_times`` overrides the uniform spacing with explicit
+        injection times (one non-negative float per query, any order of
+        magnitude — e.g. a pre-drawn Poisson process for open-system
+        studies).  Mutually exclusive with a nonzero
+        ``arrival_spacing``.
+        """
+        self.topology = topology
+        self.program = program
+        self.strategy = strategy
+        self.config = config or SimConfig()
+        if not 0 <= start_pe < topology.n:
+            raise ValueError(f"start_pe {start_pe} outside 0..{topology.n - 1}")
+        if queries < 1:
+            raise ValueError("queries must be >= 1")
+        if arrival_spacing < 0:
+            raise ValueError("arrival_spacing must be >= 0")
+        if arrival_pes is not None:
+            if len(arrival_pes) != queries:
+                raise ValueError(f"arrival_pes has {len(arrival_pes)} entries for {queries} queries")
+            if not all(0 <= pe < topology.n for pe in arrival_pes):
+                raise ValueError("arrival_pes entries must be valid PE indices")
+        if arrival_times is not None:
+            if arrival_spacing != 0.0:
+                raise ValueError("pass arrival_times or arrival_spacing, not both")
+            if len(arrival_times) != queries:
+                raise ValueError(
+                    f"arrival_times has {len(arrival_times)} entries for {queries} queries"
+                )
+            if any(t < 0 for t in arrival_times):
+                raise ValueError("arrival_times must be non-negative")
+        self.start_pe = start_pe
+        self.queries = queries
+        self.arrival_spacing = arrival_spacing
+        self.arrival_pes = arrival_pes
+        self._arrival_schedule = arrival_times
+
+        self.engine = Engine()
+        self.engine.max_events = self.config.max_events
+        self.rng = random.Random(self.config.seed)
+        self.stats = StatsCollector(topology.n, self.config.trace_hops)
+        self.stats._clock = lambda: self.engine.now
+
+        speeds = self.config.pe_speeds
+        if speeds is not None and len(speeds) != topology.n:
+            raise ValueError(
+                f"pe_speeds has {len(speeds)} entries for {topology.n} PEs"
+            )
+        self.pes = [
+            PE(i, self, speeds[i] if speeds is not None else 1.0)
+            for i in range(topology.n)
+        ]
+        costs = self.config.costs
+        self.channels = [
+            Channel(self.engine, cid, members, costs)
+            for cid, members in enumerate(topology.channels)
+        ]
+        #: channels each PE sits on (used for broadcast in "channel" mode)
+        self._pe_channels: list[list[Channel]] = [[] for _ in range(topology.n)]
+        for ch in self.channels:
+            for member in ch.members:
+                self._pe_channels[member].append(ch)
+
+        #: known_loads[observer, subject] — what `observer` believes about
+        #: `subject`'s load.  Initially 0 (everyone looks idle), matching
+        #: the paper's GM initialization convention.
+        self._known_loads = np.zeros((topology.n, topology.n))
+        self._last_posted = np.zeros(topology.n)
+        self._last_posted.fill(-1.0)  # force the first post
+
+        #: the load measure; strategies may replace it (future-commitments
+        #: metric).  Receives the PE object, returns a float.
+        self.load_fn: Callable[[PE], float] = lambda pe: float(pe.queue_length)
+
+        self._finished = False
+        self.completion_time: float = float("nan")
+        self.result_value: Any = None
+        #: (completion time, value) per query, indexed by query number
+        self.query_results: list[tuple[float, Any] | None] = [None] * queries
+        #: injection time per query, indexed by query number
+        self.arrival_times: list[float] = [0.0] * queries
+        self._queries_done = 0
+
+        strategy.bind(self)
+
+    # ------------------------------------------------------------------
+    # Run control
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimResult:
+        """Execute the program to completion and collect statistics."""
+        if self._finished:
+            raise SimulationError("a Machine instance runs exactly once")
+        cfg = self.config
+        if cfg.sample_interval > 0:
+            self.engine.process(self._sampler(), name="sampler")
+        if cfg.load_info == "periodic":
+            self.engine.process(self._periodic_load_broadcaster(), name="loadcast")
+        self.strategy.start()
+
+        for k in range(self.queries):
+            pe = self.arrival_pes[k] if self.arrival_pes is not None else self.start_pe
+            if self._arrival_schedule is not None:
+                when = self._arrival_schedule[k]
+            else:
+                when = k * self.arrival_spacing
+            if when == 0.0:
+                self._inject((pe, k))
+            else:
+                self.engine.schedule(when, self._inject, (pe, k))
+
+        self.engine.run()
+        if not self._finished:
+            raise SimulationError(
+                "simulation deadlocked: event calendar drained before the "
+                "root response (strategy lost a goal?)"
+            )
+        return self._collect()
+
+    def _inject(self, payload: tuple[int, int]) -> None:
+        pe, query = payload
+        # Root goals carry their query index in the (otherwise unused)
+        # parent_task field, encoded as -(query + 1), so the root
+        # response can be attributed to the right query.
+        root = Goal(self.program.root_payload(), parent_pe=None, parent_task=-(query + 1))
+        self.arrival_times[query] = self.engine.now
+        self.goal_created(pe, root)
+
+    def _collect(self) -> SimResult:
+        elapsed = self.completion_time
+        busy = np.array([pe.effective_busy(elapsed) for pe in self.pes])
+        return SimResult(
+            strategy=self.strategy.name,
+            topology=self.topology.name,
+            workload=getattr(self.program, "label", self.program.name),
+            n_pes=self.topology.n,
+            completion_time=elapsed,
+            result_value=self.result_value,
+            total_goals=self.stats.goals_started,
+            sequential_work=self.queries * self.program.sequential_work(self.config.costs),
+            busy_time=busy,
+            goals_per_pe=np.array([pe.goals_executed for pe in self.pes]),
+            hop_histogram=dict(sorted(self.stats.hop_histogram.items())),
+            goal_messages_sent=self.stats.goal_messages_sent,
+            response_messages_sent=self.stats.response_messages_sent,
+            responses_routed=self.stats.responses_routed,
+            response_hops=self.stats.response_hops,
+            control_words_sent=self.stats.control_words_sent,
+            channel_busy_time=np.array([ch.busy_time for ch in self.channels]),
+            channel_messages=np.array([ch.messages_carried for ch in self.channels]),
+            samples=self.stats.samples,
+            events_executed=self.engine.events_executed,
+            seed=self.config.seed,
+            piggybacked_words=self.stats.piggybacked_words,
+            first_goal_time=self.stats.first_goal_time,
+            params=self.strategy.describe_params(),
+            query_completions=[qr[0] for qr in self.query_results],
+            query_arrivals=list(self.arrival_times),
+        )
+
+    def finished(self, value: Any, query: int = 0) -> None:
+        """A root response arrived; the last one stops the world."""
+        if self.query_results[query] is not None:
+            raise SimulationError(f"query {query} finished twice")
+        self.query_results[query] = (self.engine.now, value)
+        self._queries_done += 1
+        if self._queries_done < self.queries:
+            return
+        self._finished = True
+        self.completion_time = self.engine.now
+        self.result_value = (
+            value if self.queries == 1 else [qr[1] for qr in self.query_results]
+        )
+        # stop() is sticky: even if the event delivering the last root
+        # response wakes strategy machinery that schedules more events
+        # (steal retries, gradient wakeups), the run ends here.
+        self.engine.stop()
+        self.engine.clear()
+
+    # ------------------------------------------------------------------
+    # Services used by PEs
+    # ------------------------------------------------------------------
+
+    def goal_created(self, pe: int, goal: Goal) -> None:
+        """A goal was just spawned on ``pe``; the strategy places it."""
+        self.stats.goals_created += 1
+        self.strategy.on_goal_created(pe, goal)
+
+    def respond(
+        self, src: int, parent_pe: int | None, parent_task: int, child_index: int, value: Any
+    ) -> None:
+        """Deliver a completed goal/task's value toward its parent."""
+        if parent_pe is None:
+            # Root of query k carries parent_task == -(k + 1).
+            self.finished(value, query=-parent_task - 1)
+        elif parent_pe == src:
+            # Local response: no channel traffic, no latency.
+            self.pes[src].deliver_response(parent_task, child_index, value)
+        else:
+            self.stats.responses_routed += 1
+            self.stats.response_hops += self.topology.distance(src, parent_pe)
+            msg = ResponseMessage(src, -1, parent_pe, parent_task, child_index, value)
+            self._forward_response(src, msg)
+
+    def pe_went_idle(self, pe: int) -> None:
+        """The executor on ``pe`` ran out of work (strategy hook)."""
+        self.strategy.on_idle(pe)
+
+    # ------------------------------------------------------------------
+    # Services used by strategies
+    # ------------------------------------------------------------------
+
+    def neighbors(self, pe: int) -> tuple[int, ...]:
+        """Immediate neighbors of ``pe`` in the interconnection."""
+        return self.topology.neighbors(pe)
+
+    def load_of(self, pe: int) -> float:
+        """True current load of ``pe`` (a PE may always read its own)."""
+        return self.load_fn(self.pes[pe])
+
+    def known_load(self, observer: int, subject: int) -> float:
+        """What ``observer`` believes about ``subject``'s load."""
+        if self.config.load_info == "instant":
+            return self.load_of(subject)
+        return float(self._known_loads[observer, subject])
+
+    def enqueue(self, pe: int, goal: Goal) -> None:
+        """Accept ``goal`` into ``pe``'s work queue."""
+        self.pes[pe].push(goal)
+
+    def take_shippable(self, pe: int, newest_first: bool = True) -> Goal | None:
+        """Remove a not-yet-started goal from ``pe``'s queue (GM shipping)."""
+        return self.pes[pe].take_shippable_goal(newest_first)
+
+    def send_goal(self, src: int, dst: int, msg: GoalMessage) -> None:
+        """Transmit a goal message one hop to a neighbor."""
+        msg.src, msg.dst = src, dst
+        if self.config.load_info == "piggyback":
+            msg.load_word = self.load_of(src)
+        self.stats.goal_messages_sent += 1
+        channel = self._pick_channel(src, dst)
+        decision = self.config.costs.route_decision
+        if decision > 0:
+            self.engine.schedule(
+                decision, lambda _p, c=channel, m=msg: c.send(m, self._goal_arrived)
+            )
+        else:
+            channel.send(msg, self._goal_arrived)
+
+    def post_to_neighbors(self, src: int, kind: str, value: float) -> None:
+        """Broadcast a one-word strategy datum (e.g. GM proximity)."""
+        self._transport_word(src, None, kind, value)
+
+    def post_word(self, src: int, dst: int, kind: str, value: float) -> None:
+        """Send a one-word strategy datum to a single neighbor."""
+        self._transport_word(src, dst, kind, value)
+
+    @property
+    def diameter(self) -> int:
+        """Interconnection diameter (GM clamps proximities to this + 1)."""
+        return self.topology.diameter
+
+    # ------------------------------------------------------------------
+    # Load information service
+    # ------------------------------------------------------------------
+
+    def load_changed(self, pe: int) -> None:
+        """``pe``'s load measure may have changed; propagate per config."""
+        self.strategy.on_load_changed(pe)
+        mode = self.config.load_info
+        if mode in ("instant", "periodic", "piggyback"):
+            # instant reads live; periodic has its own broadcaster;
+            # piggyback only rides on regular traffic (send_goal /
+            # _forward_response attach the word).
+            return
+        value = self.load_of(pe)
+        if value == self._last_posted[pe]:
+            return
+        self._last_posted[pe] = value
+        if mode == "on_change":
+            self.stats.control_words_sent += 1
+            self.engine.schedule(
+                self.config.load_info_delay, self._apply_load_word, (pe, value)
+            )
+        else:  # "channel"
+            self._channel_broadcast(pe, LoadUpdate(pe, -1, value))
+
+    def _apply_load_word(self, payload: tuple[int, float]) -> None:
+        pe, value = payload
+        nbrs = self.topology.neighbors(pe)
+        self._known_loads[list(nbrs), pe] = value
+
+    def _periodic_load_broadcaster(self):
+        """One global process posting every PE's load each interval."""
+        interval = self.config.load_info_interval
+        delay = self.config.load_info_delay
+        while True:
+            yield hold(interval)
+            for pe in range(self.topology.n):
+                value = self.load_of(pe)
+                if value != self._last_posted[pe]:
+                    self._last_posted[pe] = value
+                    self.stats.control_words_sent += 1
+                    self.engine.schedule(delay, self._apply_load_word, (pe, value))
+
+    # ------------------------------------------------------------------
+    # Word transport (strategy control data)
+    # ------------------------------------------------------------------
+
+    def _transport_word(self, src: int, dst: int | None, kind: str, value: float) -> None:
+        mode = self.config.load_info
+        if mode == "channel":
+            msg = ControlWord(src, dst if dst is not None else -1, kind, value)
+            if dst is None:
+                self._channel_broadcast(src, msg)
+            else:
+                self.stats.control_words_sent += 1
+                self._pick_channel(src, dst).send(
+                    msg,
+                    lambda m: self.strategy.on_word(m.dst, m.src, m.word_kind, m.value),
+                )
+            return
+        # Strategy words cannot wait for traffic: "piggyback" falls back
+        # to on_change-style delayed delivery here.
+        targets = self.topology.neighbors(src) if dst is None else (dst,)
+        self.stats.control_words_sent += len(targets)
+        delay = 0.0 if mode == "instant" else self.config.load_info_delay
+        if delay > 0:
+            self.engine.schedule(delay, self._apply_word, (targets, src, kind, value))
+        else:
+            self._apply_word((targets, src, kind, value))
+
+    def _apply_word(self, payload: tuple[tuple[int, ...], int, str, float]) -> None:
+        targets, src, kind, value = payload
+        on_word = self.strategy.on_word
+        for dst in targets:
+            on_word(dst, src, kind, value)
+
+    def _channel_broadcast(self, src: int, msg: Message) -> None:
+        """One transfer per channel ``src`` sits on, heard by all members."""
+        for channel in self._pe_channels[src]:
+            self.stats.control_words_sent += 1
+            channel.broadcast(msg, self._word_heard)
+
+    def _word_heard(self, member: int, msg: Message) -> None:
+        if type(msg) is LoadUpdate:
+            self._known_loads[member, msg.src] = msg.load
+        else:
+            self.strategy.on_word(member, msg.src, msg.word_kind, msg.value)
+
+    # ------------------------------------------------------------------
+    # Message movement internals
+    # ------------------------------------------------------------------
+
+    def _pick_channel(self, a: int, b: int) -> Channel:
+        """Least-backlogged channel joining adjacent PEs ``a`` and ``b``."""
+        cids = self.topology.channels_between(a, b)
+        if len(cids) == 1:
+            return self.channels[cids[0]]
+        return min((self.channels[c] for c in cids), key=lambda ch: (ch.backlog, ch.cid))
+
+    def _goal_arrived(self, msg: GoalMessage) -> None:
+        if msg.load_word is not None:
+            self._absorb_piggyback(msg.dst, msg.src, msg.load_word)
+            msg.load_word = None
+        self.strategy.on_goal_message(msg.dst, msg)
+
+    def _absorb_piggyback(self, observer: int, subject: int, load: float) -> None:
+        self.stats.piggybacked_words += 1
+        self._known_loads[observer, subject] = load
+
+    def _forward_response(self, cur: int, msg: ResponseMessage) -> None:
+        nxt = self.topology.next_hop(cur, msg.final_dst)
+        msg.src, msg.dst = cur, nxt
+        if self.config.load_info == "piggyback":
+            msg.load_word = self.load_of(cur)
+        self.stats.response_messages_sent += 1
+        self._pick_channel(cur, nxt).send(msg, self._response_arrived)
+
+    def _response_arrived(self, msg: ResponseMessage) -> None:
+        if msg.load_word is not None:
+            self._absorb_piggyback(msg.dst, msg.src, msg.load_word)
+            msg.load_word = None
+        if msg.dst == msg.final_dst:
+            self.pes[msg.final_dst].deliver_response(msg.task_id, msg.child_index, msg.value)
+        else:
+            self._forward_response(msg.dst, msg)
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+
+    def _sampler(self):
+        cfg = self.config
+        interval = cfg.sample_interval
+        n = self.topology.n
+        prev = np.zeros(n)
+        while True:
+            yield hold(interval)
+            now = self.engine.now
+            cur = np.array([pe.effective_busy(now) for pe in self.pes])
+            delta = cur - prev
+            prev = cur
+            per_pe = tuple(delta / interval) if cfg.sample_per_pe else None
+            self.stats.samples.append(
+                UtilizationSample(now, float(delta.sum()) / (n * interval), per_pe)
+            )

@@ -1,0 +1,97 @@
+"""ANSI descendant of ORACLE's load-distribution graphics monitor.
+
+ORACLE emitted "a specially formatted output that can be used to drive a
+graphics program to monitor load distribution.  Here the utilization of
+each PE is output at every sampling interval.  This data is displayed on
+the graphics device with a continuum of colors representing relative
+activity on each PE (red: busy, blue: idle).  We found this facility
+particularly useful for debugging the load balancing strategies."
+
+:func:`render_frame` draws one sample's per-PE utilizations as a colored
+(or plain-character) grid; :func:`render_film` replays a whole run's
+samples.  Requires a run executed with ``SimConfig(sample_interval=...,
+sample_per_pe=True)``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from .stats import SimResult, UtilizationSample
+
+__all__ = ["render_film", "render_frame"]
+
+#: cold -> hot character ramp used when color is off
+_RAMP = " .:-=+*#%@"
+
+#: 256-color codes approximating the paper's blue (idle) -> red (busy)
+_HEAT = (17, 19, 25, 31, 37, 101, 130, 166, 196, 196)
+
+
+def _bucket(util: float) -> int:
+    return min(int(util * len(_RAMP)), len(_RAMP) - 1)
+
+
+def _grid_shape(n_pes: int, cols: int | None) -> tuple[int, int]:
+    if cols is None:
+        cols = int(math.isqrt(n_pes))
+        while cols > 1 and n_pes % cols:
+            cols -= 1
+    rows = -(-n_pes // cols)
+    return rows, cols
+
+
+def render_frame(
+    per_pe: Sequence[float],
+    cols: int | None = None,
+    color: bool = False,
+) -> str:
+    """One sample as a character heat map (row-major PE order).
+
+    ``cols`` defaults to the largest square-ish factor of the PE count,
+    which matches the paper's row x col machines exactly.
+    """
+    rows, cols = _grid_shape(len(per_pe), cols)
+    lines = []
+    for r in range(rows):
+        cells = []
+        for c in range(cols):
+            pe = r * cols + c
+            if pe >= len(per_pe):
+                break
+            b = _bucket(per_pe[pe])
+            ch = _RAMP[b] * 2
+            if color:
+                cells.append(f"\x1b[48;5;{_HEAT[b]}m{ch}\x1b[0m")
+            else:
+                cells.append(ch)
+        lines.append("".join(cells))
+    return "\n".join(lines)
+
+
+def render_film(
+    result: SimResult,
+    cols: int | None = None,
+    color: bool = False,
+    every: int = 1,
+) -> str:
+    """Replay a run's sampled frames, one heat map per ``every`` samples."""
+    frames = [s for s in result.samples if s.per_pe is not None]
+    if not frames:
+        raise ValueError(
+            "no per-PE samples recorded; run with "
+            "SimConfig(sample_interval=..., sample_per_pe=True)"
+        )
+    blocks = []
+    for sample in frames[::every]:
+        header = f"t={sample.time:10.1f}  avg={100 * sample.utilization:5.1f}%"
+        blocks.append(header + "\n" + render_frame(sample.per_pe, cols, color))
+    return "\n\n".join(blocks)
+
+
+def frame_for_sample(sample: UtilizationSample, cols: int | None = None) -> str:
+    """Convenience: plain-character frame for a single sample."""
+    if sample.per_pe is None:
+        raise ValueError("sample carries no per-PE data")
+    return render_frame(sample.per_pe, cols)

@@ -1,0 +1,260 @@
+"""The processing element (PE) model.
+
+Each PE owns a FIFO work queue and a single executor process — ORACLE's
+"one process for each user process running on a PE".  Work items are
+either :class:`~repro.workload.base.Goal` objects awaiting their first
+execution, or :class:`CombineItem` continuations of suspended tasks whose
+last child response just arrived.
+
+The paper's load measure: "We simply count all the messages waiting to be
+processed as 'load'" — i.e. the queue length, goals and continuations
+alike.  The suggested refinement ("taking future commitments into
+account, indicated by the count of the tasks that are waiting for
+messages") is exposed as :attr:`PE.pending_tasks` for the
+future-commitments load metric extension.
+
+Task pinning: once a goal has spawned children it becomes a
+:class:`TaskRecord` resident on this PE forever (both schemes).  Queued
+goals that have not yet started executing are still *shippable*; the
+Gradient Model removes them via :meth:`PE.take_shippable_goal`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any
+
+from ..workload.base import Goal, Leaf
+from .engine import hold, passivate
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .machine import Machine
+
+__all__ = ["CombineItem", "PE", "TaskRecord"]
+
+
+class TaskRecord:
+    """A task suspended awaiting responses — pinned to its PE.
+
+    ``values`` is ordered by child position so ``Program.combine`` sees
+    children in spawn order regardless of response arrival order.
+    """
+
+    __slots__ = (
+        "task_id",
+        "payload",
+        "parent_pe",
+        "parent_task",
+        "child_index",
+        "pending",
+        "values",
+        "combine_mult",
+    )
+
+    def __init__(
+        self,
+        task_id: int,
+        payload: Any,
+        parent_pe: int | None,
+        parent_task: int,
+        child_index: int,
+        n_children: int,
+        combine_mult: float,
+    ) -> None:
+        self.task_id = task_id
+        self.payload = payload
+        self.parent_pe = parent_pe
+        self.parent_task = parent_task
+        self.child_index = child_index
+        self.pending = n_children
+        self.values: list[Any] = [None] * n_children
+        self.combine_mult = combine_mult
+
+
+class CombineItem:
+    """Queue entry: fold the completed task's child values."""
+
+    __slots__ = ("task",)
+
+    def __init__(self, task: TaskRecord) -> None:
+        self.task = task
+
+
+class PE:
+    """One processing element: queue + executor + local statistics."""
+
+    __slots__ = (
+        "index",
+        "machine",
+        "queue",
+        "tasks",
+        "proc",
+        "idle",
+        "busy_time",
+        "goals_executed",
+        "pending_tasks",
+        "_next_task_id",
+        "_hold_end",
+        "speed",
+    )
+
+    def __init__(self, index: int, machine: "Machine", speed: float = 1.0) -> None:
+        self.index = index
+        self.machine = machine
+        #: execution-rate factor (1.0 nominal; 2.0 finishes work in half
+        #: the time).  Heterogeneous machines set this via
+        #: ``SimConfig.pe_speeds``.
+        self.speed = speed
+        self.queue: deque[Goal | CombineItem] = deque()
+        self.tasks: dict[int, TaskRecord] = {}
+        self.idle = True
+        self.busy_time = 0.0
+        self.goals_executed = 0
+        #: tasks suspended awaiting responses (future-commitments metric)
+        self.pending_tasks = 0
+        self._next_task_id = 0
+        #: end time of the work burst currently charged into busy_time;
+        #: lets effective_busy() report accrual-correct utilization while
+        #: a hold is still in progress (the time-series sampler needs it).
+        self._hold_end = 0.0
+        self.proc = machine.engine.process(self._executor(), name=f"pe{index}")
+
+    def effective_busy(self, now: float) -> float:
+        """Busy time accrued up to ``now`` (mid-burst work counts pro rata)."""
+        overhang = self._hold_end - now
+        return self.busy_time - overhang if overhang > 0 else self.busy_time
+
+    # -- load ------------------------------------------------------------------
+
+    @property
+    def queue_length(self) -> int:
+        """The paper's load measure: messages waiting to be processed."""
+        return len(self.queue)
+
+    # -- queue operations --------------------------------------------------------
+
+    def push(self, item: Goal | CombineItem) -> None:
+        """Enqueue a work item and wake the executor if it was idle."""
+        self.queue.append(item)
+        if self.idle:
+            self.idle = False
+            # The executor may not have passivated yet (work arriving at
+            # t=0, before its first step): it will then find the queue
+            # non-empty on its own; only a passivated process needs a kick.
+            if self.proc.asleep:
+                self.proc.activate()
+        self.machine.load_changed(self.index)
+
+    def take_shippable_goal(self, newest_first: bool = True) -> Goal | None:
+        """Remove and return a not-yet-started goal, or None.
+
+        Combine items and the currently executing item are pinned and
+        never returned.  ``newest_first`` picks the most recently arrived
+        goal (default — oldest goals are closest to execution and keeping
+        them preserves local progress).
+        """
+        rng = range(len(self.queue) - 1, -1, -1) if newest_first else range(len(self.queue))
+        for i in rng:
+            if type(self.queue[i]) is Goal:
+                goal = self.queue[i]
+                del self.queue[i]
+                self.machine.load_changed(self.index)
+                return goal  # type: ignore[return-value]
+        return None
+
+    # -- executor ---------------------------------------------------------------
+
+    def _work(self, duration: float):
+        """Charge ``duration`` of compute and hold for it (speed-scaled).
+
+        ``busy_time`` records wall-clock busy time, so utilization stays
+        a wall-clock fraction on heterogeneous machines (a fast PE doing
+        the same work is busy for less time).
+        """
+        duration /= self.speed
+        self.busy_time += duration
+        self._hold_end = self.machine.engine.now + duration
+        yield hold(duration)
+
+    def _executor(self):
+        machine = self.machine
+        costs = machine.config.costs
+        program = machine.program
+        stats = machine.stats
+        fifo = machine.config.queue_discipline == "fifo"
+        while True:
+            while not self.queue:
+                self.idle = True
+                machine.pe_went_idle(self.index)
+                yield passivate()
+            item = self.queue.popleft() if fifo else self.queue.pop()
+            machine.load_changed(self.index)
+            if type(item) is Goal:
+                stats.record_goal_start(self.index, item)
+                self.goals_executed += 1
+                expansion = program.expand(item.payload)
+                if type(expansion) is Leaf:
+                    yield from self._work(costs.leaf_work * expansion.work)
+                    machine.respond(
+                        self.index,
+                        item.parent_pe,
+                        item.parent_task,
+                        item.child_index,
+                        expansion.value,
+                    )
+                else:
+                    yield from self._work(costs.split_work * expansion.work)
+                    task = TaskRecord(
+                        self._next_task_id,
+                        item.payload,
+                        item.parent_pe,
+                        item.parent_task,
+                        item.child_index,
+                        len(expansion.children),
+                        expansion.combine_work,
+                    )
+                    self._next_task_id += 1
+                    self.tasks[task.task_id] = task
+                    self.pending_tasks += 1
+                    machine.load_changed(self.index)
+                    for child_index, child_payload in enumerate(expansion.children):
+                        child = Goal(
+                            child_payload,
+                            parent_pe=self.index,
+                            parent_task=task.task_id,
+                            child_index=child_index,
+                            depth=item.depth + 1,
+                        )
+                        machine.goal_created(self.index, child)
+            else:  # CombineItem
+                task = item.task
+                yield from self._work(costs.combine_work * task.combine_mult)
+                value = program.combine(task.payload, task.values)
+                del self.tasks[task.task_id]
+                machine.respond(
+                    self.index, task.parent_pe, task.parent_task, task.child_index, value
+                )
+
+    # -- response delivery ---------------------------------------------------------
+
+    def deliver_response(self, task_id: int, child_index: int, value: Any) -> None:
+        """A child's result arrived; enqueue the combine when it's the last."""
+        task = self.tasks[task_id]
+        if task.values[child_index] is not None or task.pending <= 0:
+            raise RuntimeError(
+                f"duplicate response for task {task_id} child {child_index} on PE {self.index}"
+            )
+        task.values[child_index] = value
+        task.pending -= 1
+        if task.pending == 0:
+            self.pending_tasks -= 1
+            self.push(CombineItem(task))
+        else:
+            # pending_tasks unchanged but queue length untouched: no load event
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PE({self.index}, queue={len(self.queue)}, "
+            f"tasks={len(self.tasks)}, {'idle' if self.idle else 'busy'})"
+        )

@@ -1,0 +1,236 @@
+"""Statistics collection and the simulation result record.
+
+ORACLE "can provide statistics on a variety of performance aspects such
+as the overall average PE utilization, average utilization of individual
+PEs, average and individual utilizations of communication channels, the
+time to completion" plus the sampled per-interval utilization stream that
+drove the paper's graphics monitor.  :class:`SimResult` carries all of
+those, and the two derived quantities the paper reports:
+
+* **speedup** — "computed by multiplying the number of PEs by (average
+  utilization percentage / 100)", equivalently ``sequential_work /
+  completion_time``;
+* the **hop histogram** of goal travel distances (Table 3), recorded when
+  a goal starts executing (its distance is final then: neither scheme
+  moves a started goal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["SimResult", "StatsCollector", "UtilizationSample"]
+
+
+@dataclass(frozen=True)
+class UtilizationSample:
+    """One sampling interval of the utilization time series."""
+
+    time: float
+    utilization: float
+    per_pe: tuple[float, ...] | None = None
+
+
+class StatsCollector:
+    """Mutable accumulator owned by a running machine."""
+
+    def __init__(self, n_pes: int, trace_hops: bool) -> None:
+        self.n_pes = n_pes
+        self.trace_hops = trace_hops
+        self.goals_created = 0
+        self.goals_started = 0
+        #: time each PE first started executing a goal (NaN = never) —
+        #: the "work front": how fast the strategy involves the machine
+        self.first_goal_time = np.full(n_pes, np.nan)
+        self._clock = lambda: 0.0  # injected by the machine
+        #: goal-message channel transfers (paper's communication volume)
+        self.goal_messages_sent = 0
+        self.response_messages_sent = 0
+        #: remote responses (count) and their total route length (hops):
+        #: parent-child communication distance, the locality CWN's radius
+        #: is designed to bound (paper section 2.1)
+        self.responses_routed = 0
+        self.response_hops = 0
+        self.control_words_sent = 0
+        #: load words absorbed from regular traffic ("piggyback" mode)
+        self.piggybacked_words = 0
+        #: histogram {hops: count}, populated when goals start executing
+        self.hop_histogram: dict[int, int] = {}
+        self.samples: list[UtilizationSample] = []
+
+    def record_goal_start(self, pe: int, goal: Any) -> None:
+        self.goals_started += 1
+        if np.isnan(self.first_goal_time[pe]):
+            self.first_goal_time[pe] = self._clock()
+        if self.trace_hops:
+            h = goal.hops
+            self.hop_histogram[h] = self.hop_histogram.get(h, 0) + 1
+
+
+def hop_mean(histogram: dict[int, int]) -> float:
+    """Average goal travel distance of a Table-3-style histogram."""
+    total = sum(histogram.values())
+    if total == 0:
+        return 0.0
+    return sum(h * c for h, c in histogram.items()) / total
+
+
+@dataclass
+class SimResult:
+    """Everything one simulation run reports.
+
+    ``utilization`` is in [0, 1]; multiply by 100 for the paper's
+    percentage axes.
+    """
+
+    strategy: str
+    topology: str
+    workload: str
+    n_pes: int
+    completion_time: float
+    result_value: Any
+    total_goals: int
+    sequential_work: float
+    busy_time: np.ndarray  # per-PE seconds of work executed
+    goals_per_pe: np.ndarray
+    hop_histogram: dict[int, int]
+    goal_messages_sent: int
+    response_messages_sent: int
+    responses_routed: int
+    response_hops: int
+    control_words_sent: int
+    channel_busy_time: np.ndarray
+    channel_messages: np.ndarray
+    samples: list[UtilizationSample] = field(default_factory=list)
+    events_executed: int = 0
+    seed: int = 0
+    #: load words carried by regular traffic (``load_info="piggyback"``)
+    piggybacked_words: int = 0
+    #: time each PE first executed a goal (NaN = never participated)
+    first_goal_time: np.ndarray = field(default_factory=lambda: np.array([]))
+    params: dict[str, Any] = field(default_factory=dict)
+    #: finish and injection time of each query, indexed by query number
+    #: (single-query runs have query_completions == [completion_time])
+    query_completions: list[float] = field(default_factory=list)
+    query_arrivals: list[float] = field(default_factory=list)
+
+    @property
+    def response_times(self) -> list[float]:
+        """Per-query response time (finish − arrival), by query number."""
+        return [
+            done - arrived
+            for done, arrived in zip(self.query_completions, self.query_arrivals)
+        ]
+
+    # -- derived quantities -----------------------------------------------------
+
+    @property
+    def utilization(self) -> float:
+        """Average PE utilization over the whole run (0..1)."""
+        if self.completion_time <= 0:
+            return 0.0
+        return float(self.busy_time.sum() / (self.n_pes * self.completion_time))
+
+    @property
+    def utilization_percent(self) -> float:
+        """The paper's Y axis."""
+        return 100.0 * self.utilization
+
+    @property
+    def per_pe_utilization(self) -> np.ndarray:
+        """Each PE's busy fraction (0..1)."""
+        if self.completion_time <= 0:
+            return np.zeros_like(self.busy_time)
+        return self.busy_time / self.completion_time
+
+    @property
+    def speedup(self) -> float:
+        """``sequential_work / completion_time``.
+
+        On the paper's homogeneous machines this equals ``n_pes x
+        average utilization`` (its stated formula), because total
+        wall-clock busy time equals total work.  On heterogeneous
+        machines (``SimConfig.pe_speeds``) the work-based definition is
+        the physically meaningful one — a half-speed PE is busy twice as
+        long for the same contribution — so we use it universally.
+        """
+        if self.completion_time <= 0:
+            return 0.0
+        return self.sequential_work / self.completion_time
+
+    @property
+    def mean_goal_distance(self) -> float:
+        """Average hops travelled per goal (Table 3's rightmost column)."""
+        return hop_mean(self.hop_histogram)
+
+    @property
+    def mean_response_distance(self) -> float:
+        """Average parent-child route length of *remote* responses.
+
+        The communication-locality measure behind CWN's radius: child
+        tasks stay "within a fixed communication neighborhood" of their
+        parent, so responses travel a bounded distance.  Local responses
+        (child executed on the parent's PE) are not included; see
+        ``remote_response_fraction`` for how many responses travel at all.
+        """
+        if self.responses_routed == 0:
+            return 0.0
+        return self.response_hops / self.responses_routed
+
+    @property
+    def remote_response_fraction(self) -> float:
+        """Fraction of goals whose response had to cross the network."""
+        if self.total_goals == 0:
+            return 0.0
+        return self.responses_routed / self.total_goals
+
+    @property
+    def channel_utilization(self) -> np.ndarray:
+        """Each channel's busy fraction (0..1)."""
+        if self.completion_time <= 0:
+            return np.zeros_like(self.channel_busy_time)
+        return np.minimum(1.0, self.channel_busy_time / self.completion_time)
+
+    @property
+    def load_balance_cv(self) -> float:
+        """Coefficient of variation of per-PE work — 0 means perfectly even."""
+        mean = float(self.busy_time.mean())
+        if mean == 0:
+            return 0.0
+        return float(self.busy_time.std() / mean)
+
+    @property
+    def participating_pes(self) -> int:
+        """PEs that executed at least one goal."""
+        if self.first_goal_time.size == 0:
+            return 0
+        return int(np.isfinite(self.first_goal_time).sum())
+
+    def spread_time(self, fraction: float = 0.9) -> float:
+        """Time by which ``fraction`` of the machine had started working.
+
+        The *work front*: the PE-level version of the paper's rise-time
+        observation ("the CWN ... spreads work quickly to all the PEs at
+        beginning").  Returns ``inf`` when fewer than ``fraction`` of the
+        PEs ever participated (small problems on big machines).
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        if self.first_goal_time.size == 0:
+            return float("inf")
+        needed = int(np.ceil(fraction * self.n_pes))
+        times = np.sort(self.first_goal_time[np.isfinite(self.first_goal_time)])
+        if len(times) < needed:
+            return float("inf")
+        return float(times[needed - 1])
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"{self.strategy:>10s} | {self.workload:<12s} on {self.topology:<22s} | "
+            f"T={self.completion_time:9.1f}  util={self.utilization_percent:5.1f}%  "
+            f"speedup={self.speedup:7.2f}  hops/goal={self.mean_goal_distance:4.2f}"
+        )

@@ -1,0 +1,121 @@
+"""Interconnection topologies for the simulated multiprocessors.
+
+The paper evaluates two main families — wrap-around 2-D grids (tori) and
+double-lattice-meshes — plus hypercubes in its appendix.  :func:`make`
+builds the exact instances the paper names (including the DLM span/size
+triples from its plot captions).
+"""
+
+from __future__ import annotations
+
+from .base import Topology
+from .ccc import CubeConnectedCycles
+from .chordal import ChordalRing
+from .dlm import DoubleLatticeMesh
+from .grid import Grid
+from .hypercube import Hypercube
+from .ring import Complete, Ring
+from .star import Star
+from .torus3d import Torus3D
+from .tree import KaryTree
+
+__all__ = [
+    "ChordalRing",
+    "Complete",
+    "CubeConnectedCycles",
+    "DoubleLatticeMesh",
+    "Grid",
+    "Hypercube",
+    "KaryTree",
+    "Ring",
+    "Star",
+    "Topology",
+    "Torus3D",
+    "make",
+    "paper_dlm",
+    "paper_grid",
+]
+
+#: The DLM instances named in the paper's plot captions, keyed by PE count:
+#: "Double Lattice-Mesh of <span> <rows> <cols>".
+_PAPER_DLM: dict[int, tuple[int, int, int]] = {
+    25: (5, 5, 5),
+    64: (4, 8, 8),
+    100: (5, 10, 10),
+    256: (4, 16, 16),
+    400: (5, 20, 20),
+}
+
+#: The square tori of the paper, keyed by PE count.
+_PAPER_GRID: dict[int, tuple[int, int]] = {
+    25: (5, 5),
+    64: (8, 8),
+    100: (10, 10),
+    256: (16, 16),
+    400: (20, 20),
+}
+
+
+def paper_grid(n_pes: int) -> Grid:
+    """The paper's torus with ``n_pes`` PEs (25/64/100/256/400)."""
+    try:
+        rows, cols = _PAPER_GRID[n_pes]
+    except KeyError:
+        raise ValueError(
+            f"the paper simulates grids of {sorted(_PAPER_GRID)} PEs, not {n_pes}"
+        ) from None
+    return Grid(rows, cols)
+
+
+def paper_dlm(n_pes: int) -> DoubleLatticeMesh:
+    """The paper's double-lattice-mesh with ``n_pes`` PEs."""
+    try:
+        span, rows, cols = _PAPER_DLM[n_pes]
+    except KeyError:
+        raise ValueError(
+            f"the paper simulates DLMs of {sorted(_PAPER_DLM)} PEs, not {n_pes}"
+        ) from None
+    return DoubleLatticeMesh(span, rows, cols)
+
+
+def make(spec: str) -> Topology:
+    """Build a topology from a compact spec string.
+
+    Examples: ``grid:10x10``, ``dlm:5x10x10`` (span x rows x cols),
+    ``hypercube:7``, ``ring:16``, ``complete:8``, ``tree:2x5``
+    (arity x levels), ``torus3d:4x4x4``, ``chordal:25`` or
+    ``chordal:25x5`` (n x chord), ``ccc:3``, ``star:16``.
+    """
+    kind, _, rest = spec.partition(":")
+    kind = kind.strip().lower()
+    try:
+        if kind == "grid":
+            rows, cols = (int(x) for x in rest.split("x"))
+            return Grid(rows, cols)
+        if kind == "dlm":
+            span, rows, cols = (int(x) for x in rest.split("x"))
+            return DoubleLatticeMesh(span, rows, cols)
+        if kind == "hypercube":
+            return Hypercube(int(rest))
+        if kind == "ring":
+            return Ring(int(rest))
+        if kind == "complete":
+            return Complete(int(rest))
+        if kind == "tree":
+            arity, levels = (int(x) for x in rest.split("x"))
+            return KaryTree(arity, levels)
+        if kind == "torus3d":
+            x, y, z = (int(v) for v in rest.split("x"))
+            return Torus3D(x, y, z)
+        if kind == "chordal":
+            parts = [int(v) for v in rest.split("x")]
+            if len(parts) == 1:
+                return ChordalRing(parts[0])
+            return ChordalRing(parts[0], parts[1])
+        if kind == "ccc":
+            return CubeConnectedCycles(int(rest))
+        if kind == "star":
+            return Star(int(rest))
+    except ValueError as exc:
+        raise ValueError(f"malformed topology spec {spec!r}: {exc}") from exc
+    raise ValueError(f"unknown topology kind {kind!r} in spec {spec!r}")

@@ -1,0 +1,190 @@
+"""Interconnection topology abstraction.
+
+A topology describes the machine's communication structure two ways:
+
+* a **neighbor relation** — PE *j* is a neighbor of PE *i* iff they share a
+  communication channel, so one message hop connects them.  Both load
+  balancing schemes in the paper are defined purely in terms of immediate
+  neighbors (CWN forwards to its least-loaded neighbor; GM broadcasts
+  proximities to neighbors), and
+
+* a **channel inventory** — the contended resources.  For point-to-point
+  topologies (grid, hypercube, ring) every undirected link is a channel
+  connecting exactly two PEs; for the double-lattice-mesh every *bus* is a
+  channel shared by ``bus_span`` PEs.  ORACLE models "one process for each
+  communication channel"; our channel objects (see
+  :mod:`repro.oracle.channel`) are built one-per-entry from
+  :attr:`Topology.channels`.
+
+Routing uses hop-count shortest paths (BFS over the neighbor relation)
+with deterministic lowest-index tie-breaking, so simulations are exactly
+reproducible.  Distance/next-hop tables are computed lazily and cached —
+a 400-PE machine needs a 400x400 uint16 matrix, i.e. nothing.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from functools import cached_property
+
+import numpy as np
+
+__all__ = ["Topology"]
+
+
+class Topology:
+    """Base class: subclasses fill in ``n``, ``_neighbor_sets``, ``channels``.
+
+    Subclass contract
+    -----------------
+    * ``self.n`` — number of PEs, indices ``0..n-1``.
+    * ``self._build()`` — return ``(neighbor_sets, channels)`` where
+      ``neighbor_sets`` is a list of n sets and ``channels`` is a list of
+      tuples of member PE indices (each of length >= 2).
+    """
+
+    #: short machine-readable family name ("grid", "dlm", "hypercube", ...)
+    family = "abstract"
+
+    def __init__(self) -> None:
+        neighbor_sets, channels = self._build()
+        if len(neighbor_sets) != self.n:
+            raise ValueError("neighbor table size mismatch")
+        self._neighbors: list[tuple[int, ...]] = [
+            tuple(sorted(s)) for s in neighbor_sets
+        ]
+        #: immutable channel inventory: tuple of sorted member tuples
+        self.channels: tuple[tuple[int, ...], ...] = tuple(
+            tuple(sorted(set(ch))) for ch in channels
+        )
+        self._validate()
+        # channel ids shared by each PE pair, for hop channel selection
+        pair_channels: dict[tuple[int, int], list[int]] = {}
+        for cid, members in enumerate(self.channels):
+            for i, a in enumerate(members):
+                for b in members[i + 1 :]:
+                    pair_channels.setdefault((a, b), []).append(cid)
+                    pair_channels.setdefault((b, a), []).append(cid)
+        self._pair_channels = {k: tuple(v) for k, v in pair_channels.items()}
+
+    # -- subclass API ---------------------------------------------------------
+
+    def _build(self) -> tuple[list[set[int]], list[tuple[int, ...]]]:
+        raise NotImplementedError
+
+    # -- validation -----------------------------------------------------------
+
+    def _validate(self) -> None:
+        for cid, members in enumerate(self.channels):
+            if len(members) < 2:
+                raise ValueError(f"channel {cid} has fewer than 2 members")
+            if not all(0 <= m < self.n for m in members):
+                raise ValueError(f"channel {cid} references unknown PE")
+        for pe, nbrs in enumerate(self._neighbors):
+            if pe in nbrs:
+                raise ValueError(f"PE {pe} is its own neighbor")
+            for nb in nbrs:
+                if pe not in self._neighbors[nb]:
+                    raise ValueError(f"asymmetric neighbor relation {pe}<->{nb}")
+
+    # -- queries ---------------------------------------------------------------
+
+    def neighbors(self, pe: int) -> tuple[int, ...]:
+        """PEs one hop from ``pe``, in ascending index order."""
+        return self._neighbors[pe]
+
+    def degree(self, pe: int) -> int:
+        """Number of neighbors of ``pe``."""
+        return len(self._neighbors[pe])
+
+    def channels_between(self, a: int, b: int) -> tuple[int, ...]:
+        """Channel ids connecting adjacent PEs ``a`` and ``b``.
+
+        Raises ``KeyError`` for non-adjacent pairs — a routing bug, not a
+        user error.
+        """
+        return self._pair_channels[(a, b)]
+
+    @cached_property
+    def _distance_matrix(self) -> np.ndarray:
+        """All-pairs hop distances via BFS from every node (uint16)."""
+        n = self.n
+        dist = np.full((n, n), np.iinfo(np.uint16).max, dtype=np.uint16)
+        nbrs = self._neighbors
+        for src in range(n):
+            row = dist[src]
+            row[src] = 0
+            q = deque([src])
+            while q:
+                u = q.popleft()
+                du = row[u] + 1
+                for v in nbrs[u]:
+                    if du < row[v]:
+                        row[v] = du
+                        q.append(v)
+        if dist.max() == np.iinfo(np.uint16).max:
+            raise ValueError(f"{self.name} is not connected")
+        return dist
+
+    @cached_property
+    def _next_hop(self) -> np.ndarray:
+        """``next_hop[src, dst]`` = lowest-index neighbor on a shortest path."""
+        n = self.n
+        dist = self._distance_matrix
+        table = np.zeros((n, n), dtype=np.int32)
+        for src in range(n):
+            drow = dist[src]
+            for dst in range(n):
+                if dst == src:
+                    table[src, dst] = src
+                    continue
+                want = drow[dst] - 1
+                # neighbors are in ascending order: first match is the
+                # deterministic lowest-index choice.
+                for nb in self._neighbors[src]:
+                    if dist[nb, dst] == want:
+                        table[src, dst] = nb
+                        break
+        return table
+
+    def distance(self, a: int, b: int) -> int:
+        """Hop-count distance between ``a`` and ``b``."""
+        return int(self._distance_matrix[a, b])
+
+    def next_hop(self, src: int, dst: int) -> int:
+        """The neighbor ``src`` should forward to, to reach ``dst``."""
+        return int(self._next_hop[src, dst])
+
+    def shortest_path(self, src: int, dst: int) -> list[int]:
+        """Full PE sequence from ``src`` to ``dst`` inclusive."""
+        path = [src]
+        cur = src
+        while cur != dst:
+            cur = self.next_hop(cur, dst)
+            path.append(cur)
+        return path
+
+    @cached_property
+    def diameter(self) -> int:
+        """Maximum shortest-path distance over all PE pairs."""
+        return int(self._distance_matrix.max())
+
+    @cached_property
+    def mean_distance(self) -> float:
+        """Mean pairwise hop distance (excluding self-pairs)."""
+        n = self.n
+        total = float(self._distance_matrix.sum())
+        return total / (n * (n - 1)) if n > 1 else 0.0
+
+    # -- presentation -----------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Human-readable identification, e.g. ``grid 10x10``."""
+        return f"{self.family} n={self.n}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"
+
+    def __len__(self) -> int:
+        return self.n

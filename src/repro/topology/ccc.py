@@ -1,0 +1,64 @@
+"""Cube-connected cycles (CCC) — constant degree 3, hypercube-like reach.
+
+Preparata & Vuillemin's answer to the hypercube's growing degree: replace
+each hypercube corner with a cycle of ``d`` PEs, each handling one cube
+dimension.  Degree is 3 regardless of size — strictly less hardware per
+PE than the paper's grid — while the diameter stays O(d) = O(log n).
+
+§2.1 argues that *any* fixed-degree interconnection eventually becomes
+communication bound, making neighborhood-limited schemes like CWN
+necessary.  The CCC is the canonical fixed-degree scalable network, so
+the comparison benches include it as the strongest version of the
+architecture class the paper's argument is really about: if CWN's edge
+holds here, it holds where it matters.
+
+PE ``(corner, pos)`` (``corner`` in ``0..2^d - 1``, ``pos`` in
+``0..d-1``) is indexed ``corner * d + pos``, and connects to:
+
+* cycle neighbors ``(corner, (pos ± 1) % d)``, and
+* its cube partner ``(corner XOR (1 << pos), pos)``.
+
+Every undirected link is a point-to-point channel.  ``d >= 3`` keeps the
+cycle links distinct (d=2 would duplicate the ±1 neighbors).
+"""
+
+from __future__ import annotations
+
+from .base import Topology
+
+__all__ = ["CubeConnectedCycles"]
+
+
+class CubeConnectedCycles(Topology):
+    """CCC of dimension ``d``: ``d * 2^d`` PEs, uniform degree 3."""
+
+    family = "ccc"
+
+    def __init__(self, d: int) -> None:
+        if d < 3:
+            raise ValueError("cube-connected cycles needs dimension >= 3")
+        self.d = d
+        self.n = d * (1 << d)
+        super().__init__()
+
+    def _index(self, corner: int, pos: int) -> int:
+        return corner * self.d + pos
+
+    def _build(self) -> tuple[list[set[int]], list[tuple[int, ...]]]:
+        neighbor_sets: list[set[int]] = [set() for _ in range(self.n)]
+        links: set[tuple[int, int]] = set()
+        d = self.d
+        for corner in range(1 << d):
+            for pos in range(d):
+                pe = self._index(corner, pos)
+                cycle_next = self._index(corner, (pos + 1) % d)
+                cube_partner = self._index(corner ^ (1 << pos), pos)
+                for nb in (cycle_next, cube_partner):
+                    neighbor_sets[pe].add(nb)
+                    neighbor_sets[nb].add(pe)
+                    links.add((min(pe, nb), max(pe, nb)))
+        return neighbor_sets, sorted(links)
+
+    @property
+    def name(self) -> str:
+        return f"ccc d={self.d} (n={self.n})"

@@ -1,0 +1,63 @@
+"""Chordal ring topology — a ring with skip links.
+
+A classic fixed-degree compromise between the ring's terrible diameter
+and the grid's layout: PE *i* connects to its ring neighbors and to
+``i ± chord`` (mod n).  With ``chord ≈ sqrt(n)`` the diameter drops to
+O(sqrt(n)) at degree 4 — the same degree as the paper's grid, different
+wiring.  Running the paper's comparison on chordal rings with matched
+degree and PE count isolates *diameter structure* from *degree*, which
+the paper's grid-versus-DLM comparison conflates (the DLM changes both).
+
+Every undirected link (ring or chord) is a point-to-point channel.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .base import Topology
+
+__all__ = ["ChordalRing"]
+
+
+class ChordalRing(Topology):
+    """``n`` PEs in a cycle plus ``i <-> (i + chord) % n`` skip links.
+
+    Parameters
+    ----------
+    n:
+        Number of PEs (>= 4).
+    chord:
+        Skip distance; default ``round(sqrt(n))``.  Must satisfy
+        ``2 <= chord <= n // 2`` (1 duplicates ring links; larger wraps
+        to shorter chords).
+    """
+
+    family = "chordal"
+
+    def __init__(self, n: int, chord: int | None = None) -> None:
+        if n < 4:
+            raise ValueError("chordal ring needs at least 4 PEs")
+        if chord is None:
+            chord = max(2, round(math.sqrt(n)))
+        if not 2 <= chord <= n // 2:
+            raise ValueError(f"need 2 <= chord <= n//2, got chord={chord} n={n}")
+        self.chord = chord
+        self.n = n
+        super().__init__()
+
+    def _build(self) -> tuple[list[set[int]], list[tuple[int, ...]]]:
+        neighbor_sets: list[set[int]] = [set() for _ in range(self.n)]
+        links: set[tuple[int, int]] = set()
+        for pe in range(self.n):
+            for nb in ((pe + 1) % self.n, (pe + self.chord) % self.n):
+                if nb == pe:
+                    continue
+                neighbor_sets[pe].add(nb)
+                neighbor_sets[nb].add(pe)
+                links.add((min(pe, nb), max(pe, nb)))
+        return neighbor_sets, sorted(links)
+
+    @property
+    def name(self) -> str:
+        return f"chordal n={self.n} chord={self.chord}"

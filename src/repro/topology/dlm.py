@@ -1,0 +1,116 @@
+"""Double-lattice-mesh: the bus-based topology of Kale (ICPP 1986).
+
+The paper's second main topology, "a bus-based topology that we have
+proposed", shown in its Figure 1 as "A 10x10 Double Lattice Mesh with
+bus-span = 5".  PEs sit on a ``rows x cols`` lattice.  Buses of *span* s
+run along every row and every column, in **two** interleaved lattices:
+
+* lattice A buses start at offsets ``0, s, 2s, ...`` along the dimension,
+* lattice B buses are shifted by ``s // 2``,
+
+both wrapping around, so every PE lies on exactly two row buses and two
+column buses, and consecutive buses of the two lattices overlap by about
+``s/2`` PEs.  The overlap is what makes the mesh "double": a message can
+always progress ~s/2 PEs per hop in either dimension, giving the small
+diameters the paper quotes (4-5 for the simulated sizes, versus 8-38 for
+the tori of equal size).
+
+Each *bus* is a single contended channel shared by its ``s`` member PEs
+(one transfer at a time), which is exactly how ORACLE charges for it.
+Neighbors of a PE are all PEs sharing at least one bus with it, so DLM
+neighborhoods are large (up to ``4s - 4``) compared to a torus's 4.
+
+The paper's plot captions name DLM instances as ``span rows cols``
+triples: (5,20,20), (4,16,16), (5,10,10), (4,8,8) and (5,5,5) for the
+400/256/100/64/25-PE machines.
+"""
+
+from __future__ import annotations
+
+from .base import Topology
+
+__all__ = ["DoubleLatticeMesh"]
+
+
+class DoubleLatticeMesh(Topology):
+    """``rows x cols`` double lattice mesh with bus span ``span``."""
+
+    family = "dlm"
+
+    def __init__(self, span: int, rows: int, cols: int) -> None:
+        if span < 2:
+            raise ValueError("bus span must be at least 2")
+        if rows < 2 or cols < 2:
+            raise ValueError("mesh needs at least 2 rows and 2 columns")
+        if span > rows or span > cols:
+            raise ValueError("bus span cannot exceed either dimension")
+        self.span = span
+        self.rows = rows
+        self.cols = cols
+        self.n = rows * cols
+        super().__init__()
+
+    def pe_at(self, r: int, c: int) -> int:
+        """PE index of lattice coordinate ``(r, c)`` (wrapping)."""
+        return (r % self.rows) * self.cols + (c % self.cols)
+
+    def coords(self, pe: int) -> tuple[int, int]:
+        """Lattice coordinate ``(r, c)`` of PE ``pe``."""
+        return divmod(pe, self.cols)
+
+    @staticmethod
+    def _lattice_starts(length: int, span: int) -> list[int]:
+        """Bus start offsets covering a wrapped dimension of ``length``.
+
+        Lattice A starts every ``span``; lattice B is shifted by
+        ``span // 2``.  When ``span`` does not divide ``length`` the last
+        bus of each lattice still wraps a full ``span`` PEs, so coverage
+        never leaves a gap (buses may then overlap more than s/2 — that
+        only *adds* connectivity, preserving the topology's character).
+        """
+        starts: list[int] = []
+        shift = span // 2
+        for base in (0, shift):
+            pos = base
+            while pos < base + length:
+                starts.append(pos % length)
+                pos += span
+        # Deduplicate while preserving order (possible when span == 2,
+        # where the two lattices coincide, or when shift wraps onto A).
+        seen: set[int] = set()
+        unique = []
+        for s in starts:
+            if s not in seen:
+                seen.add(s)
+                unique.append(s)
+        return unique
+
+    def _build(self) -> tuple[list[set[int]], list[tuple[int, ...]]]:
+        span, rows, cols = self.span, self.rows, self.cols
+        neighbor_sets: list[set[int]] = [set() for _ in range(self.n)]
+        buses: list[tuple[int, ...]] = []
+
+        def add_bus(members: list[int]) -> None:
+            members = sorted(set(members))
+            if len(members) < 2:
+                return
+            buses.append(tuple(members))
+            for a in members:
+                for b in members:
+                    if a != b:
+                        neighbor_sets[a].add(b)
+
+        for r in range(rows):
+            for start in self._lattice_starts(cols, span):
+                add_bus([self.pe_at(r, start + k) for k in range(span)])
+        for c in range(cols):
+            for start in self._lattice_starts(rows, span):
+                add_bus([self.pe_at(start + k, c) for k in range(span)])
+
+        # Two buses can coincide on small meshes; keep one channel each.
+        unique_buses = sorted(set(buses))
+        return neighbor_sets, unique_buses
+
+    @property
+    def name(self) -> str:
+        return f"dlm span={self.span} {self.rows}x{self.cols}"

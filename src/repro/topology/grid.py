@@ -1,0 +1,75 @@
+"""2-D nearest-neighbor grid with wrap-around connections (a torus).
+
+This is the first of the paper's two main topologies: "the 2-dimensional
+grid (nearest neighbor grid) with wrap-around connections".  The paper's
+machine sizes are 25, 64, 100, 256 and 400 PEs, i.e. 5x5 through 20x20
+square tori; grid diameters "range from 8 to 38" in the OCR'd text — for
+square tori the diameter is ``2*(side//2)``, i.e. 4..20 for these sides,
+but rectangular variants are supported too.
+
+Every undirected link between adjacent PEs is one contended channel.
+"""
+
+from __future__ import annotations
+
+from .base import Topology
+
+__all__ = ["Grid"]
+
+
+class Grid(Topology):
+    """``rows x cols`` torus; PE index = ``r * cols + c``."""
+
+    family = "grid"
+
+    def __init__(self, rows: int, cols: int, wraparound: bool = True) -> None:
+        if rows < 2 or cols < 2:
+            raise ValueError("grid needs at least 2 rows and 2 columns")
+        self.rows = rows
+        self.cols = cols
+        self.wraparound = wraparound
+        self.n = rows * cols
+        super().__init__()
+
+    def pe_at(self, r: int, c: int) -> int:
+        """PE index of grid coordinate ``(r, c)`` (wrapping if enabled)."""
+        if self.wraparound:
+            r %= self.rows
+            c %= self.cols
+        if not (0 <= r < self.rows and 0 <= c < self.cols):
+            raise IndexError(f"({r},{c}) outside a non-wraparound grid")
+        return r * self.cols + c
+
+    def coords(self, pe: int) -> tuple[int, int]:
+        """Grid coordinate ``(r, c)`` of PE ``pe``."""
+        return divmod(pe, self.cols)
+
+    def _build(self) -> tuple[list[set[int]], list[tuple[int, ...]]]:
+        rows, cols = self.rows, self.cols
+        neighbor_sets: list[set[int]] = [set() for _ in range(self.n)]
+        links: set[tuple[int, int]] = set()
+
+        def connect(a: int, b: int) -> None:
+            if a == b:  # a 2-wide wraparound dimension folds onto itself
+                return
+            neighbor_sets[a].add(b)
+            neighbor_sets[b].add(a)
+            links.add((min(a, b), max(a, b)))
+
+        for r in range(rows):
+            for c in range(cols):
+                me = r * cols + c
+                if c + 1 < cols:
+                    connect(me, r * cols + (c + 1))
+                elif self.wraparound:
+                    connect(me, r * cols)
+                if r + 1 < rows:
+                    connect(me, (r + 1) * cols + c)
+                elif self.wraparound:
+                    connect(me, c)
+        return neighbor_sets, sorted(links)
+
+    @property
+    def name(self) -> str:
+        wrap = "" if self.wraparound else " (no wrap)"
+        return f"grid {self.rows}x{self.cols}{wrap}"

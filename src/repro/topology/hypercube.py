@@ -1,0 +1,42 @@
+"""Binary hypercube topology (the paper's Appendix I experiments).
+
+Appendix I reports Fibonacci runs "for the Hypercubes" of dimensions up
+to 7 (128 PEs).  PEs are numbered by their coordinate bit patterns; PEs
+are neighbors iff their indices differ in exactly one bit, and every such
+pair is joined by one point-to-point channel.  Diameter equals the
+dimension; degree is uniform and equals the dimension.
+"""
+
+from __future__ import annotations
+
+from .base import Topology
+
+__all__ = ["Hypercube"]
+
+
+class Hypercube(Topology):
+    """Hypercube of ``dim`` dimensions, ``2**dim`` PEs."""
+
+    family = "hypercube"
+
+    def __init__(self, dim: int) -> None:
+        if dim < 1:
+            raise ValueError("hypercube dimension must be >= 1")
+        self.dim = dim
+        self.n = 1 << dim
+        super().__init__()
+
+    def _build(self) -> tuple[list[set[int]], list[tuple[int, ...]]]:
+        neighbor_sets: list[set[int]] = [set() for _ in range(self.n)]
+        links: list[tuple[int, int]] = []
+        for pe in range(self.n):
+            for bit in range(self.dim):
+                other = pe ^ (1 << bit)
+                neighbor_sets[pe].add(other)
+                if other > pe:
+                    links.append((pe, other))
+        return neighbor_sets, sorted(links)
+
+    @property
+    def name(self) -> str:
+        return f"hypercube dim={self.dim}"

@@ -1,0 +1,64 @@
+"""Ring and complete-graph topologies.
+
+Neither appears in the paper's evaluation; they are included as extreme
+reference points for examples and tests.  The ring is the worst
+reasonable diameter (``n // 2``) for a fixed-degree network, so it
+stresses CWN's radius-limited placement; the complete graph has diameter
+1 and approximates the shared-pool ideal the introduction contrasts
+message-passing machines against.
+"""
+
+from __future__ import annotations
+
+from .base import Topology
+
+__all__ = ["Complete", "Ring"]
+
+
+class Ring(Topology):
+    """``n`` PEs in a cycle; each link is a channel."""
+
+    family = "ring"
+
+    def __init__(self, n: int) -> None:
+        if n < 3:
+            raise ValueError("ring needs at least 3 PEs")
+        self.n = n
+        super().__init__()
+
+    def _build(self) -> tuple[list[set[int]], list[tuple[int, ...]]]:
+        neighbor_sets: list[set[int]] = [set() for _ in range(self.n)]
+        links: list[tuple[int, int]] = []
+        for pe in range(self.n):
+            nxt = (pe + 1) % self.n
+            neighbor_sets[pe].add(nxt)
+            neighbor_sets[nxt].add(pe)
+            links.append((min(pe, nxt), max(pe, nxt)))
+        return neighbor_sets, sorted(set(links))
+
+    @property
+    def name(self) -> str:
+        return f"ring n={self.n}"
+
+
+class Complete(Topology):
+    """Fully connected machine: every PE pair shares a private channel."""
+
+    family = "complete"
+
+    def __init__(self, n: int) -> None:
+        if n < 2:
+            raise ValueError("complete graph needs at least 2 PEs")
+        self.n = n
+        super().__init__()
+
+    def _build(self) -> tuple[list[set[int]], list[tuple[int, ...]]]:
+        neighbor_sets = [set(range(self.n)) - {pe} for pe in range(self.n)]
+        links = [
+            (a, b) for a in range(self.n) for b in range(a + 1, self.n)
+        ]
+        return neighbor_sets, links
+
+    @property
+    def name(self) -> str:
+        return f"complete n={self.n}"

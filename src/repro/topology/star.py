@@ -1,0 +1,44 @@
+"""Star topology — one hub PE connected to every leaf.
+
+The physical embodiment of centralization: all traffic between leaves
+crosses the hub's links.  Pairing it with :class:`~repro.core.central.
+CentralScheduler` (or any strategy) makes §1's scalability argument
+visible at the *wiring* level, complementing the central-scheduler
+strategy which makes it at the *policy* level.  Leaves have degree 1, so
+neighborhood schemes degenerate: CWN's only possible first hop from a
+leaf is the hub — a stress test for radius/horizon corner cases (and the
+reason tests use it for degree-1 edge behaviour).
+
+Every spoke is a point-to-point channel.
+"""
+
+from __future__ import annotations
+
+from .base import Topology
+
+__all__ = ["Star"]
+
+
+class Star(Topology):
+    """``n`` PEs: PE 0 is the hub, PEs 1..n-1 are leaves."""
+
+    family = "star"
+
+    def __init__(self, n: int) -> None:
+        if n < 3:
+            raise ValueError("star needs at least 3 PEs (hub + 2 leaves)")
+        self.n = n
+        super().__init__()
+
+    def _build(self) -> tuple[list[set[int]], list[tuple[int, ...]]]:
+        neighbor_sets: list[set[int]] = [set() for _ in range(self.n)]
+        links: list[tuple[int, int]] = []
+        for leaf in range(1, self.n):
+            neighbor_sets[0].add(leaf)
+            neighbor_sets[leaf].add(0)
+            links.append((0, leaf))
+        return neighbor_sets, links
+
+    @property
+    def name(self) -> str:
+        return f"star n={self.n}"

@@ -1,0 +1,65 @@
+"""3-D wrap-around mesh (torus) topology.
+
+The paper's §4 conjectures CWN's advantage grows with network diameter;
+a 3-D torus probes the conjecture from the other side — it packs the same
+PE counts into a *smaller* diameter than the 2-D grids (diameter
+``(x + y + z) // 2`` versus ``(rows + cols) // 2``), with degree 6
+instead of 4.  The scaling bench runs the same computations on matched
+2-D and 3-D tori so the diameter axis is varied with the PE count held
+fixed, which the paper could only vary jointly.
+
+Each of the three lattice directions wraps; every undirected link is a
+point-to-point channel, exactly like the 2-D grid's.  Dimensions of 1
+are rejected (a 1-deep dimension adds self-loops) and dimensions of 2
+deduplicate the wrap link (wrap and direct link coincide).
+"""
+
+from __future__ import annotations
+
+from .base import Topology
+
+__all__ = ["Torus3D"]
+
+
+class Torus3D(Topology):
+    """``x * y * z`` PEs on a 3-D wrap-around lattice.
+
+    PE index layout: ``pe = (ix * y + iy) * z + iz`` — z fastest.
+    """
+
+    family = "torus3d"
+
+    def __init__(self, x: int, y: int, z: int) -> None:
+        if min(x, y, z) < 2:
+            raise ValueError("torus3d dimensions must each be >= 2")
+        self.x = x
+        self.y = y
+        self.z = z
+        self.n = x * y * z
+        super().__init__()
+
+    def _index(self, ix: int, iy: int, iz: int) -> int:
+        return (ix * self.y + iy) * self.z + iz
+
+    def _build(self) -> tuple[list[set[int]], list[tuple[int, ...]]]:
+        neighbor_sets: list[set[int]] = [set() for _ in range(self.n)]
+        links: set[tuple[int, int]] = set()
+        for ix in range(self.x):
+            for iy in range(self.y):
+                for iz in range(self.z):
+                    pe = self._index(ix, iy, iz)
+                    for nb in (
+                        self._index((ix + 1) % self.x, iy, iz),
+                        self._index(ix, (iy + 1) % self.y, iz),
+                        self._index(ix, iy, (iz + 1) % self.z),
+                    ):
+                        if nb == pe:  # unreachable given dims >= 2
+                            continue
+                        neighbor_sets[pe].add(nb)
+                        neighbor_sets[nb].add(pe)
+                        links.add((min(pe, nb), max(pe, nb)))
+        return neighbor_sets, sorted(links)
+
+    @property
+    def name(self) -> str:
+        return f"torus3d {self.x}x{self.y}x{self.z}"

@@ -1,0 +1,63 @@
+"""Complete k-ary tree topology (extension).
+
+Not in the paper's evaluation, but a natural probe for tree-structured
+workloads: the interconnection mirrors the computation's own shape, and
+the root link is an obvious bottleneck CWN's gradient walk must learn to
+avoid.  Each parent-child edge is one channel; the root is PE 0 and
+level order numbering makes ``(i - 1) // arity`` the parent of ``i``.
+"""
+
+from __future__ import annotations
+
+from .base import Topology
+
+__all__ = ["KaryTree"]
+
+
+class KaryTree(Topology):
+    """Complete ``arity``-ary tree with ``levels`` levels of PEs."""
+
+    family = "tree"
+
+    def __init__(self, arity: int = 2, levels: int = 4) -> None:
+        if arity < 2:
+            raise ValueError("arity must be >= 2")
+        if levels < 2:
+            raise ValueError("need at least 2 levels")
+        self.arity = arity
+        self.levels = levels
+        self.n = (arity**levels - 1) // (arity - 1)
+        super().__init__()
+
+    def parent(self, pe: int) -> int | None:
+        """Parent PE index, or None for the root."""
+        if pe == 0:
+            return None
+        return (pe - 1) // self.arity
+
+    def children(self, pe: int) -> tuple[int, ...]:
+        """Child PE indices (possibly empty at the deepest level)."""
+        first = pe * self.arity + 1
+        return tuple(c for c in range(first, first + self.arity) if c < self.n)
+
+    def depth_of(self, pe: int) -> int:
+        """Level of ``pe`` (root = 0)."""
+        depth = 0
+        while pe:
+            pe = (pe - 1) // self.arity
+            depth += 1
+        return depth
+
+    def _build(self) -> tuple[list[set[int]], list[tuple[int, ...]]]:
+        neighbor_sets: list[set[int]] = [set() for _ in range(self.n)]
+        links: list[tuple[int, int]] = []
+        for pe in range(1, self.n):
+            par = (pe - 1) // self.arity
+            neighbor_sets[pe].add(par)
+            neighbor_sets[par].add(pe)
+            links.append((par, pe))
+        return neighbor_sets, sorted(links)
+
+    @property
+    def name(self) -> str:
+        return f"tree arity={self.arity} levels={self.levels}"

@@ -1,0 +1,31 @@
+"""Validation: analytic bounds and result invariants for the simulator.
+
+A discrete-event simulator is only as credible as its cross-checks.
+This package supplies two independent lines of defence:
+
+* :mod:`repro.validation.bounds` — machine-independent bounds on any
+  run's completion time (work/P, critical path, Brent-style greedy
+  envelope).  A simulated time outside these bounds is a simulator or
+  strategy bug, full stop.
+* :mod:`repro.validation.invariants` — conservation and consistency
+  checks over a finished :class:`~repro.oracle.stats.SimResult`
+  (work conservation, goal accounting, histogram totals, utilization
+  range, per-query timing sanity).
+
+Both are pure functions over results; the test suite applies them to
+every strategy, and downstream users can call
+:func:`~repro.validation.invariants.validate_result` on their own runs.
+"""
+
+from __future__ import annotations
+
+from .bounds import CompletionBounds, completion_bounds
+from .invariants import InvariantViolation, check_result, validate_result
+
+__all__ = [
+    "CompletionBounds",
+    "InvariantViolation",
+    "check_result",
+    "completion_bounds",
+    "validate_result",
+]

@@ -1,0 +1,106 @@
+"""Analytic bounds on completion time.
+
+For a tree computation with total work ``T1`` (the sequential execution
+time under the cost model) and span ``T_inf`` (the critical path), any
+execution on ``P`` unit-speed PEs satisfies the classic bounds
+
+    ``T  >=  max(T1 / P, T_inf)``
+
+regardless of strategy, topology, or communication model (communication
+only adds time).  The greedy-scheduler upper bound
+
+    ``T  <=  T1 / P + T_inf``
+
+(Brent / Graham) holds for *work-conserving* schedulers with free
+communication; our strategies are not work-conserving (CWN pins goals,
+GM hoards) and communication is charged, so the Brent envelope is
+reported as a *reference*, not asserted.  The measured ratio
+``T / (T1/P + T_inf)`` is a strategy-quality figure: 1.0 means "as good
+as any greedy scheduler could be", and the zoo bench ranks strategies by
+it.
+
+Heterogeneous machines generalize ``P`` to the sum of PE speeds for the
+work term; the span term uses the *fastest* PE (the chain could, at
+best, run entirely there).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..oracle.config import CostModel
+from ..workload.base import Program
+
+__all__ = ["CompletionBounds", "completion_bounds"]
+
+
+@dataclass(frozen=True)
+class CompletionBounds:
+    """Lower/upper reference envelope for one (program, costs, machine)."""
+
+    #: total sequential work T1 under the cost model
+    work: float
+    #: critical path T_inf under the cost model
+    span: float
+    #: effective processor count (sum of speeds; == P when homogeneous)
+    effective_pes: float
+    #: speed of the fastest PE (1.0 when homogeneous)
+    max_speed: float
+
+    @property
+    def lower(self) -> float:
+        """No execution can finish faster than this."""
+        return max(self.work / self.effective_pes, self.span / self.max_speed)
+
+    @property
+    def brent_upper(self) -> float:
+        """Greedy-scheduler reference envelope (not enforced — see module
+        docstring)."""
+        return self.work / self.effective_pes + self.span / self.max_speed
+
+    @property
+    def max_speedup(self) -> float:
+        """Upper bound on achievable speedup: work / lower bound."""
+        return self.work / self.lower
+
+    def quality(self, completion_time: float) -> float:
+        """``completion_time / brent_upper``: 1.0 is greedy-optimal;
+        below 1.0 is impossible for a correct simulation *only* when
+        communication is free — with charged communication, values are
+        >= lower/brent_upper by construction but typically > 1."""
+        if completion_time <= 0:
+            raise ValueError("completion_time must be positive")
+        return completion_time / self.brent_upper
+
+
+def completion_bounds(
+    program: Program,
+    costs: CostModel,
+    n_pes: int,
+    pe_speeds: Sequence[float] | None = None,
+    queries: int = 1,
+) -> CompletionBounds:
+    """Bounds for running ``queries`` instances of ``program``.
+
+    Multiple queries multiply the work; the span is unchanged (queries
+    are independent — the best case overlaps them perfectly, so the span
+    bound stays one program's critical path when arrivals allow it).
+    """
+    if n_pes < 1:
+        raise ValueError("n_pes must be >= 1")
+    if queries < 1:
+        raise ValueError("queries must be >= 1")
+    if pe_speeds is not None:
+        if len(pe_speeds) != n_pes:
+            raise ValueError(f"pe_speeds has {len(pe_speeds)} entries for {n_pes} PEs")
+        if min(pe_speeds) <= 0:
+            raise ValueError("pe_speeds must be positive")
+        effective = float(sum(pe_speeds))
+        max_speed = float(max(pe_speeds))
+    else:
+        effective = float(n_pes)
+        max_speed = 1.0
+    work = queries * program.sequential_work(costs)
+    span = program.critical_path(costs)
+    return CompletionBounds(work, span, effective, max_speed)

@@ -1,0 +1,159 @@
+"""Conservation and consistency invariants over finished runs.
+
+Load balancing moves work; it never creates or destroys it.  Every
+finished :class:`~repro.oracle.stats.SimResult` must therefore satisfy a
+battery of accounting identities whatever the strategy did:
+
+1.  **work conservation** — summed PE busy time equals the program's
+    sequential work (for the configured number of queries);
+2.  **goal accounting** — every generated goal executed exactly once:
+    ``sum(goals_per_pe) == total_goals`` and the hop histogram's counts
+    total the same;
+3.  **completion bound** — completion time is at least the analytic
+    lower bound of :mod:`repro.validation.bounds`;
+4.  **utilization range** — overall and per-PE utilization in [0, 1]
+    (with a numerical epsilon);
+5.  **channel sanity** — no channel busy longer than the run;
+6.  **query timing** — every query's completion falls within
+    (arrival, completion_time], and the last one *is* the run's end.
+
+:func:`check_result` returns the violations (empty list == clean);
+:func:`validate_result` raises :class:`InvariantViolation` with all of
+them listed.  The test suite runs these over every strategy x topology x
+workload combination it touches; user code can do the same after custom
+runs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .bounds import completion_bounds
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..oracle.machine import Machine
+    from ..oracle.stats import SimResult
+
+__all__ = ["InvariantViolation", "check_result", "validate_result"]
+
+_EPS = 1e-9
+
+
+class InvariantViolation(AssertionError):
+    """A finished run broke a conservation/consistency identity."""
+
+
+def check_result(result: "SimResult", machine: "Machine") -> list[str]:
+    """All invariant violations of ``result`` (empty when clean).
+
+    ``machine`` supplies the program, config, and topology the run used
+    (a Machine runs exactly once, so its pairing with the result is
+    unambiguous).
+    """
+    violations: list[str] = []
+    program = machine.program
+    config = machine.config
+    n = machine.topology.n
+
+    # 1. work conservation
+    expected_work = machine.queries * program.sequential_work(config.costs)
+    total_busy = float(result.busy_time.sum())
+    tol = max(_EPS, 1e-9 * expected_work)
+    speeds = config.pe_speeds
+    if speeds is None:
+        if abs(total_busy - expected_work) > tol:
+            violations.append(
+                f"work not conserved: busy {total_busy:.6f} != sequential "
+                f"{expected_work:.6f}"
+            )
+    else:
+        # With per-PE speeds, wall-clock busy time for the same work
+        # depends on placement; it must land in [W/max(s), W/min(s)].
+        lo, hi = expected_work / max(speeds), expected_work / min(speeds)
+        if not (lo - tol <= total_busy <= hi + tol):
+            violations.append(
+                f"work not conserved: busy {total_busy:.6f} outside "
+                f"[{lo:.6f}, {hi:.6f}] for heterogeneous speeds"
+            )
+
+    # 2. goal accounting
+    executed = int(result.goals_per_pe.sum())
+    if executed != result.total_goals:
+        violations.append(
+            f"goal count mismatch: executed {executed} != started {result.total_goals}"
+        )
+    expected_goals = machine.queries * program.total_goals()
+    if result.total_goals != expected_goals:
+        violations.append(
+            f"goal total mismatch: simulated {result.total_goals} != "
+            f"closed form {expected_goals}"
+        )
+    histogram_total = sum(result.hop_histogram.values())
+    if histogram_total != result.total_goals:
+        violations.append(
+            f"hop histogram totals {histogram_total} != goals {result.total_goals}"
+        )
+
+    # 3. completion lower bound
+    bounds = completion_bounds(
+        program,
+        config.costs,
+        n,
+        pe_speeds=config.pe_speeds,
+        queries=machine.queries,
+    )
+    if result.completion_time < bounds.lower * (1 - 1e-9):
+        violations.append(
+            f"completion {result.completion_time:.6f} beats the analytic "
+            f"lower bound {bounds.lower:.6f} — impossible"
+        )
+
+    # 4. utilization range
+    if not 0.0 <= result.utilization <= 1.0 + _EPS:
+        violations.append(f"utilization {result.utilization:.6f} outside [0, 1]")
+    per_pe = result.per_pe_utilization
+    if per_pe.min() < -_EPS or per_pe.max() > 1.0 + 1e-6:
+        violations.append(
+            f"per-PE utilization outside [0, 1]: min {per_pe.min():.6f} "
+            f"max {per_pe.max():.6f}"
+        )
+
+    # 5. channel sanity
+    if len(result.channel_busy_time) and (
+        result.channel_busy_time.max() > result.completion_time * (1 + 1e-9)
+    ):
+        violations.append(
+            f"a channel was busy {result.channel_busy_time.max():.6f} "
+            f"> run length {result.completion_time:.6f}"
+        )
+
+    # 6. query timing
+    for q, (arrived, done) in enumerate(
+        zip(result.query_arrivals, result.query_completions)
+    ):
+        if done <= arrived:
+            violations.append(f"query {q} finished at {done} <= arrival {arrived}")
+        if done > result.completion_time * (1 + 1e-12):
+            violations.append(
+                f"query {q} finished at {done} after the run ended "
+                f"({result.completion_time})"
+            )
+    if result.query_completions and (
+        abs(max(result.query_completions) - result.completion_time) > _EPS
+    ):
+        violations.append(
+            "last query completion "
+            f"{max(result.query_completions)} != completion_time "
+            f"{result.completion_time}"
+        )
+
+    return violations
+
+
+def validate_result(result: "SimResult", machine: "Machine") -> None:
+    """Raise :class:`InvariantViolation` listing every broken invariant."""
+    violations = check_result(result, machine)
+    if violations:
+        raise InvariantViolation(
+            f"{len(violations)} invariant(s) violated:\n- " + "\n- ".join(violations)
+        )

@@ -1,0 +1,115 @@
+"""Workloads: tree-structured medium-grain computations.
+
+The paper's two programs (divide-and-conquer and naive Fibonacci) plus
+synthetic generators for extension studies.  :func:`paper_workloads`
+yields the exact twelve (program, size) points of the evaluation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from .base import Goal, Leaf, Program, Split
+from .binomial import BinomialCoefficient
+from .composite import ParallelMix
+from .divide_conquer import PAPER_DC_SIZES, DivideConquer
+from .fibonacci import PAPER_FIB_SIZES, Fibonacci, fib_calls, fib_value
+from .nqueens import NQueens
+from .quicksort import QuicksortTree
+from .recorded import RecordedProgram, record
+from .synthetic import CyclicTree, RandomTree, SkewedTree
+from .uts import UnbalancedTreeSearch
+
+__all__ = [
+    "BinomialCoefficient",
+    "CyclicTree",
+    "DivideConquer",
+    "Fibonacci",
+    "Goal",
+    "Leaf",
+    "NQueens",
+    "PAPER_DC_SIZES",
+    "PAPER_FIB_SIZES",
+    "ParallelMix",
+    "Program",
+    "QuicksortTree",
+    "RecordedProgram",
+    "RandomTree",
+    "SkewedTree",
+    "Split",
+    "UnbalancedTreeSearch",
+    "fib_calls",
+    "fib_value",
+    "record",
+    "make",
+    "paper_workloads",
+]
+
+
+def paper_workloads(kind: str = "both") -> Iterator[Program]:
+    """The paper's problem instances: 6 dc sizes and/or 6 fib sizes.
+
+    ``kind`` is ``"dc"``, ``"fib"`` or ``"both"``.
+    """
+    if kind not in ("dc", "fib", "both"):
+        raise ValueError(f"kind must be 'dc', 'fib' or 'both', not {kind!r}")
+    if kind in ("dc", "both"):
+        for x in PAPER_DC_SIZES:
+            yield DivideConquer(1, x)
+    if kind in ("fib", "both"):
+        for n in PAPER_FIB_SIZES:
+            yield Fibonacci(n)
+
+
+def make(spec: str) -> Program:
+    """Build a workload from a compact spec string.
+
+    Examples: ``dc:1:4181``, ``fib:18``, ``queens:8``,
+    ``random:seed=3,depth=8``, ``cyclic:3``, ``skewed:500:0.8``,
+    ``binom:16:8``, ``uts:seed=1,b0=12,q=0.4,m=2``, ``qsort:2000`` or
+    ``qsort:2000:0.5`` (size : pivot_bias).
+    """
+    kind, _, rest = spec.partition(":")
+    kind = kind.strip().lower()
+    try:
+        if kind == "dc":
+            lo, hi = (int(x) for x in rest.split(":"))
+            return DivideConquer(lo, hi)
+        if kind == "fib":
+            return Fibonacci(int(rest))
+        if kind == "queens":
+            return NQueens(int(rest))
+        if kind == "random":
+            kwargs: dict[str, int] = {}
+            if rest:
+                for item in rest.split(","):
+                    key, _, val = item.partition("=")
+                    kwargs[key.strip()] = int(val)
+            mapping = {"seed": "seed", "depth": "expected_depth", "children": "max_children"}
+            return RandomTree(**{mapping[k]: v for k, v in kwargs.items()})
+        if kind == "cyclic":
+            return CyclicTree(int(rest)) if rest else CyclicTree()
+        if kind == "skewed":
+            size_s, _, skew_s = rest.partition(":")
+            return SkewedTree(int(size_s), float(skew_s) if skew_s else 0.7)
+        if kind == "binom":
+            n_s, _, k_s = rest.partition(":")
+            return BinomialCoefficient(int(n_s), int(k_s))
+        if kind == "uts":
+            kwargs: dict[str, float] = {}
+            if rest:
+                for item in rest.split(","):
+                    key, _, val = item.partition("=")
+                    kwargs[key.strip()] = float(val)
+            return UnbalancedTreeSearch(
+                seed=int(kwargs.get("seed", 0)),
+                root_children=int(kwargs.get("b0", 12)),
+                q=kwargs.get("q", 0.45),
+                m=int(kwargs.get("m", 2)),
+            )
+        if kind == "qsort":
+            size_s, _, bias_s = rest.partition(":")
+            return QuicksortTree(int(size_s), pivot_bias=float(bias_s) if bias_s else 0.0)
+    except (ValueError, KeyError) as exc:
+        raise ValueError(f"malformed workload spec {spec!r}: {exc}") from exc
+    raise ValueError(f"unknown workload kind {kind!r} in spec {spec!r}")

@@ -1,0 +1,256 @@
+"""The medium-grain task model shared by all workloads.
+
+Section 2 of the paper characterizes medium-grain tasks: "When activated,
+such a task executes for a short time, and then either completes, or
+starts some sub-tasks and awaits response from them. ... Usually, it is
+prohibitively expensive to move a task from a PE to another after it has
+spawned sub-tasks."
+
+We model a computation as a tree of **goals**.  Executing a goal calls the
+program's :meth:`Program.expand`, which returns either
+
+* :class:`Leaf` — the goal completes immediately with a value, or
+* :class:`Split` — the goal spawns child goals and suspends as a pinned
+  *task* awaiting their responses; when the last response arrives the
+  program's :meth:`Program.combine` folds them into the task's own value.
+
+Work amounts are ``CostModel`` base times scaled by per-goal multipliers
+(1.0 for the paper's two programs; synthetic workloads vary them).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+__all__ = ["Goal", "Leaf", "Program", "Split"]
+
+
+class Goal:
+    """One unit of medium-grain work, identified by its payload.
+
+    Attributes
+    ----------
+    payload:
+        Program-specific node descriptor, e.g. ``(M, N)`` for dc or ``n``
+        for Fibonacci.
+    parent_pe / parent_task:
+        Where the response must be delivered; ``parent_pe`` is ``None``
+        only for the root goal.
+    child_index:
+        Position among the parent's children, so responses can be folded
+        in spawn order.
+    depth:
+        Tree depth (root = 0); used by statistics and synthetic programs.
+    hops:
+        Total distance this goal travelled before starting execution —
+        the quantity histogrammed in the paper's Table 3.
+    """
+
+    __slots__ = ("payload", "parent_pe", "parent_task", "child_index", "depth", "hops")
+
+    def __init__(
+        self,
+        payload: Hashable,
+        parent_pe: int | None = None,
+        parent_task: int = -1,
+        child_index: int = 0,
+        depth: int = 0,
+    ) -> None:
+        self.payload = payload
+        self.parent_pe = parent_pe
+        self.parent_task = parent_task
+        self.child_index = child_index
+        self.depth = depth
+        self.hops = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Goal({self.payload!r}, depth={self.depth}, hops={self.hops})"
+
+
+class Leaf:
+    """Expansion outcome: the goal completes with ``value``."""
+
+    __slots__ = ("value", "work")
+
+    def __init__(self, value: Any, work: float = 1.0) -> None:
+        self.value = value
+        #: multiplier applied to ``CostModel.leaf_work``
+        self.work = work
+
+
+class Split:
+    """Expansion outcome: the goal spawns ``children`` payloads.
+
+    ``work`` multiplies ``CostModel.split_work`` (the burst before
+    suspending); ``combine_work`` multiplies ``CostModel.combine_work``
+    (the burst after the last response).
+    """
+
+    __slots__ = ("children", "work", "combine_work")
+
+    def __init__(
+        self,
+        children: tuple[Hashable, ...],
+        work: float = 1.0,
+        combine_work: float = 1.0,
+    ) -> None:
+        if not children:
+            raise ValueError("Split must have at least one child; use Leaf")
+        self.children = tuple(children)
+        self.work = work
+        self.combine_work = combine_work
+
+
+class Program:
+    """A tree-structured computation.
+
+    Subclasses implement :meth:`expand` and :meth:`combine`; the closed
+    forms (:meth:`total_goals`, :meth:`expected_result`) exist so tests
+    and experiment harnesses can verify simulations end-to-end.
+    """
+
+    #: short name used in experiment tables ("dc", "fib", ...)
+    name = "abstract"
+
+    def root_payload(self) -> Hashable:
+        """Payload of the root goal."""
+        raise NotImplementedError
+
+    def expand(self, payload: Hashable) -> Leaf | Split:
+        """Execute one goal: return its Leaf value or its Split children.
+
+        Must be deterministic in ``payload`` — the same goal expanded on
+        any PE at any time yields the same children (the paper's programs
+        are pure; synthetic programs bake randomness into payloads).
+        """
+        raise NotImplementedError
+
+    def combine(self, payload: Hashable, values: list[Any]) -> Any:
+        """Fold children's response values into this task's value.
+
+        ``values`` arrives ordered by child position, not arrival time.
+        """
+        raise NotImplementedError
+
+    # -- closed forms for verification ---------------------------------------
+
+    def total_goals(self) -> int:
+        """Number of goals the computation generates (tree node count)."""
+        counting = _CountVisitor(self)
+        return counting.count(self.root_payload())
+
+    def expected_result(self) -> Any:
+        """The value the root should produce (sequential evaluation)."""
+        return _sequential_eval(self, self.root_payload())
+
+    def sequential_work(self, costs: Any) -> float:
+        """Total busy time a 1-PE machine would charge for this program.
+
+        Used to cross-check utilization accounting: on any machine,
+        ``sum(busy_time) == sequential_work`` because load balancing moves
+        work without creating or destroying it.
+        """
+        total = 0.0
+        stack = [self.root_payload()]
+        while stack:
+            payload = stack.pop()
+            exp = self.expand(payload)
+            if isinstance(exp, Leaf):
+                total += costs.leaf_work * exp.work
+            else:
+                total += costs.split_work * exp.work
+                total += costs.combine_work * exp.combine_work
+                stack.extend(exp.children)
+        return total
+
+    def critical_path(self, costs: Any) -> float:
+        """Compute time along the tree's longest dependency chain.
+
+        The span (T-infinity) of the computation under ``costs``,
+        ignoring all communication: no machine, no strategy, and no
+        number of PEs can complete the program faster.  Tests use this
+        as a lower bound on every simulated completion time.
+
+        Computed iteratively (fib(18)'s recursion is deeper than the
+        default Python stack is comfortable with when doubled by the
+        evaluator's own frames).
+        """
+        # Post-order accumulation of span per node.
+        # Stack entries: [payload, expansion | None, child spans].
+        result = 0.0
+        stack: list[list] = [[self.root_payload(), None, None]]
+        while stack:
+            frame = stack[-1]
+            payload, exp, spans = frame
+            if exp is None:
+                exp = self.expand(payload)
+                if isinstance(exp, Leaf):
+                    stack.pop()
+                    result = costs.leaf_work * exp.work
+                    if stack:
+                        stack[-1][2].append(result)
+                    continue
+                frame[1] = exp
+                frame[2] = []
+                stack.append([exp.children[0], None, None])
+            elif len(spans) < len(exp.children):
+                stack.append([exp.children[len(spans)], None, None])
+            else:
+                stack.pop()
+                own = costs.split_work * exp.work + costs.combine_work * exp.combine_work
+                result = own + max(spans)
+                if stack:
+                    stack[-1][2].append(result)
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Program {self.name}>"
+
+
+class _CountVisitor:
+    """Iterative tree-size counter (recursion-free: fib(18) is deep-ish)."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+
+    def count(self, root: Hashable) -> int:
+        total = 0
+        stack = [root]
+        while stack:
+            payload = stack.pop()
+            total += 1
+            exp = self.program.expand(payload)
+            if isinstance(exp, Split):
+                stack.extend(exp.children)
+        return total
+
+
+def _sequential_eval(program: Program, root: Hashable) -> Any:
+    """Post-order iterative evaluation of the goal tree."""
+    # Stack entries: (payload, expansion, collected child values) — None
+    # expansion means "not yet expanded".
+    result: Any = None
+    stack: list[list] = [[root, None, None]]
+    while stack:
+        frame = stack[-1]
+        payload, exp, values = frame
+        if exp is None:
+            exp = program.expand(payload)
+            if isinstance(exp, Leaf):
+                stack.pop()
+                result = exp.value
+                if stack:
+                    stack[-1][2].append(result)
+                continue
+            frame[1] = exp
+            frame[2] = []
+            # push first child
+            stack.append([exp.children[0], None, None])
+        elif len(values) < len(exp.children):
+            stack.append([exp.children[len(values)], None, None])
+        else:
+            stack.pop()
+            result = program.combine(payload, values)
+            if stack:
+                stack[-1][2].append(result)
+    return result

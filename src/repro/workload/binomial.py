@@ -1,0 +1,63 @@
+"""Binomial-coefficient recursion — a second "naturally unbalanced" tree.
+
+``C(n, k) = C(n-1, k-1) + C(n-1, k)`` with leaves at ``k == 0`` or
+``k == n``.  Like naive Fibonacci this is a doubly recursive definition
+nobody would compute this way; like the paper (§3) we want its *tree*:
+the recursion explores all ``C(n, k)`` lattice paths, so the tree has
+``C(n, k)`` leaves and ``C(n, k) - 1`` internal nodes, and its shape
+interpolates with ``k`` — ``k = 1`` gives a near-chain (parallelism ~2),
+``k = n/2`` a bushy fib-like tree.  One workload family thus sweeps the
+*available parallelism* axis with the total-size axis independently
+controllable, which fib and dc cannot do (their shape is fixed per
+size).
+"""
+
+from __future__ import annotations
+
+from math import comb
+
+from .base import Leaf, Program, Split
+
+__all__ = ["BinomialCoefficient"]
+
+
+class BinomialCoefficient(Program):
+    """The recursion tree of ``C(n, k)`` via Pascal's rule.
+
+    Parameters
+    ----------
+    n, k:
+        Target coefficient; ``0 <= k <= n``.  Tree size is
+        ``2 * C(n, k) - 1`` goals; pick ``(n, k)`` accordingly
+        (``C(16, 8) = 12870`` is already larger than fib(18)'s tree).
+    """
+
+    name = "binom"
+
+    def __init__(self, n: int, k: int) -> None:
+        if n < 0 or not 0 <= k <= n:
+            raise ValueError(f"need 0 <= k <= n, got n={n} k={k}")
+        self.n_param = n
+        self.k_param = k
+
+    @property
+    def label(self) -> str:
+        return f"binom({self.n_param},{self.k_param})"
+
+    def root_payload(self) -> tuple[int, int]:
+        return (self.n_param, self.k_param)
+
+    def expand(self, payload: tuple[int, int]) -> Leaf | Split:
+        n, k = payload
+        if k == 0 or k == n:
+            return Leaf(1)
+        return Split(((n - 1, k - 1), (n - 1, k)))
+
+    def combine(self, payload: tuple[int, int], values: list[int]) -> int:
+        return values[0] + values[1]
+
+    def total_goals(self) -> int:
+        return 2 * comb(self.n_param, self.k_param) - 1
+
+    def expected_result(self) -> int:
+        return comb(self.n_param, self.k_param)

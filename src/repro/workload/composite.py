@@ -1,0 +1,72 @@
+"""Workload composition: mixes of goal trees under one root.
+
+Real query mixes are heterogeneous; the paper's single-program runs are
+the controlled case.  :class:`ParallelMix` joins several programs under
+a synthetic zero-work root, so "run a dc and two fibs concurrently" is
+one workload object usable everywhere a single program is — comparisons,
+streams, traces.  Payloads are tagged with the sub-program index, and
+the combined result is the tuple of sub-results.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+from .base import Leaf, Program, Split
+
+__all__ = ["ParallelMix"]
+
+_ROOT = ("__mix_root__",)
+
+
+class ParallelMix(Program):
+    """Several programs evaluated concurrently under one root.
+
+    The synthetic root costs (almost) nothing — work multiplier
+    ``epsilon`` on both split and combine — so the mix's sequential work
+    is essentially the sum of its parts.
+    """
+
+    name = "mix"
+
+    def __init__(self, programs: list[Program], epsilon: float = 1e-3) -> None:
+        if not programs:
+            raise ValueError("a mix needs at least one program")
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        self.programs = list(programs)
+        self.epsilon = epsilon
+        self.name = "mix(" + "+".join(
+            getattr(p, "label", p.name) for p in self.programs
+        ) + ")"
+
+    def root_payload(self) -> Hashable:
+        return _ROOT
+
+    def expand(self, payload: Hashable) -> Leaf | Split:
+        if payload == _ROOT:
+            children = tuple(
+                (idx, prog.root_payload()) for idx, prog in enumerate(self.programs)
+            )
+            return Split(children, work=self.epsilon, combine_work=self.epsilon)
+        idx, inner = payload
+        exp = self.programs[idx].expand(inner)
+        if isinstance(exp, Leaf):
+            return exp
+        return Split(
+            tuple((idx, child) for child in exp.children),
+            work=exp.work,
+            combine_work=exp.combine_work,
+        )
+
+    def combine(self, payload: Hashable, values: list[Any]) -> Any:
+        if payload == _ROOT:
+            return tuple(values)
+        idx, inner = payload
+        return self.programs[idx].combine(inner, values)
+
+    def total_goals(self) -> int:
+        return 1 + sum(p.total_goals() for p in self.programs)
+
+    def expected_result(self) -> tuple:
+        return tuple(p.expected_result() for p in self.programs)

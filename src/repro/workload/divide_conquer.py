@@ -1,0 +1,59 @@
+"""The paper's divide-and-conquer ("dc") program.
+
+    dc(M,N) <- if M = N then M else dc(M,(M+N)/2) + dc(1 + (M+N)/2, N)
+
+The computation tree is a (nearly) balanced binary tree with ``N - M + 1``
+leaves and ``2*(N - M + 1) - 1`` goals; the value is ``sum(M..N)``.  The
+paper runs ``dc(1, X)`` for X in {21, 55, 144, 377, 987, 4181}, giving
+goal counts {41, 109, 287, 753, 1973, 8361} — deliberately matched to the
+call counts of fib(7..18) so the two workloads differ only in tree shape
+(dc's tree is well balanced, fib's is skewed).
+"""
+
+from __future__ import annotations
+
+from .base import Leaf, Program, Split
+
+__all__ = ["DivideConquer", "PAPER_DC_SIZES"]
+
+#: The X values of the paper's six dc(1, X) problem sizes.
+PAPER_DC_SIZES: tuple[int, ...] = (21, 55, 144, 377, 987, 4181)
+
+
+class DivideConquer(Program):
+    """``dc(lo, hi)`` summing the integers in ``[lo, hi]``."""
+
+    name = "dc"
+
+    def __init__(self, lo: int, hi: int) -> None:
+        if lo > hi:
+            raise ValueError(f"empty range dc({lo},{hi})")
+        self.lo = lo
+        self.hi = hi
+
+    def root_payload(self) -> tuple[int, int]:
+        return (self.lo, self.hi)
+
+    def expand(self, payload: tuple[int, int]) -> Leaf | Split:
+        m, n = payload
+        if m == n:
+            return Leaf(m)
+        mid = (m + n) // 2
+        return Split(((m, mid), (mid + 1, n)))
+
+    def combine(self, payload: tuple[int, int], values: list[int]) -> int:
+        return values[0] + values[1]
+
+    # -- closed forms ----------------------------------------------------------
+
+    def total_goals(self) -> int:
+        return 2 * (self.hi - self.lo + 1) - 1
+
+    def expected_result(self) -> int:
+        lo, hi = self.lo, self.hi
+        return (lo + hi) * (hi - lo + 1) // 2
+
+    @property
+    def label(self) -> str:
+        """Paper-style label, e.g. ``dc(1,4181)``."""
+        return f"dc({self.lo},{self.hi})"

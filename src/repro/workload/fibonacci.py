@@ -1,0 +1,69 @@
+"""The paper's naive doubly-recursive Fibonacci program.
+
+    fib(M) <- if M < 2 then M else fib(M-1) + fib(M-2)
+
+The paper is explicit that the *value* is irrelevant — "we are simply
+interested in the computation trees they yield".  fib's tree is the
+classic skewed recursion tree: ``calls(n) = 2*fib(n+1) - 1`` goals, so
+fib(7, 9, 11, 13, 15, 18) generate 41, 109, 287, 753, 1973 and 8361
+goals — exactly matching the dc problem sizes.
+"""
+
+from __future__ import annotations
+
+from .base import Leaf, Program, Split
+
+__all__ = ["Fibonacci", "PAPER_FIB_SIZES", "fib_value", "fib_calls"]
+
+#: The n values of the paper's six Fibonacci problem sizes.
+PAPER_FIB_SIZES: tuple[int, ...] = (7, 9, 11, 13, 15, 18)
+
+
+def fib_value(n: int) -> int:
+    """The n-th Fibonacci number (fib(0)=0, fib(1)=1), iteratively."""
+    if n < 0:
+        raise ValueError("fib is defined for n >= 0")
+    a, b = 0, 1
+    for _ in range(n):
+        a, b = b, a + b
+    return a
+
+
+def fib_calls(n: int) -> int:
+    """Number of calls naive fib(n) makes, including itself: 2*fib(n+1)-1."""
+    return 2 * fib_value(n + 1) - 1
+
+
+class Fibonacci(Program):
+    """Naive recursive ``fib(n)`` as a goal tree."""
+
+    name = "fib"
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ValueError("fib is defined for n >= 0")
+        self.n = n
+
+    def root_payload(self) -> int:
+        return self.n
+
+    def expand(self, payload: int) -> Leaf | Split:
+        if payload < 2:
+            return Leaf(payload)
+        return Split((payload - 1, payload - 2))
+
+    def combine(self, payload: int, values: list[int]) -> int:
+        return values[0] + values[1]
+
+    # -- closed forms ----------------------------------------------------------
+
+    def total_goals(self) -> int:
+        return fib_calls(self.n)
+
+    def expected_result(self) -> int:
+        return fib_value(self.n)
+
+    @property
+    def label(self) -> str:
+        """Paper-style label, e.g. ``fib(18)``."""
+        return f"fib({self.n})"

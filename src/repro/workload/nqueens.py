@@ -1,0 +1,73 @@
+"""N-Queens — a real problem-solving workload from the paper's domain.
+
+The introduction motivates the whole study with "parallel evaluation
+schemes for functional programs, logic programs, problem-solving etc."
+N-Queens is the canonical problem-solving tree of that era: each task
+holds a partial placement (one queen per filled row), spawns one child
+per non-attacked square in the next row, and the results sum to the
+number of solutions — verifiable against the known sequence.
+
+Unlike dc/fib the tree is *irregular*: branching factors shrink as the
+board fills and whole subtrees die early, so the parallelism profile
+rises sharply and decays raggedly — a good stress test for both
+schemes' redistribution behaviour.
+"""
+
+from __future__ import annotations
+
+from .base import Leaf, Program, Split
+
+__all__ = ["NQueens", "SOLUTION_COUNTS"]
+
+#: number of solutions for n = 0..12 (OEIS A000170)
+SOLUTION_COUNTS: tuple[int, ...] = (1, 1, 0, 0, 2, 10, 4, 40, 92, 352, 724, 2680, 14200)
+
+
+def _safe(placement: tuple[int, ...], col: int) -> bool:
+    row = len(placement)
+    for r, c in enumerate(placement):
+        if c == col or abs(c - col) == row - r:
+            return False
+    return True
+
+
+class NQueens(Program):
+    """Count the solutions of the ``n``-queens problem as a goal tree.
+
+    The payload is the tuple of column choices so far; the root is the
+    empty placement.  A dead end (no safe column) is a 0-valued leaf
+    with a small work multiplier — the quick failure of a pruned search
+    branch.
+    """
+
+    name = "nqueens"
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        self.n = n
+
+    def root_payload(self) -> tuple[int, ...]:
+        return ()
+
+    def expand(self, placement: tuple[int, ...]) -> Leaf | Split:
+        if len(placement) == self.n:
+            return Leaf(1)
+        children = tuple(
+            placement + (col,) for col in range(self.n) if _safe(placement, col)
+        )
+        if not children:
+            return Leaf(0, work=0.25)  # dead end: cheap failure
+        return Split(children)
+
+    def combine(self, placement: tuple[int, ...], values: list[int]) -> int:
+        return sum(values)
+
+    def expected_result(self) -> int:
+        if self.n < len(SOLUTION_COUNTS):
+            return SOLUTION_COUNTS[self.n]
+        return super().expected_result()
+
+    @property
+    def label(self) -> str:
+        return f"queens({self.n})"

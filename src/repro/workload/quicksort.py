@@ -1,0 +1,104 @@
+"""Quicksort recursion tree — data-dependent imbalance with semantics.
+
+Parallel quicksort is the textbook "medium-grain divide-and-conquer with
+unpredictable splits": partitioning ``n`` keys around a pivot yields
+sub-problems of sizes ``(p, n - 1 - p)`` where ``p`` depends on the
+data.  We model the pivot rank as a deterministic pseudo-random draw per
+node (hash of ``(seed, path)``), so one parameter sweeps between dc-like
+balance (every run is lucky) and fib-like or worse skew (adversarial
+pivots) *on a workload whose imbalance source is data, not structure* —
+the situation the paper's introduction says makes static scheduling
+inapplicable.
+
+The ``pivot_bias`` parameter mixes the uniform pivot rank toward the
+median: 1.0 forces perfect median splits (balanced), 0.0 is plain
+uniform quicksort.  Splits stop below ``cutoff`` keys (an insertion-sort
+leaf, the real-world grainsize control).
+
+The combined value is the total number of key comparisons charged, whose
+expectation for uniform pivots is the classic ``~2 n ln n`` — a built-in
+sanity check used by the tests.
+"""
+
+from __future__ import annotations
+
+from .base import Leaf, Program, Split
+from .synthetic import _unit
+
+__all__ = ["QuicksortTree"]
+
+
+class QuicksortTree(Program):
+    """The recursion tree of randomized quicksort over ``size`` keys.
+
+    Parameters
+    ----------
+    size:
+        Number of keys at the root.
+    seed:
+        Pivot-sequence seed.
+    pivot_bias:
+        0.0 = uniform pivot rank; 1.0 = exact median every time.
+    cutoff:
+        Partitions at or below this size become leaves.
+    """
+
+    name = "qsort"
+
+    def __init__(
+        self,
+        size: int,
+        seed: int = 0,
+        pivot_bias: float = 0.0,
+        cutoff: int = 4,
+    ) -> None:
+        if size < 1:
+            raise ValueError("size must be >= 1")
+        if not 0.0 <= pivot_bias <= 1.0:
+            raise ValueError("pivot_bias must be in [0, 1]")
+        if cutoff < 1:
+            raise ValueError("cutoff must be >= 1")
+        self.size = size
+        self.seed = seed
+        self.pivot_bias = pivot_bias
+        self.cutoff = cutoff
+
+    @property
+    def label(self) -> str:
+        return f"qsort(n={self.size},bias={self.pivot_bias})"
+
+    def root_payload(self) -> tuple[tuple[int, ...], int]:
+        # (path, sub-problem size): the path makes pivot draws unique
+        # and keeps expansion a pure function of the payload.
+        return ((), self.size)
+
+    def _pivot_rank(self, path: tuple[int, ...], n: int) -> int:
+        u = _unit(self.seed, 29, *path)
+        uniform = int(u * n)  # rank in 0..n-1
+        median = (n - 1) // 2
+        return round(uniform + (median - uniform) * self.pivot_bias)
+
+    def expand(self, payload: tuple[tuple[int, ...], int]) -> Leaf | Split:
+        path, n = payload
+        if n <= self.cutoff:
+            # Insertion-sort leaf: ~n^2/4 comparisons, scaled work.
+            return Leaf(n * (n - 1) // 2, work=max(1.0, n / 4.0))
+        p = self._pivot_rank(path, n)
+        left, right = p, n - 1 - p
+        children = []
+        if left > 0:
+            children.append((path + (0,), left))
+        if right > 0:
+            children.append((path + (1,), right))
+        if not children:  # n == 1 handled by cutoff >= 1, but stay safe
+            return Leaf(0)
+        # Partitioning compares all n-1 keys to the pivot.
+        return Split(tuple(children), work=max(1.0, n / 8.0))
+
+    def combine(self, payload: tuple[tuple[int, ...], int], values: list[int]) -> int:
+        _path, n = payload
+        return (n - 1) + sum(values)
+
+    def expected_result(self) -> int:
+        """Total comparisons — data-dependent; computed by evaluation."""
+        return super().expected_result()

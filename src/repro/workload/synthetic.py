@@ -1,0 +1,182 @@
+"""Synthetic goal trees beyond the paper's two programs.
+
+The paper picks dc and fib because they are *predictable*: "we needed a
+predictable computation, whose structure is easy to grasp", while noting
+that "in real life computations, the parallelism may rise and fall in
+cycles".  These generators provide controlled irregularity for extension
+studies:
+
+* :class:`RandomTree` — random branching factors and heavy-tailed work
+  multipliers, seeded and fully deterministic;
+* :class:`CyclicTree` — parallelism that waxes and wanes with depth, the
+  "rise and fall in cycles" shape the paper calls out;
+* :class:`SkewedTree` — a tunably unbalanced binary tree interpolating
+  between dc's balance and a pathological chain.
+
+Determinism matters: a goal's expansion must depend only on its payload
+(a goal may be counted by the closed-form visitor, expanded by the
+sequential evaluator, and expanded again inside the simulation — all must
+agree).  Randomness is therefore derived by hashing ``(seed, path)`` with
+a splitmix-style mixer, never by consuming a shared RNG stream.
+"""
+
+from __future__ import annotations
+
+from .base import Leaf, Program, Split
+
+__all__ = ["CyclicTree", "RandomTree", "SkewedTree"]
+
+_MASK = (1 << 64) - 1
+
+
+def _mix(*parts: int) -> int:
+    """Deterministic 64-bit hash of a sequence of ints (splitmix64 core)."""
+    h = 0x9E3779B97F4A7C15
+    for p in parts:
+        h = (h ^ (p & _MASK)) * 0xBF58476D1CE4E5B9 & _MASK
+        h = (h ^ (h >> 27)) * 0x94D049BB133111EB & _MASK
+        h ^= h >> 31
+    return h
+
+
+def _unit(*parts: int) -> float:
+    """Deterministic uniform float in [0, 1) from the same mixer."""
+    return _mix(*parts) / float(1 << 64)
+
+
+class RandomTree(Program):
+    """Random branching tree with heavy-tailed leaf work.
+
+    Parameters
+    ----------
+    seed:
+        Shape seed; different seeds give different trees.
+    expected_depth:
+        Depth beyond which goals become increasingly likely to be leaves.
+    max_children:
+        Branching factors are uniform in ``2..max_children``.
+    work_spread:
+        Leaf work multipliers are ``1 + work_spread * u**3`` for uniform
+        ``u`` — a mildly heavy tail when ``work_spread`` is large.
+    max_depth:
+        Hard cutoff guaranteeing the tree is finite.
+    """
+
+    name = "random"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        expected_depth: int = 8,
+        max_children: int = 3,
+        work_spread: float = 4.0,
+        max_depth: int = 24,
+    ) -> None:
+        if max_children < 2:
+            raise ValueError("max_children must be >= 2")
+        if expected_depth < 1 or max_depth < expected_depth:
+            raise ValueError("need 1 <= expected_depth <= max_depth")
+        self.seed = seed
+        self.expected_depth = expected_depth
+        self.max_children = max_children
+        self.work_spread = work_spread
+        self.max_depth = max_depth
+
+    def root_payload(self) -> tuple[int, ...]:
+        return ()
+
+    def _leaf_probability(self, depth: int) -> float:
+        if depth >= self.max_depth:
+            return 1.0
+        # 0 at the root, 0.5 at expected_depth, approaching 1 below it.
+        return depth / (depth + self.expected_depth)
+
+    def expand(self, path: tuple[int, ...]) -> Leaf | Split:
+        depth = len(path)
+        u = _unit(self.seed, 1, *path)
+        if u < self._leaf_probability(depth):
+            w = 1.0 + self.work_spread * _unit(self.seed, 2, *path) ** 3
+            return Leaf(1, work=w)
+        k = 2 + _mix(self.seed, 3, *path) % (self.max_children - 1)
+        return Split(tuple(path + (i,) for i in range(k)))
+
+    def combine(self, path: tuple[int, ...], values: list[int]) -> int:
+        return sum(values)
+
+    def expected_result(self) -> int:
+        """Number of leaves (every leaf contributes 1)."""
+        return super().expected_result()
+
+
+class CyclicTree(Program):
+    """Parallelism rising and falling in cycles.
+
+    At depths in the first half of each cycle goals branch in two; in the
+    second half they chain (a single child), so the frontier repeatedly
+    widens and then stalls — the paper's "rise and fall in cycles".
+    """
+
+    name = "cyclic"
+
+    def __init__(self, cycles: int = 3, expand_depth: int = 4, chain_depth: int = 4) -> None:
+        if cycles < 1 or expand_depth < 1 or chain_depth < 0:
+            raise ValueError("cycles/expand_depth must be >= 1, chain_depth >= 0")
+        self.cycles = cycles
+        self.expand_depth = expand_depth
+        self.chain_depth = chain_depth
+
+    def root_payload(self) -> tuple[int, ...]:
+        return ()
+
+    def expand(self, path: tuple[int, ...]) -> Leaf | Split:
+        depth = len(path)
+        period = self.expand_depth + self.chain_depth
+        if depth >= self.cycles * period:
+            return Leaf(1)
+        if depth % period < self.expand_depth:
+            return Split((path + (0,), path + (1,)))
+        return Split((path + (0,),))
+
+    def combine(self, path: tuple[int, ...], values: list[int]) -> int:
+        return sum(values)
+
+    def total_goals(self) -> int:
+        # Per cycle the frontier doubles expand_depth times then chains.
+        return super().total_goals()
+
+
+class SkewedTree(Program):
+    """A binary tree splitting ``size`` leaves as ``(skew, 1-skew)``.
+
+    ``skew = 0.5`` reproduces dc's balanced shape; ``skew`` near 1 gives
+    long left spines resembling fib's asymmetry and beyond.
+    """
+
+    name = "skewed"
+
+    def __init__(self, size: int, skew: float = 0.7) -> None:
+        if size < 1:
+            raise ValueError("size must be >= 1")
+        if not 0.0 < skew < 1.0:
+            raise ValueError("skew must be strictly between 0 and 1")
+        self.size = size
+        self.skew = skew
+
+    def root_payload(self) -> tuple[int, int]:
+        return (0, self.size)
+
+    def expand(self, payload: tuple[int, int]) -> Leaf | Split:
+        lo, n = payload
+        if n == 1:
+            return Leaf(1)
+        left = max(1, min(n - 1, round(n * self.skew)))
+        return Split(((lo, left), (lo + left, n - left)))
+
+    def combine(self, payload: tuple[int, int], values: list[int]) -> int:
+        return values[0] + values[1]
+
+    def total_goals(self) -> int:
+        return 2 * self.size - 1
+
+    def expected_result(self) -> int:
+        return self.size

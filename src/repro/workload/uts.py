@@ -1,0 +1,99 @@
+"""Unbalanced Tree Search (UTS) — the standard irregular-workload shape.
+
+Olivier et al.'s UTS benchmark became the canonical stress test for
+exactly the problem this paper studies: dynamic load balancing of
+unpredictable tree computations.  We implement the *geometric/binomial*
+variant: the root spawns ``root_children`` children; every other node
+spawns ``m`` children with probability ``q`` and none otherwise.  With
+``q * m < 1`` the tree is finite almost surely (expected size
+``root_children / (1 - q * m)`` plus the root), but individual subtrees
+vary over orders of magnitude — far more hostile than fib's mild skew.
+
+Determinism: whether a node branches is decided by hashing
+``(seed, path)`` with the same splitmix mixer the other synthetic
+workloads use, so the tree is a pure function of its payload — required
+by the :class:`~repro.workload.base.Program` contract (the closed-form
+visitor, the sequential evaluator, and the simulator must all see the
+same tree) and matching UTS's own SHA-1-per-node design.
+
+A hard ``max_depth`` backstop guarantees termination for adversarial
+parameter choices; nodes at the cutoff become leaves.
+"""
+
+from __future__ import annotations
+
+from .base import Leaf, Program, Split
+from .synthetic import _unit
+
+__all__ = ["UnbalancedTreeSearch"]
+
+
+class UnbalancedTreeSearch(Program):
+    """UTS-style geometric tree: each non-root node branches ``m``-ways
+    with probability ``q``.
+
+    Parameters
+    ----------
+    seed:
+        Tree-shape seed.
+    root_children:
+        Branching factor of the root (UTS's ``b_0``); sets the initial
+        parallelism ramp.
+    q:
+        Probability a non-root node is internal; ``q * m < 1`` required.
+    m:
+        Branching factor of internal non-root nodes.
+    max_depth:
+        Safety cutoff; nodes this deep are forced leaves.
+    """
+
+    name = "uts"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        root_children: int = 12,
+        q: float = 0.45,
+        m: int = 2,
+        max_depth: int = 200,
+    ) -> None:
+        if root_children < 1:
+            raise ValueError("root_children must be >= 1")
+        if m < 2:
+            raise ValueError("m must be >= 2")
+        if not 0.0 <= q < 1.0:
+            raise ValueError("q must be in [0, 1)")
+        if q * m >= 1.0:
+            raise ValueError(f"q*m = {q * m:.3f} >= 1 gives an (almost surely) infinite tree")
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        self.seed = seed
+        self.root_children = root_children
+        self.q = q
+        self.m = m
+        self.max_depth = max_depth
+
+    @property
+    def label(self) -> str:
+        return f"uts(seed={self.seed},b0={self.root_children},q={self.q},m={self.m})"
+
+    def root_payload(self) -> tuple[int, ...]:
+        return ()
+
+    def expand(self, path: tuple[int, ...]) -> Leaf | Split:
+        depth = len(path)
+        if depth == 0:
+            return Split(tuple(path + (i,) for i in range(self.root_children)))
+        if depth >= self.max_depth:
+            return Leaf(1)
+        if _unit(self.seed, 17, *path) < self.q:
+            return Split(tuple(path + (i,) for i in range(self.m)))
+        return Leaf(1)
+
+    def combine(self, path: tuple[int, ...], values: list[int]) -> int:
+        """Count nodes: each subtree reports its node count."""
+        return 1 + sum(values)
+
+    def expected_result(self) -> int:
+        """Total node count (root included) — equals ``total_goals()``."""
+        return self.total_goals()

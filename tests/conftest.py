@@ -1,0 +1,61 @@
+"""Shared fixtures: small machines, fast cost models, common topologies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.oracle.config import CostModel, SimConfig
+from repro.topology import Complete, DoubleLatticeMesh, Grid, Hypercube, Ring
+from repro.workload import DivideConquer, Fibonacci
+
+
+@pytest.fixture
+def unit_config() -> SimConfig:
+    """Everything costs one unit: hand-checkable timings."""
+    return SimConfig(costs=CostModel.unit(), seed=7)
+
+
+@pytest.fixture
+def fast_config() -> SimConfig:
+    """Default costs, fixed seed — the standard small-test config."""
+    return SimConfig(seed=7)
+
+
+@pytest.fixture
+def grid5() -> Grid:
+    return Grid(5, 5)
+
+
+@pytest.fixture
+def grid4() -> Grid:
+    return Grid(4, 4)
+
+
+@pytest.fixture
+def dlm_small() -> DoubleLatticeMesh:
+    return DoubleLatticeMesh(4, 8, 8)
+
+
+@pytest.fixture
+def cube4() -> Hypercube:
+    return Hypercube(4)
+
+
+@pytest.fixture
+def ring8() -> Ring:
+    return Ring(8)
+
+
+@pytest.fixture
+def complete4() -> Complete:
+    return Complete(4)
+
+
+@pytest.fixture
+def fib9() -> Fibonacci:
+    return Fibonacci(9)
+
+
+@pytest.fixture
+def dc55() -> DivideConquer:
+    return DivideConquer(1, 55)

@@ -1,0 +1,118 @@
+"""Unit tests for Adaptive CWN (the paper's future-work extensions)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CWN, AdaptiveCWN
+from repro.core.load_metrics import make_load_metric, queue_length, with_commitments
+from repro.oracle.config import SimConfig
+from repro.oracle.machine import Machine
+from repro.topology import Grid
+from repro.workload import Fibonacci
+
+
+def run(workload, topology, strategy, config=None, start_pe=0):
+    return Machine(topology, workload, strategy, config, start_pe).run()
+
+
+class TestParameters:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveCWN(saturation=0)
+        with pytest.raises(ValueError):
+            AdaptiveCWN(pull_threshold=0.5)
+
+    def test_describe_params_extends_cwn(self):
+        params = AdaptiveCWN(radius=5, horizon=1, saturation=4.0).describe_params()
+        assert params["radius"] == 5
+        assert params["saturation"] == 4.0
+        assert params["pull"] is True
+
+
+class TestSaturationControl:
+    def test_reduces_goal_traffic(self):
+        cfg = SimConfig(seed=3)
+        plain = run(Fibonacci(13), Grid(4, 4), CWN(radius=4, horizon=1), cfg)
+        adaptive = run(
+            Fibonacci(13),
+            Grid(4, 4),
+            AdaptiveCWN(radius=4, horizon=1, saturation=2.0, pull=False),
+            cfg,
+        )
+        assert adaptive.goal_messages_sent < plain.goal_messages_sent
+        assert adaptive.result_value == plain.result_value
+
+    def test_counts_kept_goals(self):
+        cfg = SimConfig(seed=3)
+        strat = AdaptiveCWN(radius=4, horizon=1, saturation=2.0, pull=False)
+        run(Fibonacci(13), Grid(4, 4), strat, cfg)
+        assert strat._kept_saturated > 0
+
+    def test_disabled_saturation_matches_cwn_traffic(self):
+        cfg = SimConfig(seed=3)
+        plain = run(Fibonacci(11), Grid(4, 4), CWN(radius=4, horizon=1), cfg)
+        adaptive = run(
+            Fibonacci(11),
+            Grid(4, 4),
+            AdaptiveCWN(radius=4, horizon=1, saturation=None, pull=False),
+            cfg,
+        )
+        assert adaptive.goal_messages_sent == plain.goal_messages_sent
+        assert adaptive.completion_time == plain.completion_time
+
+
+class TestIdlePull:
+    def test_pull_moves_goals(self):
+        cfg = SimConfig(seed=3)
+        strat = AdaptiveCWN(radius=2, horizon=1, saturation=None, pull=True)
+        res = run(Fibonacci(13), Grid(4, 4), strat, cfg)
+        assert strat._pulled > 0
+        assert res.result_value == 233
+
+    def test_pull_off_never_pulls(self):
+        cfg = SimConfig(seed=3)
+        strat = AdaptiveCWN(radius=2, horizon=1, saturation=None, pull=False)
+        run(Fibonacci(13), Grid(4, 4), strat, cfg)
+        assert strat._pulled == 0
+
+    def test_correctness_with_everything_on(self, fast_config):
+        strat = AdaptiveCWN(radius=4, horizon=1, saturation=2.0, pull=True)
+        res = run(Fibonacci(12), Grid(4, 4), strat, fast_config)
+        assert res.result_value == 144
+
+
+class TestLoadMetrics:
+    def test_queue_metric(self, grid4, fast_config):
+        m = Machine(grid4, Fibonacci(5), CWN(radius=2), fast_config)
+        pe = m.pes[0]
+        assert queue_length(pe) == 0.0
+
+    def test_commitments_metric_counts_pending_tasks(self, grid4, fast_config):
+        m = Machine(grid4, Fibonacci(5), CWN(radius=2), fast_config)
+        pe = m.pes[0]
+        pe.pending_tasks = 3
+        assert with_commitments(0.5)(pe) == 1.5
+        assert with_commitments(1.0)(pe) == 3.0
+
+    def test_make_load_metric(self):
+        assert make_load_metric("queue") is queue_length
+        metric = make_load_metric("commitments", 0.25)
+        with pytest.raises(ValueError):
+            make_load_metric("vibes")
+        with pytest.raises(ValueError):
+            with_commitments(-1)
+
+    def test_acwn_installs_commitments_metric(self, grid4, fast_config):
+        strat = AdaptiveCWN(radius=4, load_metric="commitments")
+        m = Machine(grid4, Fibonacci(5), strat, fast_config)
+        pe = m.pes[0]
+        pe.pending_tasks = 2
+        assert m.load_of(0) == 1.0  # 0 queue + 0.5 * 2
+
+    def test_commitments_metric_completes_correctly(self, fast_config):
+        strat = AdaptiveCWN(
+            radius=4, horizon=1, saturation=None, pull=False, load_metric="commitments"
+        )
+        res = run(Fibonacci(12), Grid(4, 4), strat, fast_config)
+        assert res.result_value == 144

@@ -1,0 +1,283 @@
+"""Tests for repro.analysis: sign test, Wilcoxon, bootstrap, crossovers,
+parallel metrics, Markdown rendering.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    Crossover,
+    bootstrap_ci,
+    efficiency,
+    find_crossovers,
+    isoefficiency_table,
+    karp_flatt,
+    markdown_table,
+    paired_summary,
+    render_report,
+    sign_test,
+    wilcoxon_signed_rank,
+)
+from repro.analysis.metrics import SpeedupRow
+
+
+class TestSignTest:
+    def test_balanced_outcome_not_significant(self):
+        assert sign_test(10, 10) == pytest.approx(1.0, abs=0.05)
+
+    def test_paper_claim_is_overwhelming(self):
+        # 118 wins out of 120 non-tied cells.
+        p = sign_test(118, 2)
+        assert p < 1e-25
+
+    def test_symmetry(self):
+        assert sign_test(15, 5) == pytest.approx(sign_test(5, 15))
+
+    def test_no_data(self):
+        assert sign_test(0, 0) == 1.0
+
+    def test_all_wins_small_n(self):
+        # 5/5 wins: p = 2 * 0.5^5 = 1/16.
+        assert sign_test(5, 0) == pytest.approx(2 * 0.5**5)
+
+    def test_bad_p_rejected(self):
+        with pytest.raises(ValueError):
+            sign_test(3, 3, p=0.0)
+
+    @given(st.integers(min_value=0, max_value=40), st.integers(min_value=0, max_value=40))
+    @settings(max_examples=50, deadline=None)
+    def test_p_value_in_unit_interval(self, w, l):
+        assert 0.0 <= sign_test(w, l) <= 1.0
+
+    @given(st.integers(min_value=1, max_value=30))
+    @settings(max_examples=20, deadline=None)
+    def test_more_lopsided_is_smaller_p(self, n):
+        balanced = sign_test(n, n)
+        lopsided = sign_test(2 * n, 0)
+        assert lopsided <= balanced
+
+
+class TestWilcoxon:
+    def test_clear_shift_detected(self):
+        diffs = [0.5, 0.6, 0.7, 0.4, 0.8, 0.55, 0.65, 0.45, 0.75, 0.5, 0.6, 0.7]
+        w, p = wilcoxon_signed_rank(diffs)
+        assert p < 0.01
+        assert w == sum(range(1, 13))  # every difference positive: W+ is maximal
+
+    def test_symmetric_diffs_not_significant(self):
+        diffs = [1, -1, 2, -2, 3, -3, 4, -4, 5, -5, 6, -6]
+        _w, p = wilcoxon_signed_rank(diffs)
+        assert p > 0.5
+
+    def test_zeros_dropped(self):
+        diffs = [0.0] * 5 + [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]
+        w, p = wilcoxon_signed_rank(diffs)
+        assert w == sum(range(1, 11))
+
+    def test_too_few_raises(self):
+        with pytest.raises(ValueError):
+            wilcoxon_signed_rank([1.0] * 9)
+
+    def test_ties_handled(self):
+        diffs = [1.0, 1.0, 1.0, 1.0, -1.0, 2.0, 2.0, -2.0, 3.0, 3.0, 4.0, 5.0]
+        _w, p = wilcoxon_signed_rank(diffs)
+        assert 0.0 <= p <= 1.0
+
+
+class TestBootstrap:
+    def test_deterministic(self):
+        xs = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert bootstrap_ci(xs, seed=42) == bootstrap_ci(xs, seed=42)
+
+    def test_interval_brackets_mean_for_tight_data(self):
+        xs = [10.0, 10.1, 9.9, 10.05, 9.95] * 4
+        lo, hi = bootstrap_ci(xs)
+        assert lo <= 10.0 <= hi
+        assert hi - lo < 0.2
+
+    def test_wider_data_wider_interval(self):
+        tight = bootstrap_ci([10.0, 10.1, 9.9] * 5, seed=1)
+        wide = bootstrap_ci([5.0, 15.0, 10.0] * 5, seed=1)
+        assert (wide[1] - wide[0]) > (tight[1] - tight[0])
+
+    def test_custom_statistic(self):
+        xs = [1.0, 100.0] * 10
+        lo, hi = bootstrap_ci(xs, statistic=lambda v: min(v), seed=0)
+        assert lo == 1.0  # min of any resample containing a 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], confidence=1.5)
+
+
+class TestPairedComparison:
+    def test_paper_style_summary(self):
+        # 118 ratios > 1 (110 of them > 1.1), 2 < 1.
+        ratios = [1.5] * 110 + [1.05] * 8 + [0.9, 0.95]
+        cmp_ = paired_summary(ratios)
+        assert cmp_.n == 120
+        assert cmp_.wins == 118
+        assert cmp_.losses == 2
+        assert cmp_.significant_wins == 110
+        assert cmp_.sign_test_p < 1e-25
+
+    def test_geometric_mean(self):
+        cmp_ = paired_summary([2.0, 0.5])
+        assert cmp_.geometric_mean_ratio == pytest.approx(1.0)
+
+    def test_ties_counted(self):
+        cmp_ = paired_summary([1.0, 1.0, 1.2])
+        assert cmp_.ties == 2
+        assert cmp_.wins == 1
+
+    def test_str_contains_key_facts(self):
+        text = str(paired_summary([1.2, 1.3, 0.9]))
+        assert "2/3 wins" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            paired_summary([])
+
+    def test_bootstrap_ci_brackets_gmean(self):
+        ratios = [1.4, 1.5, 1.6, 1.45, 1.55] * 4
+        cmp_ = paired_summary(ratios)
+        lo, hi = cmp_.bootstrap_gmean_ci()
+        assert lo <= cmp_.geometric_mean_ratio <= hi
+
+
+class TestCrossovers:
+    def test_single_crossing(self):
+        xs = [0.0, 1.0, 2.0, 3.0]
+        a = [1.0, 1.0, 1.0, 1.0]
+        b = [0.0, 0.5, 1.5, 2.0]
+        crossings = find_crossovers(xs, a, b)
+        assert len(crossings) == 1
+        c = crossings[0]
+        assert c.sign_before == 1
+        assert 1.0 < c.x_estimate < 2.0
+        assert c.x_estimate == pytest.approx(1.5)
+
+    def test_no_crossing(self):
+        xs = [0, 1, 2]
+        assert find_crossovers(xs, [3, 3, 3], [1, 1, 1]) == []
+
+    def test_multiple_crossings(self):
+        xs = list(range(5))
+        a = [1, -1, 1, -1, 1]
+        b = [0, 0, 0, 0, 0]
+        assert len(find_crossovers(xs, a, b)) == 4
+
+    def test_exact_tie_then_flip(self):
+        xs = [0.0, 1.0, 2.0]
+        a = [1.0, 1.0, 1.0]
+        b = [0.0, 1.0, 2.0]
+        crossings = find_crossovers(xs, a, b)
+        assert len(crossings) == 1
+        assert crossings[0].sign_before == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            find_crossovers([0, 1], [1], [1, 2])
+        with pytest.raises(ValueError):
+            find_crossovers([1, 0], [1, 2], [2, 1])
+
+    def test_str_mentions_leader(self):
+        c = Crossover(1.0, 2.0, 1.5, 1)
+        assert "A leads" in str(c)
+
+
+class TestMetrics:
+    def test_efficiency_is_utilization(self):
+        assert efficiency(50.0, 100) == 0.5
+
+    def test_karp_flatt_perfect_speedup(self):
+        # S == P gives serial fraction 0.
+        assert karp_flatt(16.0, 16) == pytest.approx(0.0)
+
+    def test_karp_flatt_no_speedup(self):
+        # S == 1 gives serial fraction 1.
+        assert karp_flatt(1.0, 16) == pytest.approx(1.0)
+
+    def test_karp_flatt_grows_when_parallelism_exhausted(self):
+        # Fixed problem, growing machine, saturating speedup.
+        e_small = karp_flatt(7.0, 8)
+        e_large = karp_flatt(10.0, 64)
+        assert e_large > e_small
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            karp_flatt(5.0, 1)
+        with pytest.raises(ValueError):
+            efficiency(1.0, 0)
+
+    def test_speedup_table_indexing(self):
+        rows = [
+            SpeedupRow(100, 25, 12.0),
+            SpeedupRow(100, 64, 20.0),
+            SpeedupRow(500, 25, 18.0),
+        ]
+        from repro.analysis import speedup_table
+
+        table = speedup_table(rows)
+        assert table[100][64].speedup == 20.0
+        assert set(table) == {100, 500}
+
+    def test_isoefficiency(self):
+        rows = [
+            SpeedupRow(100, 25, 20.0),   # eff 0.8
+            SpeedupRow(100, 100, 30.0),  # eff 0.3
+            SpeedupRow(500, 100, 60.0),  # eff 0.6
+            SpeedupRow(500, 400, 80.0),  # eff 0.2
+        ]
+        iso = isoefficiency_table(rows, target_efficiency=0.5)
+        assert iso[25] == 100
+        assert iso[100] == 500
+        assert iso[400] is None
+
+    def test_isoefficiency_validation(self):
+        with pytest.raises(ValueError):
+            isoefficiency_table([], target_efficiency=0.0)
+
+
+class TestMarkdown:
+    def test_table_shape(self):
+        text = markdown_table(["a", "b"], [[1, 2], [3, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "| :--- | :--- |"
+
+    def test_alignment(self):
+        text = markdown_table(["a", "b", "c"], [], align="lrc")
+        assert text.splitlines()[1] == "| :--- | ---: | :--: |"
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError):
+            markdown_table(["a"], [[1, 2]])
+        with pytest.raises(ValueError):
+            markdown_table(["a"], [], align="lr")
+
+    def test_render_report_with_paper_claims(self):
+        cmp_ = paired_summary([1.5] * 110 + [1.05] * 8 + [0.9, 0.95])
+        text = render_report(
+            "Table 2",
+            cmp_,
+            paper_claims={"wins": 118, "cells": 120},
+            notes=["reduced grid"],
+        )
+        assert text.startswith("## Table 2")
+        assert "| paper | measured |" in text.replace("claim | paper", "claim | paper")
+        assert "- reduced grid" in text
+        assert "118" in text
+
+    def test_render_report_without_claims(self):
+        cmp_ = paired_summary([1.2, 1.1])
+        text = render_report("X", cmp_)
+        assert "| claim | measured |" in text

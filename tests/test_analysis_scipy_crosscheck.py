@@ -1,0 +1,94 @@
+"""Cross-check the hand-rolled statistics against scipy.
+
+repro.analysis implements its tests from first principles (so claims
+are auditable down to arithmetic); scipy implements them from decades
+of review.  They must agree.  These tests are the calibration
+certificate.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats as sps
+
+from repro.analysis import sign_test, wilcoxon_signed_rank
+
+
+class TestSignTestVsScipy:
+    @given(
+        st.integers(min_value=0, max_value=60),
+        st.integers(min_value=0, max_value=60),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_matches_binomtest(self, wins, losses):
+        n = wins + losses
+        if n == 0:
+            return
+        ours = sign_test(wins, losses)
+        scipys = sps.binomtest(wins, n, 0.5, alternative="two-sided").pvalue
+        assert ours == pytest.approx(scipys, rel=1e-9, abs=1e-12)
+
+    def test_paper_claim_exact_value(self):
+        ours = sign_test(118, 2)
+        scipys = sps.binomtest(118, 120, 0.5).pvalue
+        assert ours == pytest.approx(scipys, rel=1e-9)
+
+    @given(
+        st.integers(min_value=1, max_value=40),
+        st.integers(min_value=1, max_value=40),
+        st.floats(min_value=0.05, max_value=0.95),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_matches_binomtest_general_p(self, wins, losses, p):
+        ours = sign_test(wins, losses, p=p)
+        scipys = sps.binomtest(wins, wins + losses, p, alternative="two-sided").pvalue
+        assert ours == pytest.approx(scipys, rel=1e-6, abs=1e-9)
+
+
+class TestWilcoxonVsScipy:
+    @given(
+        st.lists(
+            st.floats(min_value=-10, max_value=10, allow_nan=False).filter(
+                lambda x: abs(x) > 1e-6
+            ),
+            min_size=12,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_w_statistic_matches(self, diffs):
+        w_ours, _p = wilcoxon_signed_rank(diffs)
+        # scipy reports min(W+, W-); ours reports W+.  Convert.
+        res = sps.wilcoxon(diffs, zero_method="wilcox", correction=False,
+                           alternative="two-sided", mode="approx")
+        n = len(diffs)
+        w_minus = n * (n + 1) / 2 - w_ours
+        assert min(w_ours, w_minus) == pytest.approx(res.statistic, abs=1e-6)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-10, max_value=10, allow_nan=False).filter(
+                lambda x: abs(x) > 1e-6
+            ),
+            min_size=15,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_p_value_close_to_scipy_approx(self, diffs):
+        _w, p_ours = wilcoxon_signed_rank(diffs)
+        res = sps.wilcoxon(diffs, zero_method="wilcox", correction=False,
+                           alternative="two-sided", mode="approx")
+        # Same normal approximation; tie handling differs only in edge
+        # cases, so demand close (not bitwise) agreement.
+        assert p_ours == pytest.approx(res.pvalue, abs=0.02)
+
+    def test_known_example(self):
+        diffs = [1.0, 2.0, 3.0, -1.5, 2.5, 4.0, -0.5, 3.5, 1.2, 2.2, 0.8, 1.9]
+        _w, p_ours = wilcoxon_signed_rank(diffs)
+        res = sps.wilcoxon(diffs, correction=False, mode="approx")
+        assert p_ours == pytest.approx(res.pvalue, abs=0.01)

@@ -1,0 +1,100 @@
+"""Unit tests for the contended channel model."""
+
+from __future__ import annotations
+
+from repro.oracle.channel import Channel
+from repro.oracle.config import CostModel
+from repro.oracle.engine import Engine
+from repro.oracle.message import Message
+
+
+def make_channel(engine=None, costs=None, members=(0, 1)):
+    engine = engine or Engine()
+    costs = costs or CostModel(word_time=1.0, hop_overhead=0.0)
+    return engine, Channel(engine, 0, members, costs)
+
+
+class TestTransfer:
+    def test_single_transfer_timing(self):
+        engine, ch = make_channel()
+        arrivals = []
+        ch.send(Message(0, 1, size_words=3), lambda m: arrivals.append(engine.now))
+        engine.run()
+        assert arrivals == [3.0]
+
+    def test_fifo_contention(self):
+        engine, ch = make_channel()
+        arrivals = []
+        ch.send(Message(0, 1, size_words=2), lambda m: arrivals.append(("a", engine.now)))
+        ch.send(Message(1, 0, size_words=3), lambda m: arrivals.append(("b", engine.now)))
+        engine.run()
+        # Second transfer waits for the first: 2, then 2+3.
+        assert arrivals == [("a", 2.0), ("b", 5.0)]
+
+    def test_send_during_busy_queues(self):
+        engine, ch = make_channel()
+        arrivals = []
+
+        def chain(m):
+            arrivals.append(engine.now)
+            if len(arrivals) == 1:
+                ch.send(Message(0, 1, size_words=1), chain)
+
+        ch.send(Message(0, 1, size_words=1), chain)
+        engine.run()
+        assert arrivals == [1.0, 2.0]
+
+    def test_hop_overhead_added(self):
+        engine = Engine()
+        ch = Channel(engine, 0, (0, 1), CostModel(word_time=2.0, hop_overhead=5.0))
+        arrivals = []
+        ch.send(Message(0, 1, size_words=1), lambda m: arrivals.append(engine.now))
+        engine.run()
+        assert arrivals == [7.0]
+
+    def test_backlog(self):
+        engine, ch = make_channel()
+        assert ch.backlog == 0
+        ch.send(Message(0, 1), lambda m: None)
+        assert ch.backlog == 1  # in flight
+        ch.send(Message(0, 1), lambda m: None)
+        assert ch.backlog == 2  # one in flight + one queued
+        engine.run()
+        assert ch.backlog == 0
+
+
+class TestStatistics:
+    def test_busy_time_accumulates(self):
+        engine, ch = make_channel()
+        ch.send(Message(0, 1, size_words=2), lambda m: None)
+        ch.send(Message(0, 1, size_words=3), lambda m: None)
+        engine.run()
+        assert ch.busy_time == 5.0
+        assert ch.messages_carried == 2
+        assert ch.words_carried == 5
+
+    def test_utilization(self):
+        engine, ch = make_channel()
+        ch.send(Message(0, 1, size_words=4), lambda m: None)
+        engine.run()
+        assert ch.utilization(8.0) == 0.5
+        assert ch.utilization(0.0) == 0.0
+        assert ch.utilization(2.0) == 1.0  # clamped
+
+
+class TestBroadcast:
+    def test_bus_broadcast_reaches_all_but_source(self):
+        engine = Engine()
+        ch = Channel(engine, 0, (0, 1, 2, 3), CostModel.unit())
+        heard = []
+        msg = Message(1, -1, size_words=1)
+        ch.broadcast(msg, lambda member, m: heard.append(member))
+        engine.run()
+        assert sorted(heard) == [0, 2, 3]
+
+    def test_broadcast_is_one_transfer(self):
+        engine = Engine()
+        ch = Channel(engine, 0, (0, 1, 2, 3, 4), CostModel.unit())
+        ch.broadcast(Message(0, -1, size_words=1), lambda member, m: None)
+        engine.run()
+        assert ch.messages_carried == 1

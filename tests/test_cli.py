@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestRunCommand:
+    def test_run_prints_summary(self, capsys):
+        assert main(["run", "fib:9", "grid:4x4", "cwn", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "cwn" in out and "fib(9)" in out
+        assert "util=" in out
+
+    def test_run_verbose(self, capsys):
+        main(["run", "fib:9", "grid:4x4", "gm", "--verbose"])
+        out = capsys.readouterr().out
+        assert "result value" in out
+        assert "goals executed     : 109" in out
+
+    def test_run_all_strategies(self, capsys):
+        for strat in ("cwn", "gm", "acwn", "local", "random", "roundrobin"):
+            assert main(["run", "fib:7", "grid:4x4", strat]) == 0
+
+    def test_bad_workload_spec_raises(self):
+        with pytest.raises(ValueError):
+            main(["run", "fib:x", "grid:4x4", "cwn"])
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestTable2Report:
+    def test_report_flag_appends_markdown(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert main(["table2", "--kind", "dc", "--report"]) == 0
+        out = capsys.readouterr().out
+        assert "sign-test p" in out
+        assert "| claim | paper | measured |" in out
+        assert "118/120" in out
+
+
+class TestBoundsCommand:
+    def test_bounds_without_strategy(self, capsys):
+        assert main(["bounds", "fib:9", "grid:4x4"]) == 0
+        out = capsys.readouterr().out
+        assert "critical path T_inf" in out
+        assert "best possible speedup" in out
+        assert "x greedy" not in out
+
+    def test_bounds_with_strategy(self, capsys):
+        assert main(["bounds", "fib:9", "grid:4x4", "--strategy", "cwn"]) == 0
+        out = capsys.readouterr().out
+        assert "x lower bound" in out
+        assert "x greedy bound" in out
+
+    def test_run_new_strategies(self, capsys):
+        for strat in ("bidding", "symmetric", "central", "randomwalk", "gm-event"):
+            assert main(["run", "fib:7", "grid:4x4", strat]) == 0
+
+    def test_run_new_workloads_and_topologies(self, capsys):
+        assert main(["run", "binom:10:4", "torus3d:2x2x2", "cwn:radius=2,horizon=0"]) == 0
+        assert main(["run", "uts:seed=1,b0=6", "chordal:12x3", "gm"]) == 0
+        assert main(["run", "qsort:200", "ccc:3", "stealing"]) == 0
+
+
+class TestMonitorCommand:
+    def test_monitor_renders_film(self, capsys):
+        assert main(["monitor", "fib:9", "grid:4x4", "cwn", "--frames", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "t=" in out
+        assert "avg=" in out
+
+
+class TestExperimentCommands:
+    def test_table3_small_grid(self, capsys, monkeypatch):
+        # Patch the study to a small instance: the CLI path is what's
+        # under test, not the full experiment.
+        from repro.experiments import hops
+        from repro.topology import Grid
+
+        original = hops.run_hop_study
+        monkeypatch.setattr(
+            "repro.experiments.hops.run_hop_study",
+            lambda fib_n=15, topology=None, config=None, seed=1: original(
+                9, Grid(4, 4), config, seed
+            ),
+        )
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "CWN" in out and "communication ratio" in out

@@ -1,0 +1,125 @@
+"""Unit tests for Contracting Within a Neighborhood."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CWN, paper_cwn
+from repro.oracle.config import SimConfig
+from repro.oracle.machine import Machine
+from repro.topology import Grid, Ring
+from repro.workload import DivideConquer, Fibonacci
+
+
+def run(workload, topology, strategy, config=None, start_pe=0):
+    return Machine(topology, workload, strategy, config, start_pe).run()
+
+
+class TestParameters:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CWN(radius=-1)
+        with pytest.raises(ValueError):
+            CWN(radius=3, horizon=4)
+        with pytest.raises(ValueError):
+            CWN(radius=3, horizon=-1)
+        with pytest.raises(ValueError):
+            CWN(tie_break="coin")
+
+    def test_describe_params(self):
+        assert CWN(radius=7, horizon=2).describe_params() == {
+            "radius": 7,
+            "horizon": 2,
+        }
+
+    def test_paper_parameters(self):
+        grid_cwn = paper_cwn("grid")
+        assert (grid_cwn.radius, grid_cwn.horizon) == (9, 2)
+        dlm_cwn = paper_cwn("dlm")
+        assert (dlm_cwn.radius, dlm_cwn.horizon) == (5, 1)
+
+
+class TestPlacementInvariants:
+    def test_no_goal_travels_beyond_radius(self, fast_config):
+        for radius in (1, 3, 5):
+            res = run(Fibonacci(11), Grid(5, 5), CWN(radius=radius, horizon=1), fast_config)
+            assert max(res.hop_histogram) <= radius
+
+    def test_radius_zero_degenerates_to_local(self, fast_config):
+        program = Fibonacci(9)
+        res = run(program, Grid(4, 4), CWN(radius=0, horizon=0), fast_config)
+        assert res.goals_per_pe[0] == program.total_goals()
+        assert res.goal_messages_sent == 0
+
+    def test_horizon_forces_minimum_travel(self, fast_config):
+        # With horizon h, no goal (except in a radius-0 setup) can stop
+        # before h hops.
+        for horizon in (1, 2, 3):
+            res = run(
+                Fibonacci(11), Grid(5, 5), CWN(radius=5, horizon=horizon), fast_config
+            )
+            assert min(res.hop_histogram) >= horizon
+
+    def test_goals_stop_at_radius_pileup(self):
+        # Strict keep (no ties kept) on an evenly loaded machine: every
+        # goal walks the full radius — the paper's "sudden rise at the
+        # radius" taken to its extreme.
+        res = run(
+            Fibonacci(11),
+            Grid(5, 5),
+            CWN(radius=4, horizon=1, keep_on_tie=False),
+            SimConfig(seed=3),
+        )
+        assert res.mean_goal_distance > 3.0
+
+    def test_keep_on_tie_shortens_walks(self):
+        tied = run(
+            Fibonacci(11),
+            Grid(5, 5),
+            CWN(radius=4, horizon=1, keep_on_tie=True),
+            SimConfig(seed=3),
+        )
+        strict = run(
+            Fibonacci(11),
+            Grid(5, 5),
+            CWN(radius=4, horizon=1, keep_on_tie=False),
+            SimConfig(seed=3),
+        )
+        assert tied.mean_goal_distance < strict.mean_goal_distance
+
+    def test_every_goal_contracted_out(self, fast_config):
+        # With horizon >= 1 the source may never keep a new goal: hop
+        # count 0 appears at most once (the injected root).
+        res = run(Fibonacci(11), Grid(5, 5), CWN(radius=5, horizon=1), fast_config)
+        assert res.hop_histogram.get(0, 0) == 0
+
+    def test_correct_result_on_all_topologies(self, fast_config, dlm_small, cube4, ring8):
+        for topo in (Grid(5, 5), dlm_small, cube4, ring8):
+            radius = min(5, topo.diameter + 2)
+            res = run(DivideConquer(1, 55), topo, CWN(radius=radius, horizon=1), fast_config)
+            assert res.result_value == sum(range(1, 56))
+
+
+class TestBehaviour:
+    def test_spreads_work_beyond_source(self, fast_config):
+        res = run(Fibonacci(11), Grid(5, 5), CWN(radius=5, horizon=1), fast_config)
+        assert (res.goals_per_pe > 0).sum() >= 20  # nearly all PEs got work
+
+    def test_beats_keep_local(self, fast_config):
+        from repro.core import KeepLocal
+
+        cwn = run(Fibonacci(11), Grid(5, 5), CWN(radius=5, horizon=1), fast_config)
+        local = run(Fibonacci(11), Grid(5, 5), KeepLocal(), fast_config)
+        assert cwn.speedup > 3 * local.speedup
+
+    def test_lowest_tie_break_deterministic_without_rng(self):
+        a = run(Fibonacci(10), Grid(4, 4), CWN(radius=4, horizon=1, tie_break="lowest"), SimConfig(seed=1))
+        b = run(Fibonacci(10), Grid(4, 4), CWN(radius=4, horizon=1, tie_break="lowest"), SimConfig(seed=2))
+        # With no random tie-breaking the seed cannot matter.
+        assert a.completion_time == b.completion_time
+        assert a.hop_histogram == b.hop_histogram
+
+    def test_goal_messages_at_least_goal_hops(self, fast_config):
+        res = run(Fibonacci(11), Grid(5, 5), CWN(radius=5, horizon=1), fast_config)
+        total_hops = sum(h * c for h, c in res.hop_histogram.items())
+        assert res.goal_messages_sent == total_hops

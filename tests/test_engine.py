@@ -1,0 +1,348 @@
+"""Unit tests for the discrete-event kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.oracle.engine import (
+    Engine,
+    Signal,
+    SimulationError,
+    hold,
+    passivate,
+    waitevent,
+)
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        engine = Engine()
+        log = []
+        engine.schedule(3.0, lambda _: log.append("c"))
+        engine.schedule(1.0, lambda _: log.append("a"))
+        engine.schedule(2.0, lambda _: log.append("b"))
+        engine.run()
+        assert log == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_times(self):
+        engine = Engine()
+        times = []
+        engine.schedule(1.5, lambda _: times.append(engine.now))
+        engine.schedule(4.25, lambda _: times.append(engine.now))
+        engine.run()
+        assert times == [1.5, 4.25]
+
+    def test_simultaneous_events_fifo(self):
+        engine = Engine()
+        log = []
+        for tag in "abcde":
+            engine.schedule(1.0, lambda _, t=tag: log.append(t))
+        engine.run()
+        assert log == list("abcde")
+
+    def test_priority_orders_simultaneous_events(self):
+        engine = Engine()
+        log = []
+        engine.schedule(1.0, lambda _: log.append("low"), priority=20)
+        engine.schedule(1.0, lambda _: log.append("high"), priority=1)
+        engine.run()
+        assert log == ["high", "low"]
+
+    def test_payload_passed_to_action(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(1.0, seen.append, payload={"x": 1})
+        engine.run()
+        assert seen == [{"x": 1}]
+
+    def test_negative_delay_rejected(self):
+        engine = Engine()
+        with pytest.raises(SimulationError, match="past"):
+            engine.schedule(-0.5, lambda _: None)
+
+    def test_events_scheduled_during_run_fire(self):
+        engine = Engine()
+        log = []
+
+        def first(_):
+            engine.schedule(2.0, lambda _: log.append(("second", engine.now)))
+
+        engine.schedule(1.0, first)
+        engine.run()
+        assert log == [("second", 3.0)]
+
+    def test_zero_delay_event_fires_at_current_time(self):
+        engine = Engine()
+        times = []
+        engine.schedule(0.0, lambda _: times.append(engine.now))
+        engine.run()
+        assert times == [0.0]
+
+
+class TestRunControl:
+    def test_run_until_stops_clock(self):
+        engine = Engine()
+        log = []
+        engine.schedule(1.0, lambda _: log.append(1))
+        engine.schedule(5.0, lambda _: log.append(5))
+        final = engine.run(until=3.0)
+        assert final == 3.0
+        assert log == [1]
+        # The 5.0 event survives for a later run.
+        engine.run()
+        assert log == [1, 5]
+
+    def test_run_until_includes_boundary_events(self):
+        engine = Engine()
+        log = []
+        engine.schedule(3.0, lambda _: log.append("edge"))
+        engine.run(until=3.0)
+        assert log == ["edge"]
+
+    def test_run_returns_final_time(self):
+        engine = Engine()
+        engine.schedule(7.5, lambda _: None)
+        assert engine.run() == 7.5
+
+    def test_run_not_reentrant(self):
+        engine = Engine()
+
+        def nested(_):
+            engine.run()
+
+        engine.schedule(1.0, nested)
+        with pytest.raises(SimulationError, match="reentrant"):
+            engine.run()
+
+    def test_step_executes_one_event(self):
+        engine = Engine()
+        log = []
+        engine.schedule(1.0, lambda _: log.append("a"))
+        engine.schedule(2.0, lambda _: log.append("b"))
+        assert engine.step() is True
+        assert log == ["a"]
+        assert engine.step() is True
+        assert engine.step() is False
+
+    def test_peek_and_pending(self):
+        engine = Engine()
+        assert engine.peek() is None
+        assert engine.pending == 0
+        engine.schedule(2.0, lambda _: None)
+        engine.schedule(1.0, lambda _: None)
+        assert engine.peek() == 1.0
+        assert engine.pending == 2
+
+    def test_clear_drops_pending_events(self):
+        engine = Engine()
+        log = []
+        engine.schedule(1.0, lambda _: log.append(1))
+        engine.clear()
+        engine.run()
+        assert log == []
+
+    def test_max_events_limit_raises(self):
+        engine = Engine()
+        engine.max_events = 10
+
+        def rearm(_):
+            engine.schedule(1.0, rearm)
+
+        engine.schedule(1.0, rearm)
+        with pytest.raises(SimulationError, match="event limit"):
+            engine.run()
+
+    def test_events_executed_counter(self):
+        engine = Engine()
+        for _ in range(5):
+            engine.schedule(1.0, lambda _: None)
+        engine.run()
+        assert engine.events_executed == 5
+
+
+class TestProcesses:
+    def test_hold_advances_process(self):
+        engine = Engine()
+        times = []
+
+        def proc():
+            times.append(engine.now)
+            yield hold(5.0)
+            times.append(engine.now)
+            yield hold(2.5)
+            times.append(engine.now)
+
+        engine.process(proc())
+        engine.run()
+        assert times == [0.0, 5.0, 7.5]
+
+    def test_initial_delay(self):
+        engine = Engine()
+        times = []
+
+        def proc():
+            times.append(engine.now)
+            yield hold(1.0)
+
+        engine.process(proc(), delay=3.0)
+        engine.run()
+        assert times == [3.0]
+
+    def test_process_ends_when_generator_returns(self):
+        engine = Engine()
+
+        def proc():
+            yield hold(1.0)
+
+        p = engine.process(proc())
+        engine.run()
+        assert not p.alive
+
+    def test_negative_hold_raises(self):
+        engine = Engine()
+
+        def proc():
+            yield hold(-1.0)
+
+        engine.process(proc())
+        with pytest.raises(SimulationError, match="negative"):
+            engine.run()
+
+    def test_passivate_and_activate(self):
+        engine = Engine()
+        log = []
+
+        def sleeper():
+            log.append(("sleep", engine.now))
+            payload = yield passivate()
+            log.append(("woke", engine.now, payload))
+
+        p = engine.process(sleeper())
+        engine.schedule(4.0, lambda _: p.activate("hi"))
+        engine.run()
+        assert log == [("sleep", 0.0), ("woke", 4.0, "hi")]
+
+    def test_asleep_property(self):
+        engine = Engine()
+
+        def sleeper():
+            yield passivate()
+
+        p = engine.process(sleeper())
+        assert not p.asleep  # scheduled but not yet started
+        engine.run()
+        assert p.asleep
+
+    def test_activate_non_sleeping_raises(self):
+        engine = Engine()
+
+        def proc():
+            yield hold(10.0)
+
+        p = engine.process(proc())
+        engine.schedule(1.0, lambda _: p.activate())
+        with pytest.raises(SimulationError, match="already scheduled"):
+            engine.run()
+
+    def test_activate_dead_raises(self):
+        engine = Engine()
+
+        def proc():
+            yield hold(1.0)
+
+        p = engine.process(proc())
+        engine.run()
+        with pytest.raises(SimulationError, match="dead"):
+            p.activate()
+
+    def test_kill_stops_process(self):
+        engine = Engine()
+        log = []
+
+        def proc():
+            yield hold(1.0)
+            log.append("should not happen")
+
+        p = engine.process(proc())
+        p.kill()
+        engine.run()
+        assert log == []
+        assert not p.alive
+
+    def test_waitevent_receives_payload(self):
+        engine = Engine()
+        sig = Signal("data")
+        log = []
+
+        def waiter():
+            value = yield waitevent(sig)
+            log.append((engine.now, value))
+
+        engine.process(waiter())
+        engine.schedule(2.0, lambda _: sig.fire(42))
+        engine.run()
+        assert log == [(2.0, 42)]
+
+    def test_signal_wakes_all_waiters(self):
+        engine = Engine()
+        sig = Signal()
+        log = []
+
+        def waiter(tag):
+            value = yield waitevent(sig)
+            log.append((tag, value))
+
+        engine.process(waiter("a"))
+        engine.process(waiter("b"))
+        engine.schedule(1.0, lambda _: sig.fire("x"))
+        engine.run()
+        assert sorted(log) == [("a", "x"), ("b", "x")]
+
+    def test_signal_fire_returns_waiter_count(self):
+        engine = Engine()
+        sig = Signal()
+
+        def waiter():
+            yield waitevent(sig)
+
+        engine.process(waiter())
+        engine.process(waiter())
+        counts = []
+        engine.schedule(1.0, lambda _: counts.append(sig.fire()))
+        engine.run()
+        assert counts == [2]
+
+    def test_signal_without_waiters_is_lost(self):
+        sig = Signal()
+        assert sig.fire("lost") == 0
+
+    def test_two_processes_interleave(self):
+        engine = Engine()
+        log = []
+
+        def proc(tag, step):
+            for _ in range(3):
+                yield hold(step)
+                log.append((tag, engine.now))
+
+        engine.process(proc("fast", 1.0))
+        engine.process(proc("slow", 2.5))
+        engine.run()
+        assert log == [
+            ("fast", 1.0),
+            ("fast", 2.0),
+            ("slow", 2.5),
+            ("fast", 3.0),
+            ("slow", 5.0),
+            ("slow", 7.5),
+        ]
+
+    def test_unknown_command_raises(self):
+        engine = Engine()
+
+        def proc():
+            yield (99, None)
+
+        engine.process(proc())
+        with pytest.raises(SimulationError, match="unknown process command"):
+            engine.run()

@@ -1,0 +1,67 @@
+"""Smoke tests: every example script runs cleanly and says what it means.
+
+Examples are documentation that executes; these tests keep them from
+rotting as the library evolves.  Each runs as a real subprocess (the
+same way a user would) and is checked for its key output lines.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stderr}"
+    return proc.stdout
+
+
+@pytest.mark.parametrize(
+    "script, expectations",
+    [
+        ("quickstart.py", ["speedup of CWN over GM", "hop histogram"]),
+        ("custom_topology.py", ["chordal n=32 chord=16", "ratio"]),
+        ("custom_workload.py", ["pruned search", "cyclic parallelism"]),
+        ("live_monitor.py", ["strategy: cwn", "strategy: gm", "t="]),
+        ("reproduce_table2_cell.py", ["mean ratio over seeds", "seed 5"]),
+        ("heterogeneous_machine.py", ["% of capacity", "roundrobin"]),
+        ("trace_replay.py", ["identical?", "True", "JSON round-trip"]),
+        ("statistical_analysis.py", ["sign-test", "bootstrap 95% CI", "Markdown report"]),
+        ("irregular_workloads.py", ["uts(seed=7", "qsort(n=4000", "cwn"]),
+        ("bounds_and_validation.py", ["critical path", "x greedy", "All runs validated"]),
+        ("extended_tail.py", ["Plot 11 configuration", "tail(<20%)", "agility"]),
+    ],
+)
+def test_example_runs(script, expectations):
+    out = run_example(script)
+    for needle in expectations:
+        assert needle in out, f"{script}: missing {needle!r} in output"
+
+
+def test_every_example_is_tested():
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    tested = {
+        "quickstart.py",
+        "custom_topology.py",
+        "custom_workload.py",
+        "live_monitor.py",
+        "reproduce_table2_cell.py",
+        "heterogeneous_machine.py",
+        "trace_replay.py",
+        "statistical_analysis.py",
+        "irregular_workloads.py",
+        "bounds_and_validation.py",
+        "extended_tail.py",
+    }
+    assert scripts == tested, f"untested examples: {scripts - tested}"

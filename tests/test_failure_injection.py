@@ -1,0 +1,116 @@
+"""Failure injection: the harness must catch broken strategies loudly.
+
+A load-distribution bug in 1988 showed up as a hung VAX; here it must
+show up as an immediate, diagnosable exception.  These tests implement
+deliberately broken strategies and assert the machine detects each
+failure mode rather than silently producing wrong numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CWN, KeepLocal
+from repro.core.base import Strategy
+from repro.oracle.config import SimConfig
+from repro.oracle.engine import SimulationError
+from repro.oracle.machine import Machine
+from repro.oracle.message import GoalMessage
+from repro.topology import Grid
+from repro.workload import Fibonacci
+
+
+class DropsGoals(Strategy):
+    """Loses every 10th goal — a classic lost-message bug."""
+
+    name = "drops"
+
+    def setup(self):
+        self._count = 0
+
+    def on_goal_created(self, pe, goal):
+        self._count += 1
+        if self._count % 10 == 0:
+            return  # goal vanishes
+        self.machine.enqueue(pe, goal)
+
+    def on_goal_message(self, pe, msg):  # pragma: no cover
+        self.machine.enqueue(pe, msg.goal)
+
+
+class DuplicatesGoals(Strategy):
+    """Enqueues every goal twice — a double-delivery bug."""
+
+    name = "duplicates"
+
+    def on_goal_created(self, pe, goal):
+        self.machine.enqueue(pe, goal)
+        self.machine.enqueue(pe, goal)
+
+    def on_goal_message(self, pe, msg):  # pragma: no cover
+        self.machine.enqueue(pe, msg.goal)
+
+
+class ForwardsForever(Strategy):
+    """Never accepts a goal — an unbounded-forwarding bug."""
+
+    name = "hot-potato"
+
+    def on_goal_created(self, pe, goal):
+        self._forward(pe, GoalMessage(pe, pe, goal, hops=0))
+
+    def on_goal_message(self, pe, msg):
+        self._forward(pe, msg)
+
+    def _forward(self, pe, msg):
+        nbrs = self.machine.neighbors(pe)
+        msg.hops += 1
+        self.machine.send_goal(pe, nbrs[msg.hops % len(nbrs)], msg)
+
+
+class TestBrokenStrategies:
+    def test_lost_goals_detected_as_deadlock(self):
+        m = Machine(Grid(4, 4), Fibonacci(9), DropsGoals(), SimConfig(seed=1))
+        with pytest.raises(SimulationError, match="deadlock"):
+            m.run()
+
+    def test_duplicated_goals_detected(self):
+        m = Machine(Grid(4, 4), Fibonacci(9), DuplicatesGoals(), SimConfig(seed=1))
+        # The duplicate execution produces a duplicate response, which
+        # the task record rejects.
+        with pytest.raises(RuntimeError, match="duplicate|finished twice"):
+            m.run()
+
+    def test_unbounded_forwarding_hits_event_limit(self):
+        cfg = SimConfig(seed=1, max_events=200_000)
+        m = Machine(Grid(4, 4), Fibonacci(9), ForwardsForever(), cfg)
+        with pytest.raises(SimulationError, match="event limit"):
+            m.run()
+
+    def test_abstract_strategy_hooks_required(self):
+        class Incomplete(Strategy):
+            name = "incomplete"
+
+        m = Machine(Grid(4, 4), Fibonacci(5), Incomplete(), SimConfig(seed=1))
+        with pytest.raises(NotImplementedError):
+            m.run()
+
+
+class TestGuardrails:
+    def test_event_limit_protects_against_runaway_models(self):
+        # Even a correct strategy with an absurdly small limit trips it,
+        # proving the guard is actually armed.
+        cfg = SimConfig(seed=1, max_events=50)
+        m = Machine(Grid(4, 4), Fibonacci(9), CWN(radius=3, horizon=1), cfg)
+        with pytest.raises(SimulationError, match="event limit"):
+            m.run()
+
+    def test_unlimited_events_allowed(self):
+        cfg = SimConfig(seed=1, max_events=None)
+        res = Machine(Grid(4, 4), Fibonacci(9), KeepLocal(), cfg).run()
+        assert res.result_value == 34
+
+    def test_deadlock_message_mentions_strategy_loss(self):
+        m = Machine(Grid(4, 4), Fibonacci(7), DropsGoals(), SimConfig(seed=1))
+        with pytest.raises(SimulationError, match="lost a goal"):
+            m.run()

@@ -1,0 +1,154 @@
+"""Unit tests for the Gradient Model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import GradientModel, paper_gm
+from repro.oracle.config import SimConfig
+from repro.oracle.machine import Machine
+from repro.topology import Grid
+from repro.workload import DivideConquer, Fibonacci
+
+
+def run(workload, topology, strategy, config=None, start_pe=0):
+    return Machine(topology, workload, strategy, config, start_pe).run()
+
+
+class TestParameters:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GradientModel(low_water_mark=3, high_water_mark=2)
+        with pytest.raises(ValueError):
+            GradientModel(interval=0)
+        with pytest.raises(ValueError):
+            GradientModel(ship="middle")
+
+    def test_paper_parameters(self):
+        grid_gm = paper_gm("grid")
+        assert grid_gm.high_water_mark == 2
+        assert grid_gm.low_water_mark == 1
+        assert grid_gm.interval == 20.0
+        dlm_gm = paper_gm("dlm")
+        assert dlm_gm.high_water_mark == 1
+
+    def test_describe_params(self):
+        params = GradientModel(1, 2, 20.0).describe_params()
+        assert params == {
+            "low_water_mark": 1,
+            "high_water_mark": 2,
+            "interval": 20.0,
+        }
+
+
+class TestStateMachine:
+    def test_node_state_classification(self):
+        gm = GradientModel(low_water_mark=1, high_water_mark=2)
+        assert gm.node_state(0) == gm.IDLE
+        assert gm.node_state(1) == gm.NEUTRAL
+        assert gm.node_state(2) == gm.NEUTRAL
+        assert gm.node_state(3) == gm.ABUNDANT
+
+    def test_equal_watermarks(self):
+        gm = GradientModel(low_water_mark=1, high_water_mark=1)
+        assert gm.node_state(0) == gm.IDLE
+        assert gm.node_state(1) == gm.NEUTRAL
+        assert gm.node_state(2) == gm.ABUNDANT
+
+
+class TestProximity:
+    def test_initial_proximities_zero(self, grid4, fast_config):
+        m = Machine(grid4, Fibonacci(5), GradientModel(), fast_config)
+        gm = m.strategy
+        assert all(p == 0 for p in gm.proximity)
+        assert all(
+            all(v == 0 for v in table.values()) for table in gm.neighbor_proximity
+        )
+
+    def test_proximity_clamped_to_diameter_plus_one(self, fast_config):
+        topo = Grid(5, 5)
+        m = Machine(topo, Fibonacci(11), GradientModel(), fast_config)
+        res = m.run()
+        gm = m.strategy
+        clamp = topo.diameter + 1
+        assert all(0 <= p <= clamp for p in gm.proximity)
+        assert res.result_value == 89
+
+    def test_on_word_updates_neighbor_table(self, grid4, fast_config):
+        m = Machine(grid4, Fibonacci(5), GradientModel(), fast_config)
+        gm = m.strategy
+        nbr = grid4.neighbors(0)[0]
+        gm.on_word(0, nbr, "prox", 7)
+        assert gm.neighbor_proximity[0][nbr] == 7
+
+    def test_non_prox_words_ignored(self, grid4, fast_config):
+        m = Machine(grid4, Fibonacci(5), GradientModel(), fast_config)
+        gm = m.strategy
+        nbr = grid4.neighbors(0)[0]
+        gm.on_word(0, nbr, "something-else", 9)
+        assert gm.neighbor_proximity[0][nbr] == 0
+
+
+class TestBehaviour:
+    def test_correct_result(self, grid4, fast_config):
+        res = run(DivideConquer(1, 55), grid4, GradientModel(), fast_config)
+        assert res.result_value == sum(range(1, 56))
+
+    def test_goals_mostly_stay_local(self, fast_config):
+        # The paper: "A significant number of goals just stay at the PE
+        # they were created on"; GM mean distance < 1 at times, always
+        # far below CWN's.
+        res = run(Fibonacci(11), Grid(5, 5), GradientModel(), fast_config)
+        assert res.hop_histogram.get(0, 0) > 0
+        assert res.mean_goal_distance < 2.5
+
+    def test_work_spreads_when_abundant(self, fast_config):
+        res = run(Fibonacci(13), Grid(5, 5), GradientModel(), fast_config)
+        assert (res.goals_per_pe > 0).sum() >= 15
+
+    def test_ship_oldest_vs_newest_differ(self):
+        newest = run(
+            Fibonacci(11), Grid(4, 4), GradientModel(ship="newest"), SimConfig(seed=3)
+        )
+        oldest = run(
+            Fibonacci(11), Grid(4, 4), GradientModel(ship="oldest"), SimConfig(seed=3)
+        )
+        assert (
+            newest.completion_time != oldest.completion_time
+            or newest.hop_histogram != oldest.hop_histogram
+        )
+
+    def test_no_stagger_still_completes(self, grid4):
+        res = run(
+            Fibonacci(9),
+            grid4,
+            GradientModel(stagger=False),
+            SimConfig(seed=3),
+        )
+        assert res.result_value == 34
+
+    def test_interval_matters(self):
+        # A very slow gradient process distributes work late: worse speedup.
+        fast_gm = run(
+            Fibonacci(12), Grid(4, 4), GradientModel(interval=10.0), SimConfig(seed=3)
+        )
+        slow_gm = run(
+            Fibonacci(12), Grid(4, 4), GradientModel(interval=500.0), SimConfig(seed=3)
+        )
+        assert fast_gm.speedup > slow_gm.speedup
+
+    def test_control_words_flow(self, grid4, fast_config):
+        res = run(Fibonacci(11), grid4, GradientModel(), fast_config)
+        assert res.control_words_sent > 0
+
+    def test_slower_rise_than_cwn(self):
+        # The paper's key time-series observation, asserted at small scale.
+        from repro.core import CWN
+        from repro.experiments.timeseries import rise_time
+
+        cfg = SimConfig(seed=3, sample_interval=25.0)
+        cwn_res = run(Fibonacci(13), Grid(5, 5), CWN(radius=5, horizon=1), cfg)
+        gm_res = run(Fibonacci(13), Grid(5, 5), GradientModel(), cfg)
+        cwn_trace = [(s.time, 100 * s.utilization) for s in cwn_res.samples]
+        gm_trace = [(s.time, 100 * s.utilization) for s in gm_res.samples]
+        assert rise_time(cwn_trace, 50.0) < rise_time(gm_trace, 50.0)

@@ -1,0 +1,128 @@
+"""Cross-matrix integration tests: every strategy on every topology family.
+
+These are the repository's safety net: whatever combination a user picks,
+the simulation must terminate, compute the right answer, execute each
+goal exactly once, and respect the basic physics of the model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CWN,
+    AdaptiveCWN,
+    GradientModel,
+    KeepLocal,
+    RandomPlacement,
+    RoundRobin,
+)
+from repro.oracle.config import CostModel, SimConfig
+from repro.oracle.machine import Machine
+from repro.topology import Complete, DoubleLatticeMesh, Grid, Hypercube, Ring
+from repro.workload import CyclicTree, DivideConquer, Fibonacci, RandomTree, SkewedTree
+
+STRATEGIES = [
+    lambda: CWN(radius=4, horizon=1),
+    lambda: GradientModel(),
+    lambda: AdaptiveCWN(radius=4, horizon=1, saturation=3.0, pull=True),
+    lambda: KeepLocal(),
+    lambda: RandomPlacement(),
+    lambda: RoundRobin(),
+]
+STRATEGY_IDS = ["cwn", "gm", "acwn", "local", "random", "roundrobin"]
+
+TOPOLOGIES = [
+    lambda: Grid(4, 4),
+    lambda: DoubleLatticeMesh(3, 5, 5),
+    lambda: Hypercube(4),
+    lambda: Ring(8),
+    lambda: Complete(6),
+]
+TOPOLOGY_IDS = ["grid", "dlm", "cube", "ring", "complete"]
+
+
+@pytest.mark.parametrize("make_strategy", STRATEGIES, ids=STRATEGY_IDS)
+@pytest.mark.parametrize("make_topology", TOPOLOGIES, ids=TOPOLOGY_IDS)
+def test_matrix_correctness(make_strategy, make_topology):
+    program = Fibonacci(10)
+    topo = make_topology()
+    res = Machine(topo, program, make_strategy(), SimConfig(seed=5)).run()
+    assert res.result_value == 55
+    assert res.total_goals == program.total_goals()
+    assert int(res.goals_per_pe.sum()) == program.total_goals()
+    assert sum(res.hop_histogram.values()) == program.total_goals()
+    assert 0 < res.utilization <= 1.0 + 1e-9
+    assert res.completion_time > 0
+
+
+@pytest.mark.parametrize(
+    "program, expected",
+    [
+        (DivideConquer(1, 89), sum(range(1, 90))),
+        (SkewedTree(60, 0.8), 60),
+        (CyclicTree(cycles=2, expand_depth=3, chain_depth=2), None),
+        (RandomTree(seed=11, expected_depth=4, max_depth=8), None),
+    ],
+    ids=["dc", "skewed", "cyclic", "random"],
+)
+def test_all_workloads_on_both_paper_families(program, expected):
+    want = expected if expected is not None else program.expected_result()
+    for topo in (Grid(4, 4), DoubleLatticeMesh(3, 5, 5)):
+        res = Machine(topo, program, CWN(radius=3, horizon=1), SimConfig(seed=5)).run()
+        assert res.result_value == want
+        assert res.total_goals == program.total_goals()
+
+
+class TestPhysicalPlausibility:
+    def test_completion_bounded_below_by_critical_path(self):
+        # No strategy can beat the tree's critical path.
+        program = DivideConquer(1, 64)
+        costs = CostModel.unit()
+        cfg = SimConfig(costs=costs, seed=5)
+        # dc(1,64): depth 6 of splits + leaf + combines back up = 13 ops.
+        critical = 13.0
+        for make_strategy in STRATEGIES:
+            res = Machine(Complete(8), program, make_strategy(), cfg).run()
+            assert res.completion_time >= critical
+
+    def test_completion_bounded_above_by_sequential(self):
+        # ... and none can be slower than doing everything serially plus
+        # all communication (loose: 3x sequential).
+        program = Fibonacci(10)
+        cfg = SimConfig(seed=5)
+        seq = program.sequential_work(cfg.costs)
+        for make_strategy in STRATEGIES:
+            res = Machine(Grid(4, 4), program, make_strategy(), cfg).run()
+            assert res.completion_time <= 3 * seq
+
+    def test_speedup_never_exceeds_pe_count(self):
+        cfg = SimConfig(seed=5)
+        for make_topology in TOPOLOGIES:
+            topo = make_topology()
+            res = Machine(topo, Fibonacci(11), CWN(radius=3, horizon=1), cfg).run()
+            assert res.speedup <= topo.n + 1e-9
+
+    def test_channel_utilization_bounded(self):
+        cfg = SimConfig(seed=5)
+        res = Machine(
+            DoubleLatticeMesh(3, 5, 5), Fibonacci(11), CWN(radius=3, horizon=1), cfg
+        ).run()
+        assert np.all(res.channel_utilization <= 1.0 + 1e-9)
+        assert res.channel_busy_time.sum() > 0
+
+
+class TestStartPE:
+    @pytest.mark.parametrize("start_pe", [0, 7, 15])
+    def test_any_injection_point_works(self, start_pe):
+        res = Machine(
+            Grid(4, 4), Fibonacci(9), CWN(radius=3, horizon=1), SimConfig(seed=5), start_pe
+        ).run()
+        assert res.result_value == 34
+
+    def test_keep_local_follows_start_pe(self):
+        res = Machine(
+            Grid(4, 4), Fibonacci(9), KeepLocal(), SimConfig(seed=5), start_pe=9
+        ).run()
+        assert res.goals_per_pe[9] == 109

@@ -1,0 +1,61 @@
+"""Unit tests for message records."""
+
+from __future__ import annotations
+
+from repro.oracle.message import (
+    ControlWord,
+    GoalMessage,
+    LoadUpdate,
+    Message,
+    ResponseMessage,
+)
+from repro.workload import Goal
+
+
+class TestMessageKinds:
+    def test_base_defaults(self):
+        m = Message(1, 2)
+        assert (m.src, m.dst, m.size_words) == (1, 2, 1)
+        assert m.kind == "message"
+
+    def test_goal_message_origin_defaults_to_src(self):
+        g = Goal(5)
+        msg = GoalMessage(3, 4, g)
+        assert msg.origin == 3
+        assert msg.hops == 0
+        assert msg.target == -1
+        assert msg.kind == "goal"
+
+    def test_goal_message_explicit_origin(self):
+        msg = GoalMessage(3, 4, Goal(5), hops=2, origin=7)
+        assert msg.origin == 7
+        assert msg.hops == 2
+
+    def test_goal_message_bigger_than_a_word(self):
+        assert GoalMessage(0, 1, Goal(5)).size_words > LoadUpdate(0, 1, 3.0).size_words
+
+    def test_response_message_fields(self):
+        msg = ResponseMessage(1, 2, final_dst=9, task_id=4, child_index=1, value=55)
+        assert msg.final_dst == 9
+        assert msg.task_id == 4
+        assert msg.child_index == 1
+        assert msg.value == 55
+        assert msg.kind == "response"
+
+    def test_load_update(self):
+        msg = LoadUpdate(2, 3, load=7.0)
+        assert msg.load == 7.0
+        assert msg.size_words == 1
+        assert msg.kind == "load"
+
+    def test_control_word(self):
+        msg = ControlWord(2, 3, "prox", 4)
+        assert msg.word_kind == "prox"
+        assert msg.value == 4
+        assert msg.kind == "control"
+
+    def test_slots_prevent_typos(self):
+        import pytest
+
+        with pytest.raises(AttributeError):
+            Message(0, 1).priority = 5  # type: ignore[attr-defined]

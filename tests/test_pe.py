@@ -1,0 +1,120 @@
+"""Unit tests for the PE model (queue discipline, tasks, accounting)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import KeepLocal
+from repro.oracle.config import CostModel, SimConfig
+from repro.oracle.machine import Machine
+from repro.oracle.pe import CombineItem, TaskRecord
+from repro.topology import Complete
+from repro.workload import Fibonacci, Goal
+
+
+@pytest.fixture
+def idle_machine(unit_config):
+    """A 2-PE machine that is built but never run (manual driving)."""
+    return Machine(Complete(2), Fibonacci(3), KeepLocal(), unit_config)
+
+
+class TestQueue:
+    def test_queue_length_is_load(self, idle_machine):
+        pe = idle_machine.pes[0]
+        assert pe.queue_length == 0
+        pe.push(Goal(1, parent_pe=0, parent_task=0))
+        pe.push(Goal(0, parent_pe=0, parent_task=0))
+        assert pe.queue_length == 2
+
+    def test_push_wakes_idle_executor(self, idle_machine):
+        pe = idle_machine.pes[0]
+        idle_machine.engine.run(until=0.0)  # executors start and passivate
+        assert pe.idle
+        pe.push(Goal(1, parent_pe=0, parent_task=0))
+        assert not pe.idle
+
+    def test_take_shippable_newest_first(self, idle_machine):
+        pe = idle_machine.pes[0]
+        g1 = Goal(1, parent_pe=0, parent_task=0)
+        g2 = Goal(2, parent_pe=0, parent_task=0)
+        pe.push(g1)
+        pe.push(g2)
+        assert pe.take_shippable_goal(newest_first=True) is g2
+        assert pe.take_shippable_goal(newest_first=True) is g1
+        assert pe.take_shippable_goal() is None
+
+    def test_take_shippable_oldest_first(self, idle_machine):
+        pe = idle_machine.pes[0]
+        g1 = Goal(1, parent_pe=0, parent_task=0)
+        g2 = Goal(2, parent_pe=0, parent_task=0)
+        pe.push(g1)
+        pe.push(g2)
+        assert pe.take_shippable_goal(newest_first=False) is g1
+
+    def test_take_shippable_skips_combine_items(self, idle_machine):
+        pe = idle_machine.pes[0]
+        task = TaskRecord(0, 5, None, -1, 0, 2, 1.0)
+        pe.queue.append(CombineItem(task))
+        assert pe.take_shippable_goal() is None
+        g = Goal(1, parent_pe=0, parent_task=0)
+        pe.push(g)
+        assert pe.take_shippable_goal() is g
+        assert pe.queue_length == 1  # combine item still pinned there
+
+
+class TestTaskRecord:
+    def test_values_ordered_by_child_index(self, idle_machine):
+        pe = idle_machine.pes[0]
+        task = TaskRecord(7, 5, None, -1, 0, 2, 1.0)
+        pe.tasks[7] = task
+        pe.pending_tasks = 1
+        pe.deliver_response(7, 1, "second")
+        pe.deliver_response(7, 0, "first")
+        assert task.values == ["first", "second"]
+
+    def test_last_response_queues_combine(self, idle_machine):
+        pe = idle_machine.pes[0]
+        task = TaskRecord(7, 5, None, -1, 0, 2, 1.0)
+        pe.tasks[7] = task
+        pe.pending_tasks = 1
+        pe.deliver_response(7, 0, 1)
+        assert pe.queue_length == 0
+        pe.deliver_response(7, 1, 2)
+        assert pe.queue_length == 1
+        assert isinstance(pe.queue[0], CombineItem)
+        assert pe.pending_tasks == 0
+
+    def test_duplicate_response_rejected(self, idle_machine):
+        pe = idle_machine.pes[0]
+        task = TaskRecord(7, 5, None, -1, 0, 2, 1.0)
+        pe.tasks[7] = task
+        pe.pending_tasks = 1
+        pe.deliver_response(7, 0, 1)
+        with pytest.raises(RuntimeError, match="duplicate"):
+            pe.deliver_response(7, 0, 1)
+
+    def test_unknown_task_raises(self, idle_machine):
+        with pytest.raises(KeyError):
+            idle_machine.pes[0].deliver_response(99, 0, 1)
+
+
+class TestBusyAccounting:
+    def test_effective_busy_mid_hold(self):
+        cfg = SimConfig(costs=CostModel(leaf_work=100.0), seed=0)
+        m = Machine(Complete(2), Fibonacci(1), KeepLocal(), cfg)
+        # fib(1) is a single leaf: work 100 on PE 0 starting at t=0.
+        # (Machine.run() would inject the root itself; drive manually so
+        # the clock can be frozen mid-hold.)
+        m.goal_created(0, Goal(1, parent_pe=None))
+        m.engine.run(until=30.0)
+        pe = m.pes[0]
+        assert pe.busy_time == 100.0  # charged up front
+        assert pe.effective_busy(30.0) == pytest.approx(30.0)
+        assert pe.effective_busy(100.0) == pytest.approx(100.0)
+        assert pe.effective_busy(500.0) == pytest.approx(100.0)
+
+    def test_goals_executed_counter(self, fast_config):
+        m = Machine(Complete(4), Fibonacci(7), KeepLocal(), fast_config)
+        res = m.run()
+        assert res.goals_per_pe.sum() == 41
+        assert m.pes[0].goals_executed == 41

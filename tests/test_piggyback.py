@@ -1,0 +1,99 @@
+"""Tests for the ``load_info="piggyback"`` mode — the paper's stated
+optimization ("piggybacking the load information 'word' with regular
+messages") taken literally.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CWN, GradientModel, paper_cwn
+from repro.oracle.config import SimConfig
+from repro.oracle.machine import Machine
+from repro.topology import Grid
+from repro.validation import check_result
+from repro.workload import Fibonacci
+
+
+def run(strategy, mode="piggyback", seed=7, program=None):
+    machine = Machine(
+        Grid(5, 5),
+        program or Fibonacci(11),
+        strategy,
+        SimConfig(seed=seed, load_info=mode),
+    )
+    return machine, machine.run()
+
+
+class TestPiggybackMode:
+    def test_mode_accepted(self):
+        SimConfig(load_info="piggyback")  # no raise
+
+    def test_cwn_completes_correctly(self):
+        _m, result = run(paper_cwn("grid"))
+        assert result.result_value == Fibonacci(11).expected_result()
+
+    def test_invariants_hold(self):
+        machine, result = run(paper_cwn("grid"))
+        assert check_result(result, machine) == []
+
+    def test_no_proactive_load_words(self):
+        """CWN sends no control words at all in piggyback mode (its only
+        word traffic is the load broadcast, which now rides on goals)."""
+        _m, result = run(CWN(radius=4, horizon=1))
+        assert result.control_words_sent == 0
+        assert result.piggybacked_words > 0
+
+    def test_piggyback_words_bounded_by_traffic(self):
+        """At most one load word per physical message transfer."""
+        _m, result = run(CWN(radius=4, horizon=1))
+        transfers = result.goal_messages_sent + result.response_messages_sent
+        assert result.piggybacked_words <= transfers
+
+    def test_gm_strategy_words_still_flow(self):
+        """GM's proximity broadcasts fall back to on_change delivery —
+        they cannot wait for traffic."""
+        _m, result = run(GradientModel())
+        assert result.control_words_sent > 0
+        assert result.result_value == Fibonacci(11).expected_result()
+
+    def test_beliefs_update_only_along_traffic(self):
+        """A neighbor that never receives a message keeps its initial
+        zero belief about the sender."""
+        machine = Machine(
+            Grid(5, 5), Fibonacci(9), CWN(radius=2, horizon=0),
+            SimConfig(seed=7, load_info="piggyback"),
+        )
+        machine.run()
+        known = machine._known_loads
+        # Some pairs exchanged traffic and updated; the matrix cannot be
+        # all equal to live loads (that would be oracle information).
+        assert known.any() or True  # smoke: matrix exists
+        # Specifically: entries for non-adjacent pairs never change.
+        topo = machine.topology
+        for a in range(topo.n):
+            for b in range(topo.n):
+                if a != b and b not in topo.neighbors(a):
+                    assert known[a, b] == 0.0
+
+    def test_staleness_costs_something(self):
+        """Piggyback information is never fresher than on_change; the
+        run must not be dramatically better (and is typically worse or
+        equal)."""
+        _m, piggy = run(paper_cwn("grid"), mode="piggyback")
+        _m2, fresh = run(paper_cwn("grid"), mode="on_change")
+        assert piggy.completion_time >= fresh.completion_time * 0.9
+
+    def test_other_modes_unaffected(self):
+        _m, result = run(paper_cwn("grid"), mode="on_change")
+        assert result.piggybacked_words == 0
+
+    def test_deterministic(self):
+        _m1, a = run(paper_cwn("grid"), seed=3)
+        _m2, b = run(paper_cwn("grid"), seed=3)
+        assert a.completion_time == b.completion_time
+        assert a.piggybacked_words == b.piggybacked_words
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            SimConfig(load_info="telepathy")

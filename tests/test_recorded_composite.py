@@ -1,0 +1,124 @@
+"""Tests for trace-driven replay (RecordedProgram) and workload mixes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CWN, GradientModel
+from repro.oracle.config import CostModel, SimConfig
+from repro.oracle.machine import Machine
+from repro.topology import Grid
+from repro.workload import (
+    DivideConquer,
+    Fibonacci,
+    NQueens,
+    ParallelMix,
+    RecordedProgram,
+    record,
+)
+
+
+def run(workload, topology, strategy, config=None):
+    return Machine(topology, workload, strategy, config).run()
+
+
+class TestRecording:
+    def test_snapshot_preserves_shape_and_value(self):
+        for program in (Fibonacci(10), DivideConquer(1, 55), NQueens(6)):
+            rec = record(program)
+            assert rec.total_goals() == program.total_goals()
+            assert rec.expected_result() == program.expected_result()
+
+    def test_replay_is_bit_identical_to_live(self, fast_config):
+        live = run(Fibonacci(10), Grid(4, 4), CWN(radius=3, horizon=1), fast_config)
+        rec = record(Fibonacci(10))
+        replay = run(rec, Grid(4, 4), CWN(radius=3, horizon=1), fast_config)
+        assert replay.completion_time == live.completion_time
+        assert replay.hop_histogram == live.hop_histogram
+        assert replay.result_value == live.result_value
+        assert replay.events_executed == live.events_executed
+
+    def test_replay_identical_for_gm_too(self, fast_config):
+        live = run(Fibonacci(9), Grid(4, 4), GradientModel(), fast_config)
+        replay = run(record(Fibonacci(9)), Grid(4, 4), GradientModel(), fast_config)
+        assert replay.completion_time == live.completion_time
+
+    def test_sequential_work_preserved(self):
+        program = Fibonacci(9)
+        rec = record(program)
+        costs = CostModel()
+        assert rec.sequential_work(costs) == pytest.approx(
+            program.sequential_work(costs)
+        )
+
+    def test_json_round_trip(self):
+        rec = record(DivideConquer(1, 21))
+        text = rec.to_json()
+        back = RecordedProgram.from_json(text)
+        assert back.total_goals() == rec.total_goals()
+        assert back.expected_result() == rec.expected_result()
+        assert back.name == rec.name
+
+    def test_scale_work(self):
+        rec = record(Fibonacci(8))
+        doubled = rec.scale_work(2.0)
+        costs = CostModel()
+        assert doubled.sequential_work(costs) == pytest.approx(
+            2 * rec.sequential_work(costs)
+        )
+        # Shape and values untouched.
+        assert doubled.total_goals() == rec.total_goals()
+        assert doubled.expected_result() == rec.expected_result()
+
+    def test_scale_work_validation(self):
+        with pytest.raises(ValueError):
+            record(Fibonacci(5)).scale_work(0)
+
+    def test_rootless_recording_rejected(self):
+        with pytest.raises(ValueError, match="root"):
+            RecordedProgram({"0": {"kind": "leaf", "value": 1, "work": 1.0}})
+
+    def test_source_label_propagates(self):
+        rec = record(Fibonacci(9))
+        assert "fib(9)" in rec.name
+
+
+class TestParallelMix:
+    def test_result_is_tuple_of_parts(self, fast_config):
+        mix = ParallelMix([Fibonacci(9), DivideConquer(1, 21)])
+        res = run(mix, Grid(4, 4), CWN(radius=3, horizon=1), fast_config)
+        assert res.result_value == (34, 231)
+
+    def test_goal_count(self):
+        mix = ParallelMix([Fibonacci(9), Fibonacci(7)])
+        assert mix.total_goals() == 1 + 109 + 41
+
+    def test_root_work_negligible(self):
+        mix = ParallelMix([Fibonacci(9)])
+        costs = CostModel()
+        extra = mix.sequential_work(costs) - Fibonacci(9).sequential_work(costs)
+        assert extra < 1.0
+
+    def test_three_way_mix(self, fast_config):
+        mix = ParallelMix([Fibonacci(7), Fibonacci(9), DivideConquer(1, 21)])
+        res = run(mix, Grid(4, 4), GradientModel(), fast_config)
+        assert res.result_value == (13, 34, 231)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParallelMix([])
+        with pytest.raises(ValueError):
+            ParallelMix([Fibonacci(5)], epsilon=0)
+
+    def test_name_lists_parts(self):
+        mix = ParallelMix([Fibonacci(7), DivideConquer(1, 21)])
+        assert "fib(7)" in mix.name and "dc(1,21)" in mix.name
+
+    def test_mix_records_and_replays(self, fast_config):
+        mix = ParallelMix([Fibonacci(8), DivideConquer(1, 13)])
+        rec = record(mix)
+        live = run(mix, Grid(4, 4), CWN(radius=3, horizon=1), fast_config)
+        # Recorded mixes flatten results into the stored combined value.
+        replay = run(rec, Grid(4, 4), CWN(radius=3, horizon=1), fast_config)
+        assert replay.completion_time == live.completion_time
+        assert tuple(replay.result_value) == live.result_value

@@ -1,0 +1,119 @@
+"""Tests for table/plot rendering and the activity monitor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.plots import ascii_plot
+from repro.experiments.tables import format_kv, format_table
+from repro.oracle.monitor import render_film, render_frame
+from repro.oracle.stats import UtilizationSample
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["name", "x"], [["a", 1], ["bb", 2.5]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "2.50" in lines[4]
+
+    def test_column_alignment(self):
+        text = format_table(["k", "v"], [["a", 1], ["long-label", 22]])
+        lines = text.splitlines()
+        # Last column right-aligned: the 1 and 22 end at the same offset.
+        assert lines[-1].rstrip().endswith("22")
+        assert lines[-2].rstrip().endswith("1")
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_format_kv(self):
+        text = format_kv({"radius": 9, "horizon": 2}, title="params")
+        assert "radius  : 9" in text
+        assert text.startswith("params")
+
+    def test_format_kv_empty(self):
+        assert format_kv({}) == ""
+
+
+class TestAsciiPlot:
+    def test_contains_legend_and_axes(self):
+        text = ascii_plot(
+            {"cwn": [(0, 10.0), (100, 60.0)], "gm": [(0, 5.0), (100, 30.0)]},
+            title="demo",
+            x_label="goals",
+        )
+        assert "demo" in text
+        assert "C=cwn" in text and "G=gm" in text
+        assert "goals" in text
+
+    def test_empty_series(self):
+        assert "(no data)" in ascii_plot({"cwn": []}, title="t")
+
+    def test_marker_collision_becomes_star(self):
+        text = ascii_plot(
+            {"aaa": [(0, 50.0)], "abc": [(0, 50.0)]}, width=10, height=5
+        )
+        # Identical first letters are disambiguated, not starred...
+        assert "A=aaa" in text and "B=abc" in text
+        # ...but identical positions collide into '*'.
+        assert "*" in text
+
+    def test_y_max_clamps(self):
+        text = ascii_plot({"s": [(0, 500.0)]}, y_max=100.0)
+        assert "105.0" not in text
+
+    def test_values_land_in_grid(self):
+        text = ascii_plot({"s": [(0, 0.0), (10, 100.0)]}, width=20, height=10, y_max=100.0)
+        rows = [l for l in text.splitlines() if "|" in l]
+        assert any("S" in r for r in rows)
+
+
+class TestMonitor:
+    def test_frame_shape(self):
+        text = render_frame([0.0, 0.5, 1.0, 0.25], cols=2)
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert len(lines[0]) == 4  # two PEs x two chars
+
+    def test_idle_and_busy_extremes(self):
+        text = render_frame([0.0, 1.0], cols=2)
+        assert " " in text and "@" in text
+
+    def test_default_cols_square(self):
+        text = render_frame([0.5] * 16)
+        assert len(text.splitlines()) == 4
+
+    def test_color_mode_emits_ansi(self):
+        assert "\x1b[48;5;" in render_frame([1.0], cols=1, color=True)
+
+    def test_film_requires_per_pe_samples(self):
+        from tests.test_stats import make_result
+
+        res = make_result(samples=[UtilizationSample(1.0, 0.5, None)])
+        with pytest.raises(ValueError, match="per-PE"):
+            render_film(res)
+
+    def test_film_renders_frames(self):
+        from tests.test_stats import make_result
+
+        samples = [
+            UtilizationSample(10.0, 0.25, (0.0, 0.5, 0.25, 0.25)),
+            UtilizationSample(20.0, 0.75, (1.0, 0.5, 0.75, 0.75)),
+        ]
+        res = make_result(samples=samples)
+        text = render_film(res, cols=2)
+        assert text.count("t=") == 2
+        assert "avg= 25.0%" in text
+
+    def test_film_every_skips_frames(self):
+        from tests.test_stats import make_result
+
+        samples = [UtilizationSample(float(i), 0.5, (0.5,) * 4) for i in range(6)]
+        res = make_result(samples=samples)
+        text = render_film(res, cols=2, every=3)
+        assert text.count("t=") == 2

@@ -1,0 +1,108 @@
+"""Unit tests for the replication statistics and the scaling study."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CWN
+from repro.experiments.replication import (
+    Replication,
+    replicate_metric,
+    replicate_pair,
+    t95,
+)
+from repro.experiments.scaling import render_scaling, run_scaling
+from repro.topology import Grid
+from repro.workload import Fibonacci
+
+
+class TestReplicationStats:
+    def test_mean_std(self):
+        rep = Replication((1.0, 2.0, 3.0))
+        assert rep.mean == 2.0
+        assert rep.std == pytest.approx(1.0)
+        assert rep.n == 3
+
+    def test_single_value_degenerate(self):
+        rep = Replication((2.5,))
+        assert rep.std == 0.0
+        assert rep.ci95 == (2.5, 2.5)
+
+    def test_ci_contains_mean(self):
+        rep = Replication((1.0, 1.2, 0.9, 1.1))
+        lo, hi = rep.ci95
+        assert lo < rep.mean < hi
+
+    def test_excludes(self):
+        tight = Replication((10.0, 10.1, 9.9, 10.0))
+        assert tight.excludes(1.0)
+        assert not tight.excludes(10.0)
+
+    def test_t95_table(self):
+        assert t95(1) == pytest.approx(12.706)
+        assert t95(30) == pytest.approx(2.042)
+        assert t95(100) == pytest.approx(1.96)
+        with pytest.raises(ValueError):
+            t95(0)
+
+    def test_str_format(self):
+        text = str(Replication((1.0, 1.5)))
+        assert "95% CI" in text and "n=2" in text
+
+
+class TestReplicationRuns:
+    def test_replicate_pair_small(self):
+        rep = replicate_pair(Fibonacci(9), Grid(4, 4), seeds=(1, 2, 3))
+        assert rep.n == 3
+        assert all(r > 0 for r in rep.values)
+
+    def test_replicate_metric(self):
+        rep = replicate_metric(
+            Fibonacci(9),
+            Grid(4, 4),
+            lambda: CWN(radius=3, horizon=1),
+            metric="utilization",
+            seeds=(1, 2, 3),
+        )
+        assert all(0 < v <= 1 for v in rep.values)
+
+    def test_fresh_strategy_per_seed(self):
+        # The factory must be invoked once per seed (strategies hold
+        # per-run state).
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return CWN(radius=3, horizon=1)
+
+        replicate_metric(Fibonacci(7), Grid(4, 4), factory, seeds=(1, 2))
+        assert len(calls) == 2
+
+
+class TestScalingStudy:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run_scaling(program=Fibonacci(11), full=False, seed=1)
+
+    def test_covers_both_families(self, points):
+        assert {p.family for p in points} == {"grid", "dlm"}
+
+    def test_machine_sizes(self, points):
+        grid_sizes = sorted(p.n_pes for p in points if p.family == "grid")
+        assert grid_sizes == [25, 64, 100]
+
+    def test_diameters_recorded(self, points):
+        for p in points:
+            if p.family == "dlm":
+                assert p.diameter <= 6
+            if p.family == "grid" and p.n_pes == 100:
+                assert p.diameter == 10
+
+    def test_ratio_property(self, points):
+        p = points[0]
+        assert p.ratio == pytest.approx(p.cwn_speedup / p.gm_speedup)
+
+    def test_render(self, points):
+        text = render_scaling(points)
+        assert "diameter" in text
+        assert "grid:25" in text and "dlm:100" in text

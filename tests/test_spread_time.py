@@ -1,0 +1,80 @@
+"""Tests for the work-front statistics (first_goal_time / spread_time).
+
+The paper's Plot 14-16 observation — "the CWN has much faster
+'rise-time' than GM: it spreads work quickly to all the PEs at
+beginning" — stated at the PE level and asserted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import KeepLocal, paper_cwn, paper_gm
+from repro.oracle.config import SimConfig
+from repro.oracle.machine import Machine
+from repro.topology import Grid
+from repro.workload import Fibonacci
+
+
+def run(strategy, fib=13, seed=7):
+    return Machine(Grid(8, 8), Fibonacci(fib), strategy, SimConfig(seed=seed)).run()
+
+
+class TestFirstGoalTime:
+    def test_gm_start_pe_begins_at_zero(self):
+        # GM enqueues the root locally: PE 0 starts at t=0.
+        result = run(paper_gm("grid"))
+        assert result.first_goal_time[0] == 0.0
+
+    def test_cwn_contracts_even_the_root(self):
+        # CWN sends every goal out, the root included: nobody starts at
+        # t=0 (one transfer latency first), and PE 0 is not the first.
+        result = run(paper_cwn("grid"))
+        finite = result.first_goal_time[np.isfinite(result.first_goal_time)]
+        assert finite.min() > 0.0
+
+    def test_never_participating_is_nan(self):
+        result = run(KeepLocal())
+        # keep-local: only the start PE ever works.
+        assert result.participating_pes == 1
+        assert np.isnan(result.first_goal_time[1:]).all()
+
+    def test_all_pes_participate_with_cwn(self):
+        result = run(paper_cwn("grid"), fib=13)
+        assert result.participating_pes == 64
+
+    def test_times_bounded_by_completion(self):
+        result = run(paper_gm("grid"))
+        finite = result.first_goal_time[np.isfinite(result.first_goal_time)]
+        assert (finite <= result.completion_time).all()
+        assert (finite >= 0).all()
+
+
+class TestSpreadTime:
+    def test_cwn_spreads_faster_than_gm(self):
+        """The paper's rise-time claim at the PE level."""
+        cwn = run(paper_cwn("grid"))
+        gm = run(paper_gm("grid"))
+        assert cwn.spread_time(0.9) < gm.spread_time(0.9)
+
+    def test_keep_local_never_spreads(self):
+        result = run(KeepLocal())
+        assert result.spread_time(0.5) == float("inf")
+        assert result.spread_time(1 / 64) == 0.0
+
+    def test_monotone_in_fraction(self):
+        result = run(paper_cwn("grid"))
+        assert result.spread_time(0.25) <= result.spread_time(0.5) <= result.spread_time(1.0)
+
+    def test_fraction_validation(self):
+        result = run(paper_cwn("grid"))
+        with pytest.raises(ValueError):
+            result.spread_time(0.0)
+        with pytest.raises(ValueError):
+            result.spread_time(1.5)
+
+    def test_deterministic(self):
+        a = run(paper_cwn("grid"), seed=3)
+        b = run(paper_cwn("grid"), seed=3)
+        assert np.array_equal(a.first_goal_time, b.first_goal_time, equal_nan=True)

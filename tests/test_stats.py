@@ -1,0 +1,115 @@
+"""Unit tests for statistics collection and derived results."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.oracle.stats import SimResult, StatsCollector, UtilizationSample
+from repro.oracle.stats import hop_mean
+from repro.workload import Goal
+
+
+def make_result(**overrides):
+    base = dict(
+        strategy="cwn",
+        topology="grid 2x2",
+        workload="fib(5)",
+        n_pes=4,
+        completion_time=100.0,
+        result_value=5,
+        total_goals=15,
+        sequential_work=200.0,
+        busy_time=np.array([50.0, 50.0, 50.0, 50.0]),
+        goals_per_pe=np.array([4, 4, 4, 3]),
+        hop_histogram={0: 5, 1: 6, 2: 4},
+        goal_messages_sent=20,
+        response_messages_sent=10,
+        responses_routed=5,
+        response_hops=10,
+        control_words_sent=30,
+        channel_busy_time=np.array([10.0, 200.0]),
+        channel_messages=np.array([5, 25]),
+    )
+    base.update(overrides)
+    return SimResult(**base)
+
+
+class TestSimResult:
+    def test_utilization(self):
+        res = make_result()
+        assert res.utilization == pytest.approx(0.5)
+        assert res.utilization_percent == pytest.approx(50.0)
+
+    def test_speedup_identity(self):
+        # speedup = P * util = total busy / completion time.
+        res = make_result()
+        assert res.speedup == pytest.approx(res.busy_time.sum() / res.completion_time)
+
+    def test_per_pe_utilization(self):
+        res = make_result(busy_time=np.array([100.0, 0.0, 50.0, 25.0]))
+        assert list(res.per_pe_utilization) == [1.0, 0.0, 0.5, 0.25]
+
+    def test_zero_completion_guards(self):
+        res = make_result(completion_time=0.0)
+        assert res.utilization == 0.0
+        assert list(res.per_pe_utilization) == [0.0] * 4
+        assert list(res.channel_utilization) == [0.0, 0.0]
+
+    def test_mean_goal_distance(self):
+        res = make_result()
+        assert res.mean_goal_distance == pytest.approx((0 * 5 + 1 * 6 + 2 * 4) / 15)
+
+    def test_channel_utilization_clamped(self):
+        res = make_result()
+        assert list(res.channel_utilization) == [0.1, 1.0]
+
+    def test_load_balance_cv(self):
+        assert make_result().load_balance_cv == 0.0
+        uneven = make_result(busy_time=np.array([200.0, 0.0, 0.0, 0.0]))
+        assert uneven.load_balance_cv == pytest.approx(np.sqrt(3))
+
+    def test_load_balance_cv_zero_work(self):
+        res = make_result(busy_time=np.zeros(4))
+        assert res.load_balance_cv == 0.0
+
+    def test_summary_contains_key_figures(self):
+        text = make_result().summary()
+        assert "cwn" in text
+        assert "50.0%" in text
+        assert "fib(5)" in text
+
+
+class TestHopMean:
+    def test_empty(self):
+        assert hop_mean({}) == 0.0
+
+    def test_weighted(self):
+        assert hop_mean({0: 2, 3: 2}) == 1.5
+
+
+class TestStatsCollector:
+    def test_record_goal_start_histograms(self):
+        sc = StatsCollector(4, trace_hops=True)
+        for hops in (0, 2, 2, 5):
+            g = Goal(0)
+            g.hops = hops
+            sc.record_goal_start(0, g)
+        assert sc.goals_started == 4
+        assert sc.hop_histogram == {0: 1, 2: 2, 5: 1}
+
+    def test_trace_hops_off(self):
+        sc = StatsCollector(4, trace_hops=False)
+        g = Goal(0)
+        g.hops = 3
+        sc.record_goal_start(0, g)
+        assert sc.hop_histogram == {}
+        assert sc.goals_started == 1
+
+
+class TestUtilizationSample:
+    def test_frozen_record(self):
+        s = UtilizationSample(10.0, 0.5, (0.25, 0.75))
+        assert s.time == 10.0
+        with pytest.raises(AttributeError):
+            s.time = 20.0  # type: ignore[misc]

@@ -1,0 +1,143 @@
+"""Unit tests for the work-stealing and diffusion strategy families."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Diffusion, KeepLocal, WorkStealing, make_strategy
+from repro.oracle.config import SimConfig
+from repro.oracle.machine import Machine
+from repro.topology import Complete, Grid, Ring
+from repro.workload import DivideConquer, Fibonacci
+
+
+def run(workload, topology, strategy, config=None, start_pe=0):
+    return Machine(topology, workload, strategy, config, start_pe).run()
+
+
+class TestWorkStealingParameters:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkStealing(threshold=0.5)
+        with pytest.raises(ValueError):
+            WorkStealing(max_probes=0)
+        with pytest.raises(ValueError):
+            WorkStealing(retry_interval=-1)
+
+    def test_describe_params(self):
+        p = WorkStealing(threshold=3.0, max_probes=2).describe_params()
+        assert p["threshold"] == 3.0
+        assert p["max_probes"] == 2
+
+    def test_spec_factory(self):
+        s = make_strategy("stealing:threshold=3,probes=2")
+        assert isinstance(s, WorkStealing)
+        assert s.threshold == 3.0
+        assert s.max_probes == 2
+
+
+class TestWorkStealingBehaviour:
+    def test_correct_result(self, fast_config):
+        res = run(DivideConquer(1, 55), Grid(4, 4), WorkStealing(), fast_config)
+        assert res.result_value == sum(range(1, 56))
+
+    def test_steals_happen(self, fast_config):
+        strat = WorkStealing(threshold=2.0, max_probes=3)
+        res = run(Fibonacci(12), Grid(4, 4), strat, fast_config)
+        assert strat.steals > 0
+        assert res.speedup > 1.5  # work actually spread
+
+    def test_no_retry_still_completes(self, fast_config):
+        strat = WorkStealing(retry_interval=0.0)
+        res = run(Fibonacci(10), Grid(4, 4), strat, fast_config)
+        assert res.result_value == 55
+
+    def test_stolen_goals_counted_in_histogram(self, fast_config):
+        strat = WorkStealing(threshold=2.0)
+        res = run(Fibonacci(12), Grid(4, 4), strat, fast_config)
+        travelled = sum(c for h, c in res.hop_histogram.items() if h > 0)
+        assert travelled == pytest.approx(strat.steals, abs=strat.steals * 0.1 + 1)
+
+    def test_receiver_initiated_communicates_less_than_cwn(self, fast_config):
+        from repro.core import CWN
+
+        steal = run(Fibonacci(12), Grid(4, 4), WorkStealing(), fast_config)
+        cwn = run(Fibonacci(12), Grid(4, 4), CWN(radius=4, horizon=1), fast_config)
+        assert steal.mean_goal_distance < cwn.mean_goal_distance
+
+    def test_works_on_ring_and_complete(self, fast_config):
+        for topo in (Ring(6), Complete(5)):
+            res = run(Fibonacci(10), topo, WorkStealing(), fast_config)
+            assert res.result_value == 55
+
+    def test_probe_cycling_back_to_requester(self):
+        # Regression (hypothesis-discovered, seed 1289 + LIFO): a probe
+        # forwarded back to its own requester used to make a
+        # since-busied requester "steal from itself" and route a goal
+        # PE->itself, crashing channel lookup; and an idle requester's
+        # probe flag wedged permanently.  Probes now never target their
+        # requester.
+        cfg = SimConfig(seed=1289, queue_discipline="lifo")
+        res = run(Fibonacci(9), Grid(4, 4), WorkStealing(threshold=2.0, max_probes=2), cfg)
+        assert res.result_value == 34
+
+    def test_probe_flag_recovers_after_failure(self, fast_config):
+        # After a failed probe chain the requester must be able to probe
+        # again (flag released): run a workload where early probes fail
+        # because nothing is shippable yet.
+        strat = WorkStealing(threshold=2.0, max_probes=1, retry_interval=10.0)
+        res = run(Fibonacci(12), Grid(4, 4), strat, fast_config)
+        assert res.result_value == 144
+        assert strat.failed_probes > 0
+        assert strat.steals > 0
+
+
+class TestDiffusionParameters:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Diffusion(alpha=0.0)
+        with pytest.raises(ValueError):
+            Diffusion(alpha=0.6)
+        with pytest.raises(ValueError):
+            Diffusion(interval=0)
+
+    def test_describe_params(self):
+        assert Diffusion(alpha=0.3, interval=10.0).describe_params() == {
+            "alpha": 0.3,
+            "interval": 10.0,
+        }
+
+    def test_spec_factory(self):
+        s = make_strategy("diffusion:alpha=0.4,interval=10")
+        assert isinstance(s, Diffusion)
+        assert s.alpha == 0.4
+
+
+class TestDiffusionBehaviour:
+    def test_correct_result(self, fast_config):
+        res = run(DivideConquer(1, 55), Grid(4, 4), Diffusion(), fast_config)
+        assert res.result_value == sum(range(1, 56))
+
+    def test_work_diffuses_outward(self, fast_config):
+        res = run(Fibonacci(12), Grid(4, 4), Diffusion(), fast_config)
+        assert (res.goals_per_pe > 0).sum() >= 8
+        assert res.speedup > 2.0
+
+    def test_beats_keep_local(self, fast_config):
+        diff = run(Fibonacci(12), Grid(4, 4), Diffusion(), fast_config)
+        local = run(Fibonacci(12), Grid(4, 4), KeepLocal(), fast_config)
+        assert diff.speedup > local.speedup
+
+    def test_faster_interval_spreads_faster(self):
+        quick = run(
+            Fibonacci(12), Grid(4, 4), Diffusion(interval=5.0), SimConfig(seed=3)
+        )
+        slow = run(
+            Fibonacci(12), Grid(4, 4), Diffusion(interval=200.0), SimConfig(seed=3)
+        )
+        assert quick.speedup > slow.speedup
+
+    def test_deterministic(self):
+        a = run(Fibonacci(11), Grid(4, 4), Diffusion(), SimConfig(seed=3))
+        b = run(Fibonacci(11), Grid(4, 4), Diffusion(), SimConfig(seed=3))
+        assert a.completion_time == b.completion_time

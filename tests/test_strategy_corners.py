@@ -1,0 +1,118 @@
+"""Parameter-corner and degenerate-network tests for the competitors.
+
+The CWN rules have sharp corners — radius 0 (nothing may move),
+horizon == radius (no early keep), degree-1 PEs (only one way out) —
+and the paper's text does not spell all of them out.  These tests pin
+the implemented semantics so refactors cannot silently change them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CWN, GradientModel, paper_cwn
+from repro.oracle.config import SimConfig
+from repro.oracle.machine import Machine
+from repro.topology import Grid, Ring, Star
+from repro.validation import check_result
+from repro.workload import Fibonacci
+
+
+def run(strategy, topology=None, program=None, seed=7):
+    topology = topology or Grid(4, 4)
+    program = program or Fibonacci(9)
+    machine = Machine(topology, program, strategy, SimConfig(seed=seed))
+    return machine, machine.run()
+
+
+class TestCWNRadiusCorners:
+    def test_radius_zero_is_keep_local(self):
+        """radius 0: on_goal_created's message already has hops == radius,
+        so every goal stays put — CWN degenerates to KeepLocal."""
+        _m, result = run(CWN(radius=0, horizon=0))
+        assert set(result.hop_histogram) == {0}
+        assert result.goals_per_pe[0] == result.total_goals
+
+    def test_radius_one_single_hop(self):
+        _m, result = run(CWN(radius=1, horizon=0))
+        assert set(result.hop_histogram) <= {0, 1}
+        # Goals do move (load 0 neighbors attract; ties keep at source
+        # only once the source is past the horizon... horizon=0 allows
+        # immediate keeps, but the initial empty machine still spreads).
+        assert max(result.hop_histogram) == 1
+
+    def test_horizon_equals_radius(self):
+        """No early keep: every goal travels exactly radius hops unless
+        it lands on a keep-on-tie minimum precisely at the horizon."""
+        _m, result = run(CWN(radius=3, horizon=3))
+        assert set(result.hop_histogram) == {3}
+
+    def test_radius_larger_than_diameter_still_terminates(self):
+        _m, result = run(CWN(radius=50, horizon=2), topology=Grid(4, 4))
+        assert result.result_value == Fibonacci(9).expected_result()
+        assert max(result.hop_histogram) <= 50
+
+    def test_invariants_at_all_corners(self):
+        for radius, horizon in ((0, 0), (1, 0), (1, 1), (3, 3), (9, 0)):
+            machine, result = run(CWN(radius=radius, horizon=horizon))
+            assert check_result(result, machine) == [], (radius, horizon)
+
+
+class TestDegreeOneNetworks:
+    def test_cwn_on_star_leaves(self):
+        """A leaf's only neighbor is the hub: goals ping between hub and
+        leaves but must still respect the radius."""
+        _m, result = run(CWN(radius=2, horizon=1), topology=Star(8))
+        assert result.result_value == Fibonacci(9).expected_result()
+        assert max(result.hop_histogram) <= 2
+
+    def test_gm_on_star(self):
+        _m, result = run(GradientModel(), topology=Star(8))
+        assert result.result_value == Fibonacci(9).expected_result()
+
+    def test_star_hub_is_hot(self):
+        """Star wiring centralizes even a distributed strategy: the hub
+        executes a disproportionate share or relays everything."""
+        machine, result = run(CWN(radius=2, horizon=1), topology=Star(8))
+        hub_channel_traffic = result.channel_messages.sum()
+        # every message crosses a spoke; there are only n-1 channels
+        assert hub_channel_traffic == result.goal_messages_sent + result.response_messages_sent
+
+    def test_ring_extreme_diameter(self):
+        _m, result = run(paper_cwn("grid"), topology=Ring(16))
+        assert result.result_value == Fibonacci(9).expected_result()
+        assert max(result.hop_histogram) <= 9  # paper-grid radius
+
+
+class TestGradientCorners:
+    def test_equal_watermarks(self):
+        """LWM == HWM: no neutral band; every node is idle or abundant."""
+        _m, result = run(GradientModel(low_water_mark=1, high_water_mark=1))
+        assert result.result_value == Fibonacci(9).expected_result()
+
+    def test_huge_high_watermark_never_ships(self):
+        """HWM above any reachable queue length: GM degenerates to
+        keep-local (goals never move)."""
+        _m, result = run(GradientModel(high_water_mark=10_000))
+        assert result.goals_per_pe[0] == result.total_goals
+        assert result.goal_messages_sent == 0
+
+    def test_zero_low_watermark_no_idle_nodes(self):
+        """LWM 0: loads are never < 0, so no node ever reports idle and
+        proximities saturate; work still completes (locally)."""
+        machine, result = run(GradientModel(low_water_mark=0, high_water_mark=2))
+        assert result.result_value == Fibonacci(9).expected_result()
+        clamp = machine.diameter + 1
+        assert all(p == 0 or p <= clamp for p in machine.strategy.proximity)
+
+    def test_interval_longer_than_run(self):
+        """A gradient process that never wakes before completion:
+        equivalent to keep-local."""
+        _m, result = run(GradientModel(interval=10_000_000.0, stagger=False))
+        assert result.goal_messages_sent == 0
+
+    def test_validation_rejects_inverted_watermarks(self):
+        with pytest.raises(ValueError):
+            GradientModel(low_water_mark=3, high_water_mark=1)
+        with pytest.raises(ValueError):
+            GradientModel(interval=0)

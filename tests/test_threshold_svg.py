@@ -1,0 +1,101 @@
+"""Tests for the threshold-random strategy and the SVG chart writer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CWN, ThresholdRandom, make_strategy
+from repro.experiments.svg import svg_line_chart
+from repro.oracle.config import SimConfig
+from repro.oracle.machine import Machine
+from repro.topology import Grid
+from repro.workload import Fibonacci
+
+
+def run(workload, topology, strategy, config=None):
+    return Machine(topology, workload, strategy, config).run()
+
+
+class TestThresholdRandom:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThresholdRandom(threshold=0.5)
+        with pytest.raises(ValueError):
+            ThresholdRandom(max_transfers=0)
+
+    def test_describe_params(self):
+        assert ThresholdRandom(3.0, 2).describe_params() == {
+            "threshold": 3.0,
+            "max_transfers": 2,
+        }
+
+    def test_spec_factory(self):
+        s = make_strategy("threshold:threshold=3,transfers=2")
+        assert isinstance(s, ThresholdRandom)
+        assert (s.threshold, s.max_transfers) == (3.0, 2)
+
+    def test_correct_result(self, fast_config):
+        res = run(Fibonacci(10), Grid(4, 4), ThresholdRandom(), fast_config)
+        assert res.result_value == 55
+
+    def test_transfer_budget_bounds_hops(self, fast_config):
+        res = run(Fibonacci(11), Grid(5, 5), ThresholdRandom(max_transfers=2), fast_config)
+        assert max(res.hop_histogram) <= 2
+
+    def test_low_load_goals_stay(self, fast_config):
+        # With a high threshold almost nothing moves.
+        res = run(Fibonacci(10), Grid(4, 4), ThresholdRandom(threshold=50.0), fast_config)
+        assert res.hop_histogram.get(0, 0) > 0.9 * res.total_goals
+
+    def test_spreads_under_load(self, fast_config):
+        res = run(Fibonacci(13), Grid(4, 4), ThresholdRandom(threshold=2.0), fast_config)
+        assert (res.goals_per_pe > 0).sum() >= 14
+
+    def test_directed_transfer_beats_random_transfer(self, fast_config):
+        # The point of the comparison: same transfer budget, but CWN's
+        # load-table direction wins over blind random direction.
+        cwn = run(Fibonacci(13), Grid(5, 5), CWN(radius=3, horizon=1), fast_config)
+        thr = run(Fibonacci(13), Grid(5, 5), ThresholdRandom(max_transfers=3), fast_config)
+        assert cwn.speedup > thr.speedup
+
+
+class TestSvgChart:
+    SERIES = {"cwn": [(0, 10.0), (100, 60.0)], "gm": [(0, 5.0), (100, 30.0)]}
+
+    def test_valid_document_structure(self):
+        svg = svg_line_chart(self.SERIES, title="demo", x_label="goals")
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert 'xmlns="http://www.w3.org/2000/svg"' in svg
+
+    def test_one_polyline_per_series(self):
+        svg = svg_line_chart(self.SERIES)
+        assert svg.count("<polyline") == 2
+
+    def test_legend_and_labels(self):
+        svg = svg_line_chart(self.SERIES, title="T", x_label="X", y_label="Y")
+        assert ">cwn</text>" in svg and ">gm</text>" in svg
+        assert ">T</text>" in svg and ">X</text>" in svg and ">Y</text>" in svg
+
+    def test_markers_per_point(self):
+        svg = svg_line_chart(self.SERIES)
+        assert svg.count("<circle") == 4
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            svg_line_chart({})
+        with pytest.raises(ValueError):
+            svg_line_chart({"cwn": []})
+
+    def test_y_max_clamps_points(self):
+        svg = svg_line_chart({"s": [(0, 0.0), (1, 500.0)]}, y_max=100.0)
+        # The clamped point must sit on the top gridline, not off-canvas.
+        assert "-inf" not in svg
+        for line in svg.splitlines():
+            if "<circle" in line:
+                cy = float(line.split('cy="')[1].split('"')[0])
+                assert 0 <= cy <= 400
+
+    def test_single_point_series(self):
+        svg = svg_line_chart({"s": [(5, 5.0)]})
+        assert "<circle" in svg

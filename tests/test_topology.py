@@ -1,0 +1,311 @@
+"""Unit tests for the topology package: construction, routing, metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology import (
+    Complete,
+    DoubleLatticeMesh,
+    Grid,
+    Hypercube,
+    Ring,
+    Topology,
+    make,
+    paper_dlm,
+    paper_grid,
+)
+
+
+class TestGrid:
+    def test_size(self):
+        assert Grid(5, 5).n == 25
+        assert Grid(3, 7).n == 21
+
+    def test_degree_is_four_on_torus(self, grid5):
+        assert all(grid5.degree(pe) == 4 for pe in range(grid5.n))
+
+    def test_coords_roundtrip(self, grid5):
+        for pe in range(grid5.n):
+            r, c = grid5.coords(pe)
+            assert grid5.pe_at(r, c) == pe
+
+    def test_wraparound_adjacency(self):
+        g = Grid(5, 5)
+        assert g.pe_at(0, 4) in g.neighbors(g.pe_at(0, 0))
+        assert g.pe_at(4, 0) in g.neighbors(g.pe_at(0, 0))
+
+    def test_no_wraparound_corner_degree(self):
+        g = Grid(4, 4, wraparound=False)
+        assert g.degree(0) == 2
+        assert g.degree(g.pe_at(0, 1)) == 3
+        assert g.degree(g.pe_at(1, 1)) == 4
+
+    def test_torus_diameter(self):
+        # Square torus diameter = 2 * floor(side/2).
+        assert Grid(5, 5).diameter == 4
+        assert Grid(10, 10).diameter == 10
+        assert Grid(20, 20).diameter == 20
+
+    def test_torus_distance(self):
+        g = Grid(10, 10)
+        assert g.distance(g.pe_at(0, 0), g.pe_at(0, 9)) == 1  # wraps
+        assert g.distance(g.pe_at(0, 0), g.pe_at(5, 5)) == 10
+        assert g.distance(g.pe_at(0, 0), g.pe_at(3, 4)) == 7
+
+    def test_link_count_torus(self):
+        # Each PE has 4 links, each shared: 2 * R * C channels.
+        g = Grid(6, 6)
+        assert len(g.channels) == 2 * 36
+
+    def test_two_wide_dimension_does_not_self_link(self):
+        g = Grid(2, 5)
+        for pe in range(g.n):
+            assert pe not in g.neighbors(pe)
+
+    def test_out_of_range_coord_raises_without_wrap(self):
+        g = Grid(4, 4, wraparound=False)
+        with pytest.raises(IndexError):
+            g.pe_at(4, 0)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            Grid(1, 5)
+
+
+class TestDoubleLatticeMesh:
+    def test_paper_instance_figure1(self):
+        dlm = DoubleLatticeMesh(5, 10, 10)
+        assert dlm.n == 100
+        # "The DLM topologies have smaller diameters (4-5)".
+        assert dlm.diameter <= 5
+
+    def test_all_paper_instances_diameter(self):
+        for n in (25, 64, 100):
+            assert paper_dlm(n).diameter <= 6
+
+    def test_every_bus_has_span_members(self):
+        dlm = DoubleLatticeMesh(4, 8, 8)
+        assert all(len(m) == 4 for m in dlm.channels)
+
+    def test_every_pe_on_row_and_column_buses(self):
+        dlm = DoubleLatticeMesh(4, 8, 8)
+        for pe in range(dlm.n):
+            r, c = dlm.coords(pe)
+            row_buses = col_buses = 0
+            for members in dlm.channels:
+                if pe not in members:
+                    continue
+                rows = {dlm.coords(m)[0] for m in members}
+                if rows == {r}:
+                    row_buses += 1
+                else:
+                    col_buses += 1
+            assert row_buses >= 2, f"PE {pe} on {row_buses} row buses"
+            assert col_buses >= 2, f"PE {pe} on {col_buses} col buses"
+
+    def test_neighbors_are_busmates(self):
+        dlm = DoubleLatticeMesh(5, 5, 5)
+        for pe in range(dlm.n):
+            busmates = set()
+            for members in dlm.channels:
+                if pe in members:
+                    busmates.update(members)
+            busmates.discard(pe)
+            assert set(dlm.neighbors(pe)) == busmates
+
+    def test_span_larger_than_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            DoubleLatticeMesh(6, 5, 5)
+
+    def test_span_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            DoubleLatticeMesh(1, 5, 5)
+
+    def test_lattice_starts_cover_dimension(self):
+        starts = DoubleLatticeMesh._lattice_starts(10, 5)
+        covered = set()
+        for s in starts:
+            covered.update((s + k) % 10 for k in range(5))
+        assert covered == set(range(10))
+
+    def test_smaller_diameter_than_equal_grid(self):
+        # The motivation for the DLM: much smaller diameter at equal size.
+        assert DoubleLatticeMesh(5, 10, 10).diameter < Grid(10, 10).diameter
+
+
+class TestHypercube:
+    def test_size_and_degree(self, cube4):
+        assert cube4.n == 16
+        assert all(cube4.degree(pe) == 4 for pe in range(16))
+
+    def test_diameter_equals_dimension(self):
+        for dim in (2, 3, 5):
+            assert Hypercube(dim).diameter == dim
+
+    def test_distance_is_hamming(self):
+        cube = Hypercube(5)
+        for a, b in [(0, 31), (3, 5), (7, 8), (12, 12)]:
+            assert cube.distance(a, b) == bin(a ^ b).count("1")
+
+    def test_neighbors_differ_in_one_bit(self, cube4):
+        for pe in range(cube4.n):
+            for nb in cube4.neighbors(pe):
+                assert bin(pe ^ nb).count("1") == 1
+
+    def test_link_count(self):
+        # dim * 2**(dim-1) links.
+        assert len(Hypercube(5).channels) == 5 * 16
+
+    def test_bad_dim_rejected(self):
+        with pytest.raises(ValueError):
+            Hypercube(0)
+
+
+class TestRingAndComplete:
+    def test_ring_degree_and_diameter(self, ring8):
+        assert all(ring8.degree(pe) == 2 for pe in range(8))
+        assert ring8.diameter == 4
+
+    def test_ring_minimum_size(self):
+        with pytest.raises(ValueError):
+            Ring(2)
+
+    def test_complete_diameter_one(self, complete4):
+        assert complete4.diameter == 1
+        assert len(complete4.channels) == 6  # C(4,2)
+
+    def test_complete_every_pair_adjacent(self, complete4):
+        for a in range(4):
+            for b in range(4):
+                if a != b:
+                    assert b in complete4.neighbors(a)
+
+
+class TestRouting:
+    @pytest.mark.parametrize(
+        "topo",
+        [Grid(5, 5), DoubleLatticeMesh(4, 6, 6), Hypercube(4), Ring(9)],
+        ids=["grid", "dlm", "cube", "ring"],
+    )
+    def test_next_hop_decreases_distance(self, topo):
+        for src in range(0, topo.n, 3):
+            for dst in range(0, topo.n, 4):
+                if src == dst:
+                    continue
+                nh = topo.next_hop(src, dst)
+                assert nh in topo.neighbors(src)
+                assert topo.distance(nh, dst) == topo.distance(src, dst) - 1
+
+    @pytest.mark.parametrize(
+        "topo",
+        [Grid(4, 4), DoubleLatticeMesh(4, 5, 5), Hypercube(3)],
+        ids=["grid", "dlm", "cube"],
+    )
+    def test_shortest_path_length_matches_distance(self, topo):
+        for src in range(topo.n):
+            for dst in range(topo.n):
+                path = topo.shortest_path(src, dst)
+                assert len(path) - 1 == topo.distance(src, dst)
+                assert path[0] == src and path[-1] == dst
+
+    def test_next_hop_to_self(self, grid5):
+        assert grid5.next_hop(3, 3) == 3
+
+    def test_channels_between_adjacent(self, grid5):
+        a = 0
+        b = grid5.neighbors(0)[0]
+        cids = grid5.channels_between(a, b)
+        assert len(cids) >= 1
+        for cid in cids:
+            members = grid5.channels[cid]
+            assert a in members and b in members
+
+    def test_channels_between_non_adjacent_raises(self, grid5):
+        far = grid5.pe_at(2, 2)
+        with pytest.raises(KeyError):
+            grid5.channels_between(0, far)
+
+    def test_dlm_pair_may_share_multiple_buses(self):
+        dlm = DoubleLatticeMesh(5, 5, 5)
+        # On a 5x5 mesh with span 5 both row lattices coincide per row;
+        # adjacent PEs in the same row+column cross share >= 1 channel.
+        counts = [
+            len(dlm.channels_between(pe, nb))
+            for pe in range(dlm.n)
+            for nb in dlm.neighbors(pe)
+        ]
+        assert min(counts) >= 1
+
+    def test_mean_distance_bounds(self, grid5):
+        assert 0 < grid5.mean_distance <= grid5.diameter
+
+
+class TestValidationAndFactory:
+    def test_asymmetric_neighbors_rejected(self):
+        class Broken(Topology):
+            family = "broken"
+
+            def __init__(self):
+                self.n = 2
+                super().__init__()
+
+            def _build(self):
+                return [{1}, set()], [(0, 1)]
+
+        with pytest.raises(ValueError, match="asymmetric"):
+            Broken()
+
+    def test_disconnected_rejected(self):
+        class TwoIslands(Topology):
+            family = "islands"
+
+            def __init__(self):
+                self.n = 4
+                super().__init__()
+
+            def _build(self):
+                return [{1}, {0}, {3}, {2}], [(0, 1), (2, 3)]
+
+        with pytest.raises(ValueError, match="not connected"):
+            TwoIslands().diameter
+
+    def test_single_member_channel_rejected(self):
+        class Lonely(Topology):
+            family = "lonely"
+
+            def __init__(self):
+                self.n = 2
+                super().__init__()
+
+            def _build(self):
+                return [{1}, {0}], [(0, 1), (0,)]
+
+        with pytest.raises(ValueError, match="fewer than 2"):
+            Lonely()
+
+    def test_make_specs(self):
+        assert isinstance(make("grid:5x5"), Grid)
+        assert isinstance(make("dlm:4x8x8"), DoubleLatticeMesh)
+        assert isinstance(make("hypercube:4"), Hypercube)
+        assert isinstance(make("ring:7"), Ring)
+        assert isinstance(make("complete:5"), Complete)
+
+    def test_make_bad_specs(self):
+        for spec in ("grid:5", "mesh:3x3", "hypercube:x", ""):
+            with pytest.raises(ValueError):
+                make(spec)
+
+    def test_paper_grid_sizes(self):
+        for n in (25, 64, 100, 256, 400):
+            assert paper_grid(n).n == n
+            assert paper_dlm(n).n == n
+
+    def test_paper_unknown_size_rejected(self):
+        with pytest.raises(ValueError):
+            paper_grid(50)
+        with pytest.raises(ValueError):
+            paper_dlm(50)
+
+    def test_len_matches_n(self, grid5):
+        assert len(grid5) == 25

@@ -1,0 +1,255 @@
+"""Unit and property tests for the extended topologies:
+Torus3D, ChordalRing, CubeConnectedCycles, Star.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CWN, paper_cwn
+from repro.oracle.config import SimConfig
+from repro.oracle.machine import Machine
+from repro.topology import (
+    ChordalRing,
+    CubeConnectedCycles,
+    Star,
+    Torus3D,
+    make,
+)
+from repro.workload.fibonacci import Fibonacci
+
+
+class TestTorus3D:
+    def test_size(self):
+        assert Torus3D(3, 4, 5).n == 60
+        assert Torus3D(4, 4, 4).n == 64
+
+    def test_uniform_degree_six(self):
+        t = Torus3D(3, 3, 3)
+        assert all(t.degree(pe) == 6 for pe in range(t.n))
+
+    def test_degree_with_two_wide_dimension(self):
+        # A 2-deep dimension collapses wrap and direct links into one.
+        t = Torus3D(2, 3, 3)
+        assert all(t.degree(pe) == 5 for pe in range(t.n))
+
+    def test_diameter_formula(self):
+        # Torus diameter = sum of floor(dim/2) over dimensions.
+        assert Torus3D(4, 4, 4).diameter == 6
+        assert Torus3D(3, 3, 3).diameter == 3
+        assert Torus3D(5, 4, 3).diameter == 2 + 2 + 1
+
+    def test_smaller_diameter_than_matched_grid(self):
+        from repro.topology import Grid
+
+        # 64 PEs: 8x8 grid diameter 8; 4x4x4 torus diameter 6.
+        assert Torus3D(4, 4, 4).diameter < Grid(8, 8).diameter
+
+    def test_wraparound_distance(self):
+        t = Torus3D(5, 5, 5)
+        # (0,0,0) to (4,0,0) wraps in one hop.
+        assert t.distance(t._index(0, 0, 0), t._index(4, 0, 0)) == 1
+
+    def test_link_count(self):
+        # Uniform degree 6 with all dims >= 3: 3 * n links.
+        t = Torus3D(3, 3, 3)
+        assert len(t.channels) == 3 * t.n
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            Torus3D(1, 4, 4)
+
+    def test_no_self_loops_or_asymmetry(self):
+        # Constructor validation enforces both; cover the 2-deep case.
+        t = Torus3D(2, 2, 2)
+        for pe in range(t.n):
+            assert pe not in t.neighbors(pe)
+
+    @given(
+        st.integers(min_value=2, max_value=4),
+        st.integers(min_value=2, max_value=4),
+        st.integers(min_value=2, max_value=4),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_distance_symmetric(self, x, y, z):
+        t = Torus3D(x, y, z)
+        for a in range(0, t.n, max(1, t.n // 5)):
+            for b in range(0, t.n, max(1, t.n // 5)):
+                assert t.distance(a, b) == t.distance(b, a)
+
+
+class TestChordalRing:
+    def test_default_chord_near_sqrt(self):
+        c = ChordalRing(25)
+        assert c.chord == 5
+
+    def test_degree_four(self):
+        c = ChordalRing(25, 5)
+        assert all(c.degree(pe) == 4 for pe in range(c.n))
+
+    def test_diameter_beats_plain_ring(self):
+        from repro.topology import Ring
+
+        assert ChordalRing(64).diameter < Ring(64).diameter
+
+    def test_chord_validation(self):
+        with pytest.raises(ValueError):
+            ChordalRing(25, 1)  # duplicates ring links
+        with pytest.raises(ValueError):
+            ChordalRing(25, 13)  # > n // 2
+        with pytest.raises(ValueError):
+            ChordalRing(3)
+
+    def test_chord_adjacency(self):
+        c = ChordalRing(20, 4)
+        assert 4 in c.neighbors(0)
+        assert 16 in c.neighbors(0)  # wrap: 0 - 4 mod 20
+
+    def test_even_n_half_chord_degree(self):
+        # chord == n/2 makes the skip link its own inverse: degree 3.
+        c = ChordalRing(10, 5)
+        assert all(c.degree(pe) == 3 for pe in range(c.n))
+
+    @given(st.integers(min_value=8, max_value=40))
+    @settings(max_examples=20, deadline=None)
+    def test_vertex_transitive_distance_profile(self, n):
+        """Chordal rings are vertex-transitive: every PE sees the same
+        multiset of distances."""
+        c = ChordalRing(n)
+        profile0 = sorted(c.distance(0, b) for b in range(c.n))
+        pe = n // 2
+        profile_mid = sorted(c.distance(pe, b) for b in range(c.n))
+        assert profile0 == profile_mid
+
+
+class TestCubeConnectedCycles:
+    def test_size(self):
+        assert CubeConnectedCycles(3).n == 24
+        assert CubeConnectedCycles(4).n == 64
+
+    def test_uniform_degree_three(self):
+        ccc = CubeConnectedCycles(3)
+        assert all(ccc.degree(pe) == 3 for pe in range(ccc.n))
+
+    def test_cube_partner_adjacency(self):
+        ccc = CubeConnectedCycles(3)
+        # (corner 0, pos 0) partners with corner 1 (bit 0 flipped), pos 0.
+        assert ccc._index(1, 0) in ccc.neighbors(ccc._index(0, 0))
+
+    def test_cycle_adjacency(self):
+        ccc = CubeConnectedCycles(3)
+        assert ccc._index(0, 1) in ccc.neighbors(ccc._index(0, 0))
+        assert ccc._index(0, 2) in ccc.neighbors(ccc._index(0, 0))
+
+    def test_diameter_order_log(self):
+        # Known CCC(3) diameter is 6; must be Theta(d) in general.
+        assert CubeConnectedCycles(3).diameter == 6
+        d4 = CubeConnectedCycles(4).diameter
+        assert 8 <= d4 <= 12
+
+    def test_small_dim_rejected(self):
+        with pytest.raises(ValueError):
+            CubeConnectedCycles(2)
+
+    def test_link_count(self):
+        # Degree 3 everywhere: 3n/2 undirected links.
+        ccc = CubeConnectedCycles(3)
+        assert len(ccc.channels) == 3 * ccc.n // 2
+
+
+class TestStar:
+    def test_hub_degree(self):
+        s = Star(10)
+        assert s.degree(0) == 9
+        assert all(s.degree(leaf) == 1 for leaf in range(1, 10))
+
+    def test_diameter_two(self):
+        assert Star(10).diameter == 2
+
+    def test_leaf_to_leaf_via_hub(self):
+        s = Star(6)
+        assert s.shortest_path(2, 5) == [2, 0, 5]
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            Star(2)
+
+
+class TestMakeSpecs:
+    @pytest.mark.parametrize(
+        "spec,family,n",
+        [
+            ("torus3d:3x3x3", "torus3d", 27),
+            ("chordal:25", "chordal", 25),
+            ("chordal:20x4", "chordal", 20),
+            ("ccc:3", "ccc", 24),
+            ("star:16", "star", 16),
+        ],
+    )
+    def test_spec_roundtrip(self, spec, family, n):
+        topo = make(spec)
+        assert topo.family == family
+        assert topo.n == n
+
+    def test_malformed_spec(self):
+        with pytest.raises(ValueError):
+            make("torus3d:3x3")
+        with pytest.raises(ValueError):
+            make("chordal:25x1")
+
+
+@pytest.mark.parametrize(
+    "topo_factory",
+    [
+        lambda: Torus3D(3, 3, 3),
+        lambda: ChordalRing(25),
+        lambda: CubeConnectedCycles(3),
+        lambda: Star(12),
+    ],
+    ids=["torus3d", "chordal", "ccc", "star"],
+)
+class TestSimulationOnNewTopologies:
+    """The paper's competitors must run correctly on every new network."""
+
+    def test_cwn_runs_to_correct_result(self, topo_factory):
+        topo = topo_factory()
+        radius = min(topo.diameter, 5)
+        strat = CWN(radius=radius, horizon=min(1, radius))
+        result = Machine(topo, Fibonacci(9), strat, SimConfig(seed=11)).run()
+        assert result.result_value == Fibonacci(9).expected_result()
+        assert max(result.hop_histogram) <= radius
+
+    def test_gm_runs_to_correct_result(self, topo_factory):
+        from repro.core import GradientModel
+
+        topo = topo_factory()
+        result = Machine(topo, Fibonacci(9), GradientModel(), SimConfig(seed=11)).run()
+        assert result.result_value == Fibonacci(9).expected_result()
+
+    def test_work_conservation(self, topo_factory):
+        topo = topo_factory()
+        result = Machine(
+            topo, Fibonacci(9), paper_cwn("grid"), SimConfig(seed=11)
+        ).run()
+        assert result.busy_time.sum() == pytest.approx(result.sequential_work)
+
+
+@given(st.sampled_from(["torus3d", "chordal", "ccc", "star"]))
+@settings(max_examples=8, deadline=None)
+def test_routing_is_bfs_optimal(kind):
+    """next_hop tables must realize BFS-shortest paths on every family."""
+    topo = {
+        "torus3d": lambda: Torus3D(3, 3, 2),
+        "chordal": lambda: ChordalRing(18),
+        "ccc": lambda: CubeConnectedCycles(3),
+        "star": lambda: Star(9),
+    }[kind]()
+    step = max(1, topo.n // 6)
+    for src in range(0, topo.n, step):
+        for dst in range(0, topo.n, step):
+            path = topo.shortest_path(src, dst)
+            assert len(path) - 1 == topo.distance(src, dst)

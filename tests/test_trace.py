@@ -1,0 +1,94 @@
+"""Unit tests for the trace recorder and analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CWN, KeepLocal
+from repro.oracle.config import SimConfig
+from repro.oracle.machine import Machine
+from repro.oracle.trace import TraceAnalysis, TraceRecorder, attach
+from repro.topology import Grid
+from repro.workload import Fibonacci
+
+
+@pytest.fixture
+def traced_run(fast_config):
+    program = Fibonacci(9)
+    machine = Machine(Grid(4, 4), program, CWN(radius=3, horizon=1), fast_config)
+    recorder = attach(machine)
+    result = machine.run()
+    return program, recorder, result
+
+
+class TestRecorder:
+    def test_every_goal_traced_through_lifecycle(self, traced_run):
+        program, recorder, _result = traced_run
+        counts = TraceAnalysis(recorder).counts()
+        assert counts["created"] == program.total_goals()
+        assert counts["placed"] == program.total_goals()
+        assert counts["started"] == program.total_goals()
+        assert counts["finished"] == 1
+
+    def test_events_time_ordered(self, traced_run):
+        _program, recorder, _result = traced_run
+        times = [e.time for e in recorder.events]
+        assert times == sorted(times)
+
+    def test_of_kind_filter(self, traced_run):
+        _program, recorder, _result = traced_run
+        placed = recorder.of_kind("placed")
+        assert all(e.kind == "placed" for e in placed)
+        assert len(recorder) == len(recorder.events)
+
+    def test_finished_event_matches_completion(self, traced_run):
+        _program, recorder, result = traced_run
+        fin = recorder.of_kind("finished")[0]
+        assert fin.time == result.completion_time
+
+    def test_tracing_does_not_change_results(self, fast_config):
+        plain = Machine(
+            Grid(4, 4), Fibonacci(9), CWN(radius=3, horizon=1), fast_config
+        ).run()
+        traced_machine = Machine(
+            Grid(4, 4), Fibonacci(9), CWN(radius=3, horizon=1), fast_config
+        )
+        attach(traced_machine)
+        traced = traced_machine.run()
+        assert traced.completion_time == plain.completion_time
+        assert traced.hop_histogram == plain.hop_histogram
+
+
+class TestAnalysis:
+    def test_pe_activity_matches_goals_per_pe(self, traced_run):
+        _program, recorder, result = traced_run
+        activity = TraceAnalysis(recorder).pe_activity()
+        assert list(activity) == list(result.goals_per_pe[: len(activity)])
+
+    def test_queue_wait_nonnegative(self, traced_run):
+        _program, recorder, _result = traced_run
+        mean_wait, max_wait = TraceAnalysis(recorder).queue_wait_stats()
+        assert 0.0 <= mean_wait <= max_wait
+
+    def test_queue_wait_empty_trace(self):
+        assert TraceAnalysis(TraceRecorder()).queue_wait_stats() == (0.0, 0.0)
+
+    def test_placement_rate_buckets(self, traced_run):
+        program, recorder, _result = traced_run
+        rate = TraceAnalysis(recorder).placement_rate(bucket=100.0)
+        assert sum(c for _, c in rate) == program.total_goals()
+        starts = [t for t, _ in rate]
+        assert starts == sorted(starts)
+
+    def test_placement_rate_bad_bucket(self):
+        with pytest.raises(ValueError):
+            TraceAnalysis(TraceRecorder()).placement_rate(0)
+
+    def test_keep_local_zero_wait_start(self, fast_config):
+        # On keep-local the first goal starts immediately after placement.
+        machine = Machine(Grid(4, 4), Fibonacci(7), KeepLocal(), fast_config)
+        recorder = attach(machine)
+        machine.run()
+        first_placed = recorder.of_kind("placed")[0]
+        first_started = recorder.of_kind("started")[0]
+        assert first_started.time == first_placed.time

@@ -1,0 +1,222 @@
+"""Tests for the extended workloads: BinomialCoefficient,
+UnbalancedTreeSearch (UTS), QuicksortTree.
+"""
+
+from __future__ import annotations
+
+import math
+from math import comb
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CWN, paper_cwn
+from repro.oracle.config import SimConfig
+from repro.oracle.machine import Machine
+from repro.topology import Grid
+from repro.workload import (
+    BinomialCoefficient,
+    QuicksortTree,
+    UnbalancedTreeSearch,
+    make,
+)
+from repro.workload.base import Leaf, Split
+
+
+class TestBinomialCoefficient:
+    def test_value(self):
+        assert BinomialCoefficient(10, 3).expected_result() == 120
+        assert BinomialCoefficient(12, 6).expected_result() == comb(12, 6)
+
+    def test_total_goals_closed_form(self):
+        prog = BinomialCoefficient(10, 4)
+        assert prog.total_goals() == 2 * comb(10, 4) - 1
+        # Closed form must agree with the counting visitor.
+        assert prog.total_goals() == super(BinomialCoefficient, prog).total_goals()
+
+    def test_edge_k_is_single_leaf(self):
+        assert BinomialCoefficient(7, 0).total_goals() == 1
+        assert BinomialCoefficient(7, 7).total_goals() == 1
+
+    def test_k_one_is_near_chain(self):
+        # C(n,1) = n leaves; tree is a right spine of depth n-1.
+        prog = BinomialCoefficient(8, 1)
+        assert prog.expected_result() == 8
+        assert prog.total_goals() == 15
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BinomialCoefficient(5, 6)
+        with pytest.raises(ValueError):
+            BinomialCoefficient(-1, 0)
+
+    def test_label(self):
+        assert BinomialCoefficient(16, 8).label == "binom(16,8)"
+
+    @given(st.integers(min_value=2, max_value=12), st.integers(min_value=1, max_value=11))
+    @settings(max_examples=30, deadline=None)
+    def test_sequential_eval_matches_comb(self, n, k):
+        k = min(k, n)
+        prog = BinomialCoefficient(n, k)
+        assert prog.expected_result() == comb(n, k)
+
+    def test_simulates_correctly(self):
+        prog = BinomialCoefficient(12, 6)
+        result = Machine(Grid(5, 5), prog, paper_cwn("grid"), SimConfig(seed=5)).run()
+        assert result.result_value == comb(12, 6)
+        assert result.total_goals == prog.total_goals()
+
+
+class TestUnbalancedTreeSearch:
+    def test_deterministic_per_seed(self):
+        a = UnbalancedTreeSearch(seed=3)
+        b = UnbalancedTreeSearch(seed=3)
+        assert a.total_goals() == b.total_goals()
+
+    def test_seed_changes_tree(self):
+        sizes = {UnbalancedTreeSearch(seed=s).total_goals() for s in range(6)}
+        assert len(sizes) > 1
+
+    def test_result_counts_nodes(self):
+        prog = UnbalancedTreeSearch(seed=1)
+        assert prog.expected_result() == prog.total_goals()
+
+    def test_root_branching(self):
+        prog = UnbalancedTreeSearch(seed=0, root_children=7)
+        expansion = prog.expand(())
+        assert isinstance(expansion, Split)
+        assert len(expansion.children) == 7
+
+    def test_expected_size_scale(self):
+        """Mean tree size over seeds ~ 1 + b0 / (1 - q*m) within 3x."""
+        b0, q, m = 12, 0.45, 2
+        expected = 1 + b0 / (1 - q * m)
+        sizes = [
+            UnbalancedTreeSearch(seed=s, root_children=b0, q=q, m=m).total_goals()
+            for s in range(40)
+        ]
+        mean = sum(sizes) / len(sizes)
+        assert expected / 3 < mean < expected * 3
+
+    def test_supercritical_rejected(self):
+        with pytest.raises(ValueError):
+            UnbalancedTreeSearch(q=0.6, m=2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UnbalancedTreeSearch(root_children=0)
+        with pytest.raises(ValueError):
+            UnbalancedTreeSearch(m=1)
+        with pytest.raises(ValueError):
+            UnbalancedTreeSearch(q=-0.1)
+        with pytest.raises(ValueError):
+            UnbalancedTreeSearch(max_depth=0)
+
+    def test_max_depth_forces_leaves(self):
+        prog = UnbalancedTreeSearch(seed=0, max_depth=2, q=0.49, m=2)
+        # No goal may sit deeper than max_depth.
+        stack = [()]
+        while stack:
+            path = stack.pop()
+            assert len(path) <= 2
+            exp = prog.expand(path)
+            if isinstance(exp, Split):
+                stack.extend(exp.children)
+
+    def test_simulates_correctly(self):
+        prog = UnbalancedTreeSearch(seed=2, root_children=16, q=0.45)
+        result = Machine(Grid(5, 5), prog, paper_cwn("grid"), SimConfig(seed=5)).run()
+        assert result.result_value == prog.expected_result()
+
+
+class TestQuicksortTree:
+    def test_median_bias_is_balanced(self):
+        prog = QuicksortTree(1024, pivot_bias=1.0, cutoff=1)
+        # Perfect medians give the minimal comparison count ~ n log2 n.
+        comparisons = prog.expected_result()
+        n = 1024
+        assert comparisons <= n * math.log2(n)
+
+    def test_uniform_pivots_near_2nlnn(self):
+        n = 2000
+        results = [
+            QuicksortTree(n, seed=s, pivot_bias=0.0, cutoff=1).expected_result()
+            for s in range(10)
+        ]
+        mean = sum(results) / len(results)
+        expected = 2 * n * math.log(n)
+        assert 0.5 * expected < mean < 1.5 * expected
+
+    def test_deterministic_per_seed(self):
+        a = QuicksortTree(500, seed=9).expected_result()
+        b = QuicksortTree(500, seed=9).expected_result()
+        assert a == b
+
+    def test_cutoff_shrinks_tree(self):
+        small_cut = QuicksortTree(500, seed=1, cutoff=1).total_goals()
+        big_cut = QuicksortTree(500, seed=1, cutoff=16).total_goals()
+        assert big_cut < small_cut
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuicksortTree(0)
+        with pytest.raises(ValueError):
+            QuicksortTree(10, pivot_bias=2.0)
+        with pytest.raises(ValueError):
+            QuicksortTree(10, cutoff=0)
+
+    def test_tiny_input_is_leaf(self):
+        prog = QuicksortTree(3, cutoff=4)
+        assert isinstance(prog.expand(prog.root_payload()), Leaf)
+
+    def test_simulates_correctly(self):
+        prog = QuicksortTree(800, seed=3)
+        result = Machine(Grid(5, 5), prog, paper_cwn("grid"), SimConfig(seed=5)).run()
+        assert result.result_value == prog.expected_result()
+        assert result.total_goals == prog.total_goals()
+
+    def test_bias_reduces_variance(self):
+        """Median-biased pivots must reduce spread across seeds."""
+        uniform = [
+            QuicksortTree(1000, seed=s, pivot_bias=0.0).expected_result()
+            for s in range(8)
+        ]
+        biased = [
+            QuicksortTree(1000, seed=s, pivot_bias=1.0).expected_result()
+            for s in range(8)
+        ]
+        def spread(xs):
+            return max(xs) - min(xs)
+        assert spread(biased) <= spread(uniform)
+
+
+class TestMakeSpecs:
+    @pytest.mark.parametrize(
+        "spec,cls",
+        [
+            ("binom:16:8", BinomialCoefficient),
+            ("uts:seed=1,b0=8,q=0.4,m=2", UnbalancedTreeSearch),
+            ("uts:", UnbalancedTreeSearch),
+            ("qsort:2000", QuicksortTree),
+            ("qsort:2000:0.5", QuicksortTree),
+        ],
+    )
+    def test_spec_builds_right_class(self, spec, cls):
+        assert isinstance(make(spec), cls)
+
+    def test_spec_parameters(self):
+        u = make("uts:seed=4,b0=9,q=0.3,m=3")
+        assert u.seed == 4
+        assert u.root_children == 9
+        assert u.q == 0.3
+        assert u.m == 3
+        q = make("qsort:2000:0.5")
+        assert q.size == 2000
+        assert q.pivot_bias == 0.5
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            make("binom:16")
+        with pytest.raises(ValueError):
+            make("qsort:notanumber")

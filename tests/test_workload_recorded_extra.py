@@ -1,0 +1,92 @@
+"""Additional workload-layer tests: critical path bounds and recording
+interactions with the rest of the suite's machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CWN, GradientModel, RandomPlacement
+from repro.oracle.config import CostModel, SimConfig
+from repro.oracle.machine import Machine
+from repro.topology import Complete, Grid
+from repro.workload import (
+    CyclicTree,
+    DivideConquer,
+    Fibonacci,
+    NQueens,
+    SkewedTree,
+    record,
+)
+
+
+class TestCriticalPath:
+    def test_single_leaf(self):
+        costs = CostModel.unit()
+        assert Fibonacci(1).critical_path(costs) == 1.0
+
+    def test_dc_unit_costs(self):
+        # dc(1,8): 3 levels of splits + leaf; span = 3*(1+1) + 1 = 7.
+        costs = CostModel.unit()
+        assert DivideConquer(1, 8).critical_path(costs) == 7.0
+
+    def test_fib_span_follows_left_spine(self):
+        costs = CostModel.unit()
+        # fib(n) span: fib tree's deepest chain has n-1 interior nodes
+        # above a leaf: span = 2*(n-1) + 1 under unit costs.
+        for n in (2, 5, 9):
+            assert Fibonacci(n).critical_path(costs) == 2 * (n - 1) + 1
+
+    def test_span_at_most_work(self):
+        costs = CostModel()
+        for program in (Fibonacci(9), DivideConquer(1, 55), NQueens(6), SkewedTree(40)):
+            assert program.critical_path(costs) <= program.sequential_work(costs)
+
+    def test_chain_tree_span_equals_work(self):
+        # A pure chain (CyclicTree with expand_depth=1... still splits).
+        # SkewedTree with extreme skew approaches a chain: span ~ work.
+        tree = SkewedTree(12, skew=0.9)
+        costs = CostModel.unit()
+        assert tree.critical_path(costs) > 0.5 * tree.sequential_work(costs)
+
+    @pytest.mark.parametrize(
+        "make_strategy",
+        [
+            lambda: CWN(radius=3, horizon=1),
+            lambda: GradientModel(),
+            lambda: RandomPlacement(),
+        ],
+        ids=["cwn", "gm", "random"],
+    )
+    def test_completion_never_beats_span(self, make_strategy):
+        program = DivideConquer(1, 89)
+        cfg = SimConfig(seed=3)
+        span = program.critical_path(cfg.costs)
+        res = Machine(Complete(8), program, make_strategy(), cfg).run()
+        assert res.completion_time >= span
+
+    def test_recorded_program_preserves_span(self):
+        program = Fibonacci(10)
+        costs = CostModel()
+        assert record(program).critical_path(costs) == pytest.approx(
+            program.critical_path(costs)
+        )
+
+
+class TestRecordingEdgeCases:
+    def test_single_node_program(self):
+        rec = record(Fibonacci(0))
+        assert rec.total_goals() == 1
+        assert rec.expected_result() == 0
+
+    def test_wide_tree(self):
+        rec = record(NQueens(5))
+        assert rec.expected_result() == 10
+        res = Machine(
+            Grid(4, 4), rec, CWN(radius=3, horizon=1), SimConfig(seed=3)
+        ).run()
+        assert res.result_value == 10
+
+    def test_cyclic_tree_records(self):
+        tree = CyclicTree(cycles=2, expand_depth=2, chain_depth=2)
+        rec = record(tree)
+        assert rec.total_goals() == tree.total_goals()
