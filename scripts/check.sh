@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Fast local gate: byte-compile everything, then the non-slow tests.
+#
+#   scripts/check.sh            # compile + fast tests
+#   scripts/check.sh -k cache   # extra args forwarded to pytest
+#
+# The full suite (including the slow docs-tutorial execution) is
+#   PYTHONPATH=src python -m pytest -q
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== compileall (src, tests, benchmarks) =="
+python -m compileall -q src tests benchmarks
+
+echo "== pytest -m 'not slow' =="
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -q -m "not slow" "$@"

@@ -1,0 +1,43 @@
+"""Shared helpers for the factories' ``spec_of`` canonicalizers.
+
+The spec-string grammar is the contract between the factories and the
+parallel farm's content addressing, so its two failure modes live here,
+once:
+
+* a parameter the grammar has no syntax for (``require_defaults``);
+* a float that would lose precision in its printed form (``fmt_num``).
+"""
+
+from __future__ import annotations
+
+__all__ = ["fmt_num", "require_defaults"]
+
+
+def fmt_num(value: float) -> str:
+    """Exact spec-string form of a numeric parameter.
+
+    Prefers the compact ``%g`` form but falls back to ``repr`` whenever
+    ``%g``'s 6 significant digits would not round-trip — two strategies
+    differing in the 7th digit must not collapse to one canonical spec
+    (and hence one cache key).  ``repr`` of a float always round-trips
+    exactly, so the canonical form is lossless for every value.
+    """
+    compact = f"{value:g}"
+    if float(compact) == value:
+        return compact
+    return repr(float(value))
+
+
+def require_defaults(obj: object, **attrs: object) -> None:
+    """Raise unless every named attribute still holds its default.
+
+    Used by ``spec_of`` for parameters the spec grammar cannot express:
+    such objects have no canonical spelling, and callers (the parallel
+    farm) fall back to in-process execution.
+    """
+    for attr, default in attrs.items():
+        if getattr(obj, attr) != default:
+            raise ValueError(
+                f"{type(obj).__name__}.{attr}={getattr(obj, attr)!r} has no "
+                f"spec-string syntax (only the default {default!r} round-trips)"
+            )

@@ -13,10 +13,16 @@ Commands map one-to-one onto the experiment modules:
 * ``repro grainsize`` — the medium-grain argument, measured;
 * ``repro zoo`` — every implemented strategy on one scenario;
 * ``repro bounds fib:15 grid:10x10`` — analytic completion-time bounds;
-* ``repro monitor fib:13 grid:8x8 cwn`` — the red/blue load film.
+* ``repro monitor fib:13 grid:8x8 cwn`` — the red/blue load film;
+* ``repro cache stats|clear`` — the on-disk simulation result cache.
 
 All experiment commands accept ``--full`` to run at paper scale
-(equivalently, set ``REPRO_FULL=1``).
+(equivalently, set ``REPRO_FULL=1``), plus the global farm flags
+``--jobs N`` (fan simulations out over N worker processes; 0 = all
+cores; default serial, or ``REPRO_JOBS``) and ``--no-cache`` (bypass
+the content-addressed result cache that otherwise makes reruns free).
+``table1``, ``table2`` and ``zoo`` currently route through the farm;
+the remaining commands accept the flags but run serially.
 """
 
 from __future__ import annotations
@@ -28,14 +34,42 @@ from collections.abc import Sequence
 __all__ = ["main"]
 
 
+def _jobs_count(raw: str) -> int:
+    """argparse type for --jobs: a non-negative integer."""
+    try:
+        value = int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {raw!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be >= 0 (0 = all cores)")
+    return value
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of Kale (ICPP 1988): CWN vs the Gradient Model",
     )
+    # Farm flags shared by every command (argparse "parents" idiom, so
+    # they are accepted after the subcommand: `repro table2 --jobs 4`).
+    farm = argparse.ArgumentParser(add_help=False)
+    farm.add_argument(
+        "--jobs",
+        type=_jobs_count,
+        default=None,
+        metavar="N",
+        help="fan simulations out over N worker processes "
+        "(0 = all cores; default: serial, or REPRO_JOBS)",
+    )
+    farm.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="with --jobs/REPRO_JOBS: bypass the on-disk result cache "
+        "(farmed runs otherwise skip previously computed cells)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    run = sub.add_parser("run", help="run one simulation")
+    run = sub.add_parser("run", help="run one simulation", parents=[farm])
     run.add_argument("workload", help="e.g. fib:15, dc:1:987, random:seed=3")
     run.add_argument("topology", help="e.g. grid:10x10, dlm:5x10x10, hypercube:6")
     run.add_argument("strategy", help="cwn, gm, acwn, local, random, roundrobin")
@@ -53,7 +87,7 @@ def _build_parser() -> argparse.ArgumentParser:
         ("grainsize", "grain-size sweep (the medium-grain argument)"),
         ("zoo", "all strategies on one scenario"),
     ):
-        p = sub.add_parser(name, help=help_text)
+        p = sub.add_parser(name, help=help_text, parents=[farm])
         p.add_argument("--full", action="store_true", help="paper-scale grids")
         p.add_argument("--seed", type=int, default=1)
         if name == "plots":
@@ -66,7 +100,7 @@ def _build_parser() -> argparse.ArgumentParser:
                 help="append a Markdown claims report (sign test, gmean CI)",
             )
 
-    bounds = sub.add_parser("bounds", help="analytic completion-time bounds")
+    bounds = sub.add_parser("bounds", help="analytic completion-time bounds", parents=[farm])
     bounds.add_argument("workload", help="e.g. fib:15, dc:1:987")
     bounds.add_argument("topology", help="e.g. grid:10x10 (only n matters)")
     bounds.add_argument(
@@ -76,14 +110,57 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bounds.add_argument("--seed", type=int, default=1)
 
-    mon = sub.add_parser("monitor", help="replay a run as a PE-activity film")
+    mon = sub.add_parser("monitor", help="replay a run as a PE-activity film", parents=[farm])
     mon.add_argument("workload")
     mon.add_argument("topology")
     mon.add_argument("strategy")
     mon.add_argument("--seed", type=int, default=1)
     mon.add_argument("--frames", type=int, default=12, help="number of frames")
     mon.add_argument("--color", action="store_true", help="ANSI 256-color output")
+
+    cachep = sub.add_parser("cache", help="inspect or clear the result cache")
+    cachep.add_argument("action", choices=("stats", "clear"))
+    cachep.add_argument(
+        "--dir",
+        default=None,
+        help="cache directory (default: REPRO_CACHE_DIR or ~/.cache/repro-kale88)",
+    )
     return parser
+
+
+def _farm_args(args: argparse.Namespace) -> tuple["int | None", object]:
+    """Resolve the shared ``--jobs`` / ``--no-cache`` flags.
+
+    Returns ``(jobs, cache)`` where both ``None`` means "keep the
+    classic serial path".  The farm engages when a worker count is
+    requested (``--jobs`` or ``REPRO_JOBS``); the cache rides along
+    unless ``--no-cache`` asked it not to.
+    """
+    from .experiments.scale import default_jobs
+
+    try:
+        jobs = default_jobs(getattr(args, "jobs", None))
+    except ValueError as exc:
+        # A malformed REPRO_JOBS gets the same one-line treatment as a
+        # malformed --jobs (which argparse already validates).
+        print(f"repro: error: {exc}", file=sys.stderr)
+        raise SystemExit(2) from None
+    if jobs is None:
+        return None, None
+    if getattr(args, "no_cache", False):
+        return jobs, None
+    from .parallel import ResultCache
+
+    return jobs, ResultCache()
+
+
+def _report_farm(cache: object) -> None:
+    """One stderr line of farm telemetry (stdout stays diff-identical)."""
+    if cache is not None:
+        print(
+            f"[farm] {cache.hits} cache hits, {cache.misses} simulated",
+            file=sys.stderr,
+        )
 
 
 def _cmd_run(args: argparse.Namespace) -> None:
@@ -112,14 +189,19 @@ def _cmd_run(args: argparse.Namespace) -> None:
 def _cmd_table1(args: argparse.Namespace) -> None:
     from .experiments.optimization import render_table1, run_optimization
 
-    results = run_optimization(small=not args.full, seed=args.seed)
+    jobs, cache = _farm_args(args)
+    results = run_optimization(small=not args.full, seed=args.seed, jobs=jobs, cache=cache)
     print(render_table1(results))
+    _report_farm(cache)
 
 
 def _cmd_table2(args: argparse.Namespace) -> None:
     from .experiments.comparison import render_table2, run_comparison, summarize_claims
 
-    cells = run_comparison(kind=args.kind, full=args.full or None, seed=args.seed)
+    jobs, cache = _farm_args(args)
+    cells = run_comparison(
+        kind=args.kind, full=args.full or None, seed=args.seed, jobs=jobs, cache=cache
+    )
     print(render_table2(cells))
     print()
     print(summarize_claims(cells))
@@ -139,6 +221,7 @@ def _cmd_table2(args: argparse.Namespace) -> None:
                 ],
             )
         )
+    _report_farm(cache)
 
 
 def _cmd_table3(args: argparse.Namespace) -> None:
@@ -194,17 +277,32 @@ def _cmd_grainsize(args: argparse.Namespace) -> None:
 
 
 def _cmd_zoo(args: argparse.Namespace) -> None:
-    from .core import make_strategy
     from .experiments.runner import simulate
-    from .workload import Fibonacci
 
     fib_n = 15 if args.full else 13
-    for spec in (
+    strategy_specs = (
         "cwn", "gm", "acwn", "gm-event", "gm-batch", "threshold", "stealing",
         "symmetric", "bidding", "diffusion", "randomwalk", "central",
         "random", "roundrobin", "local",
-    ):
-        res = simulate(Fibonacci(fib_n), "grid:8x8", spec, seed=args.seed)
+    )
+    jobs, cache = _farm_args(args)
+    if jobs is not None or cache is not None:
+        from .parallel import RunSpec, run_batch
+
+        report = run_batch(
+            [
+                RunSpec(f"fib:{fib_n}", "grid:8x8", spec, seed=args.seed)
+                for spec in strategy_specs
+            ],
+            jobs=jobs,
+            cache=cache,
+        )
+        for res in report.results:
+            print(res.summary())
+        _report_farm(cache)
+        return
+    for spec in strategy_specs:
+        res = simulate(f"fib:{fib_n}", "grid:8x8", spec, seed=args.seed)
         print(res.summary())
 
 
@@ -243,6 +341,24 @@ def _cmd_monitor(args: argparse.Namespace) -> None:
     print(render_film(res, cols=cols, color=args.color))
 
 
+def _cmd_cache(args: argparse.Namespace) -> None:
+    from .parallel import ResultCache
+
+    cache = ResultCache(args.dir)
+    if args.action == "stats":
+        stats = cache.stats()
+        print(f"cache dir    : {stats.root}")
+        print(f"schema       : v{stats.schema}")
+        print(f"entries      : {stats.entries}")
+        print(f"size on disk : {stats.total_bytes / 1024:.1f} KiB")
+    else:
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {cache.root}")
+
+
+#: commands whose run grids currently route through the farm
+_FARM_COMMANDS = frozenset({"table1", "table2", "zoo"})
+
 _COMMANDS = {
     "run": _cmd_run,
     "table1": _cmd_table1,
@@ -256,6 +372,7 @@ _COMMANDS = {
     "zoo": _cmd_zoo,
     "bounds": _cmd_bounds,
     "monitor": _cmd_monitor,
+    "cache": _cmd_cache,
 }
 
 
@@ -266,6 +383,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         import os
 
         os.environ["REPRO_FULL"] = "1"
+    if args.command not in _FARM_COMMANDS and (
+        getattr(args, "jobs", None) is not None or getattr(args, "no_cache", False)
+    ):
+        # Explicit farm flags on a command that runs serially should not
+        # pass silently (REPRO_JOBS, being ambient, does not warn).
+        print(
+            f"repro: warning: --jobs/--no-cache have no effect on "
+            f"'{args.command}' yet (farmed commands: "
+            f"{', '.join(sorted(_FARM_COMMANDS))})",
+            file=sys.stderr,
+        )
     _COMMANDS[args.command](args)
     return 0
 

@@ -13,6 +13,7 @@ optimized per-topology-family parameters of the paper's Table 1.
 
 from __future__ import annotations
 
+from .._spec_util import fmt_num, require_defaults
 from .acwn import AdaptiveCWN
 from .base import Strategy, argmin_load
 from .baselines import KeepLocal, RandomPlacement, RoundRobin
@@ -47,11 +48,13 @@ __all__ = [
     "ThresholdRandom",
     "WorkStealing",
     "argmin_load",
+    "canonical_spec",
     "make_load_metric",
     "make_strategy",
     "paper_cwn",
     "paper_gm",
     "queue_length",
+    "spec_of",
     "with_commitments",
 ]
 
@@ -189,3 +192,94 @@ def make_strategy(spec: str, family: str = "grid") -> Strategy:
             batch=int(kwargs.get("batch", 4)),
         )
     raise ValueError(f"unknown strategy spec {spec!r}")
+
+
+def spec_of(strategy: Strategy) -> str:
+    """The canonical :func:`make_strategy` spec that rebuilds ``strategy``.
+
+    Every parameter the spec grammar can express is spelled explicitly,
+    so the result is family-independent: ``spec_of(paper_cwn("grid"))``
+    is ``"cwn:radius=9,horizon=2"`` and rebuilds the same strategy under
+    any ``family`` argument.  The parallel farm's content-addressed cache
+    keys on this.  Strategies carrying parameters the grammar cannot
+    express (e.g. a ``lowest`` tie-break) raise ``ValueError``.
+    """
+    if type(strategy) is CWN:
+        require_defaults(strategy, tie_break="random", keep_on_tie=True)
+        return f"cwn:radius={strategy.radius},horizon={strategy.horizon}"
+    if type(strategy) is GradientModel:
+        require_defaults(strategy, ship="newest", stagger=True, tie_break="random")
+        return (
+            f"gm:lwm={fmt_num(strategy.low_water_mark)},hwm={fmt_num(strategy.high_water_mark)},"
+            f"interval={fmt_num(strategy.interval)}"
+        )
+    if type(strategy) is AdaptiveCWN:
+        require_defaults(
+            strategy, tie_break="random", pull=True, pull_threshold=2.0,
+            load_metric="queue", commitment_weight=0.5,
+        )
+        if strategy.saturation is None:
+            raise ValueError("AdaptiveCWN(saturation=None) has no spec-string syntax")
+        return (
+            f"acwn:radius={strategy.radius},horizon={strategy.horizon},"
+            f"saturation={fmt_num(strategy.saturation)}"
+        )
+    if type(strategy) is KeepLocal:
+        return "local"
+    if type(strategy) is RandomPlacement:
+        return "random"
+    if type(strategy) is RoundRobin:
+        return "roundrobin"
+    if type(strategy) is ThresholdRandom:
+        return (
+            f"threshold:threshold={fmt_num(strategy.threshold)},"
+            f"transfers={strategy.max_transfers}"
+        )
+    if type(strategy) is WorkStealing:
+        require_defaults(strategy, retry_interval=50.0, tie_break="random")
+        return f"stealing:threshold={fmt_num(strategy.threshold)},probes={strategy.max_probes}"
+    if type(strategy) is Diffusion:
+        require_defaults(strategy, stagger=True)
+        return f"diffusion:alpha={fmt_num(strategy.alpha)},interval={fmt_num(strategy.interval)}"
+    if type(strategy) is Bidding:
+        require_defaults(strategy, guard_interval=200.0)
+        return f"bidding:threshold={fmt_num(strategy.threshold)}"
+    if type(strategy) is Symmetric:
+        require_defaults(strategy, retry_interval=50.0, tie_break="random")
+        return (
+            f"symmetric:send={fmt_num(strategy.send_threshold)},radius={strategy.radius},"
+            f"steal={fmt_num(strategy.steal_threshold)},probes={strategy.max_probes}"
+        )
+    if type(strategy) is CentralScheduler:
+        return f"central:manager={strategy.manager},cost={fmt_num(strategy.dispatch_cost)}"
+    if type(strategy) is RandomWalk:
+        return (
+            f"randomwalk:radius={strategy.radius},horizon={strategy.horizon},"
+            f"keep={fmt_num(strategy.keep_prob)}"
+        )
+    if type(strategy) is EventGradient:
+        require_defaults(strategy, ship="newest", tie_break="random")
+        return (
+            f"gm-event:lwm={fmt_num(strategy.low_water_mark)},"
+            f"hwm={fmt_num(strategy.high_water_mark)}"
+        )
+    if type(strategy) is BatchGradient:
+        require_defaults(strategy, ship="newest", stagger=True, tie_break="random")
+        return (
+            f"gm-batch:lwm={fmt_num(strategy.low_water_mark)},"
+            f"hwm={fmt_num(strategy.high_water_mark)},interval={fmt_num(strategy.interval)},"
+            f"batch={strategy.batch}"
+        )
+    raise ValueError(f"no spec-string syntax for {type(strategy).__name__}")
+
+
+def canonical_spec(spec: str | Strategy, family: str = "grid") -> str:
+    """Normalize a strategy spec (or object) to its canonical spelling.
+
+    Bare family-parameterized names are resolved first — on a grid,
+    ``canonical_spec("cwn")``, ``canonical_spec("cwn:radius=9,horizon=2")``
+    and ``canonical_spec(paper_cwn("grid"))`` all yield the same string,
+    so the result cache treats them as one configuration.
+    """
+    strategy = make_strategy(spec, family=family) if isinstance(spec, str) else spec
+    return spec_of(strategy)

@@ -86,6 +86,8 @@ def run_comparison(
     pe_counts: tuple[int, ...] | None = None,
     fib_sizes: tuple[int, ...] | None = None,
     dc_sizes: tuple[int, ...] | None = None,
+    jobs: int | None = None,
+    cache: "ResultCache | None" = None,
 ) -> list[ComparisonCell]:
     """Run the (program x size x family x machine) grid, CWN vs GM paired.
 
@@ -94,22 +96,45 @@ def run_comparison(
     ``pe_counts`` / ``fib_sizes`` / ``dc_sizes`` overrides exist for
     focused sub-grids (tests, custom studies); they default to the scale
     module's grids.
+
+    ``jobs`` and/or ``cache`` route the grid through the
+    :mod:`repro.parallel` farm: runs fan out over worker processes and
+    previously computed cells are read from the cache instead of
+    resimulated.  Results are identical to the serial path (the farm's
+    determinism guarantee); ``jobs=None`` with no cache keeps the
+    classic in-process loop.
     """
     config = config or SimConfig()
-    cells: list[ComparisonCell] = []
-    for family in families:
-        for n_pes in pe_counts or scale.pe_counts(full):
+    grid: list[tuple[str, int, Program]] = [
+        (family, n_pes, program)
+        for family in families
+        for n_pes in pe_counts or scale.pe_counts(full)
+        for program in _workloads(kind, full, fib_sizes, dc_sizes)
+    ]
+
+    if jobs is not None or cache is not None:
+        from ..parallel import RunSpec, run_batch
+
+        specs: list[RunSpec] = []
+        for family, n_pes, program in grid:
             topo = _topology(family, n_pes)
-            for program in _workloads(kind, full, fib_sizes, dc_sizes):
-                cwn_res = simulate(
-                    program, topo, paper_cwn(family), config=config, seed=seed
+            for strategy in (paper_cwn(family), paper_gm(family)):
+                specs.append(
+                    RunSpec.build(program, topo, strategy, config=config, seed=seed)
                 )
-                gm_res = simulate(
-                    program, topo, paper_gm(family), config=config, seed=seed
-                )
-                cells.append(
-                    ComparisonCell(cwn_res.workload, family, n_pes, cwn_res, gm_res)
-                )
+        report = run_batch(specs, jobs=jobs, cache=cache)
+        paired = zip(report.results[0::2], report.results[1::2])
+        return [
+            ComparisonCell(cwn_res.workload, family, n_pes, cwn_res, gm_res)
+            for (family, n_pes, _program), (cwn_res, gm_res) in zip(grid, paired)
+        ]
+
+    cells: list[ComparisonCell] = []
+    for family, n_pes, program in grid:
+        topo = _topology(family, n_pes)
+        cwn_res = simulate(program, topo, paper_cwn(family), config=config, seed=seed)
+        gm_res = simulate(program, topo, paper_gm(family), config=config, seed=seed)
+        cells.append(ComparisonCell(cwn_res.workload, family, n_pes, cwn_res, gm_res))
     return cells
 
 

@@ -63,7 +63,31 @@ def _sweep(
     points: list[tuple[Program, Topology]],
     config: SimConfig | None,
     seed: int,
+    jobs: int | None = None,
+    cache: Any = None,
 ) -> list[SweepPoint]:
+    if jobs is not None or cache is not None:
+        from ..parallel import RunSpec, run_batch
+
+        try:
+            specs = [
+                RunSpec.build(program, topo, build(**params), config=config, seed=seed)
+                for params in grid
+                for program, topo in points
+            ]
+        except ValueError:
+            specs = None  # unspellable spec: fall through to the serial loop
+        if specs is not None:
+            report = run_batch(specs, jobs=jobs, cache=cache)
+            per_point = len(points)
+            results = []
+            for i, params in enumerate(grid):
+                chunk = report.results[i * per_point : (i + 1) * per_point]
+                speedups = tuple(res.speedup for res in chunk)
+                results.append(SweepPoint(params, sum(speedups) / len(speedups), speedups))
+            results.sort(key=lambda sp: -sp.mean_speedup)
+            return results
+
     results = []
     for params in grid:
         speedups = tuple(
@@ -83,6 +107,8 @@ def optimize_cwn(
     horizons: Sequence[int] = (0, 1, 2, 3),
     config: SimConfig | None = None,
     seed: int = 1,
+    jobs: int | None = None,
+    cache: Any = None,
 ) -> list[SweepPoint]:
     """Sweep CWN's (radius, horizon) space; best first."""
     grid = [
@@ -91,7 +117,7 @@ def optimize_cwn(
         for h in horizons
         if h <= r
     ]
-    return _sweep(lambda **p: CWN(**p), grid, points, config, seed)
+    return _sweep(lambda **p: CWN(**p), grid, points, config, seed, jobs, cache)
 
 
 def optimize_gm(
@@ -101,6 +127,8 @@ def optimize_gm(
     intervals: Sequence[float] = (10.0, 20.0, 40.0),
     config: SimConfig | None = None,
     seed: int = 1,
+    jobs: int | None = None,
+    cache: Any = None,
 ) -> list[SweepPoint]:
     """Sweep GM's (high, low, interval) space; best first."""
     grid = [
@@ -110,7 +138,7 @@ def optimize_gm(
         for i in intervals
         if l <= h
     ]
-    return _sweep(lambda **p: GradientModel(**p), grid, points, config, seed)
+    return _sweep(lambda **p: GradientModel(**p), grid, points, config, seed, jobs, cache)
 
 
 def run_optimization(
@@ -118,14 +146,20 @@ def run_optimization(
     small: bool = False,
     config: SimConfig | None = None,
     seed: int = 1,
+    jobs: int | None = None,
+    cache: Any = None,
 ) -> dict[str, dict[str, list[SweepPoint]]]:
-    """Both sweeps for each family: ``{family: {"cwn": [...], "gm": [...]}}``."""
+    """Both sweeps for each family: ``{family: {"cwn": [...], "gm": [...]}}``.
+
+    ``jobs``/``cache`` fan the parameter grids out through the
+    :mod:`repro.parallel` farm (identical results, see ``run_comparison``).
+    """
     out: dict[str, dict[str, list[SweepPoint]]] = {}
     for family in families:
         points = default_sample_points(family, small=small)
         out[family] = {
-            "cwn": optimize_cwn(points, config=config, seed=seed),
-            "gm": optimize_gm(points, config=config, seed=seed),
+            "cwn": optimize_cwn(points, config=config, seed=seed, jobs=jobs, cache=cache),
+            "gm": optimize_gm(points, config=config, seed=seed, jobs=jobs, cache=cache),
         }
     return out
 

@@ -82,9 +82,37 @@ def replicate_pair(
     topology: Topology,
     seeds: Sequence[int] = range(1, 9),
     config: SimConfig | None = None,
+    jobs: int | None = None,
+    cache: "ResultCache | None" = None,
 ) -> Replication:
-    """CWN/GM speedup ratio across seeds (both sides share each seed)."""
+    """CWN/GM speedup ratio across seeds (both sides share each seed).
+
+    ``jobs``/``cache`` route the 2x|seeds| runs through the
+    :mod:`repro.parallel` farm — the statistically honest regime (many
+    seeds per point) is exactly where fan-out pays.  Results are
+    identical to the serial path; programs or topologies the spec
+    grammar cannot express fall back to in-process execution.
+    """
     family = topology.family
+    if jobs is not None or cache is not None:
+        try:
+            from ..parallel import RunSpec, run_batch
+
+            specs = [
+                RunSpec.build(program, topology, strategy, config=config, seed=seed)
+                for seed in seeds
+                for strategy in (paper_cwn(family), paper_gm(family))
+            ]
+        except ValueError:
+            pass  # unspellable spec: fall through to the serial loop
+        else:
+            report = run_batch(specs, jobs=jobs, cache=cache)
+            return Replication(
+                tuple(
+                    cwn.speedup / gm.speedup
+                    for cwn, gm in zip(report.results[0::2], report.results[1::2])
+                )
+            )
     ratios = []
     for seed in seeds:
         cwn = simulate(program, topology, paper_cwn(family), config=config, seed=seed)
@@ -100,12 +128,33 @@ def replicate_metric(
     metric: str = "speedup",
     seeds: Sequence[int] = range(1, 9),
     config: SimConfig | None = None,
+    jobs: int | None = None,
+    cache: "ResultCache | None" = None,
 ) -> Replication:
     """Any SimResult attribute across seeds for one strategy.
 
     ``strategy_factory`` is called per seed (strategies carry per-run
     state); ``metric`` names a SimResult attribute or property.
+    ``jobs``/``cache`` fan the seeds out through the farm when the
+    factory's strategies are spec-expressible (else serial fallback).
     """
+    if jobs is not None or cache is not None:
+        try:
+            from ..parallel import RunSpec, run_batch
+
+            specs = [
+                RunSpec.build(
+                    program, topology, strategy_factory(), config=config, seed=seed
+                )
+                for seed in seeds
+            ]
+        except ValueError:
+            pass  # unspellable spec: fall through to the serial loop
+        else:
+            report = run_batch(specs, jobs=jobs, cache=cache)
+            return Replication(
+                tuple(float(getattr(res, metric)) for res in report.results)
+            )
     values = []
     for seed in seeds:
         strategy: Strategy = strategy_factory()

@@ -21,6 +21,7 @@ __all__ = [
     "REDUCED_FIB_SIZES",
     "REDUCED_PE_COUNTS",
     "dc_sizes",
+    "default_jobs",
     "fib_sizes",
     "full_scale",
     "pe_counts",
@@ -42,6 +43,30 @@ def full_scale(default: bool = False) -> bool:
     if raw is None:
         return default
     return raw.strip().lower() not in ("", "0", "false", "no")
+
+
+def default_jobs(explicit: int | None = None) -> int | None:
+    """Worker-process count for the simulation farm.
+
+    An explicit value (a CLI ``--jobs``) wins; otherwise the
+    ``REPRO_JOBS`` environment variable sets the default, mirroring how
+    ``REPRO_FULL`` sets the default grid scale.  ``None`` means "stay
+    serial"; ``0`` means "all cores" (resolved by the farm).
+    """
+    if explicit is not None:
+        return explicit
+    raw = os.environ.get("REPRO_JOBS")
+    if raw is None or not raw.strip():
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_JOBS must be an integer (0 = all cores), got {raw!r}"
+        ) from None
+    if value < 0:
+        raise ValueError(f"REPRO_JOBS must be >= 0 (0 = all cores), got {value}")
+    return value
 
 
 def pe_counts(full: bool | None = None) -> tuple[int, ...]:

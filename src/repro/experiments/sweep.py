@@ -125,12 +125,28 @@ class PairedSweep:
         self.a_name = a_name
         self.b_name = b_name
 
-    def run(self, values: Sequence[float], seeds: Sequence[int] = (1,)) -> SweepResult:
-        """Execute the sweep; metrics are averaged over ``seeds``."""
+    def run(
+        self,
+        values: Sequence[float],
+        seeds: Sequence[int] = (1,),
+        jobs: int | None = None,
+        cache: "ResultCache | None" = None,
+    ) -> SweepResult:
+        """Execute the sweep; metrics are averaged over ``seeds``.
+
+        ``jobs``/``cache`` route the ``2 x |values| x |seeds|`` grid
+        through the :mod:`repro.parallel` farm with identical results;
+        sweeps whose program/topology/strategies cannot be spelled as
+        factory specs silently keep the in-process path.
+        """
         if not values:
             raise ValueError("sweep needs at least one value")
         if not seeds:
             raise ValueError("sweep needs at least one seed")
+        if jobs is not None or cache is not None:
+            result = self._run_farmed(values, seeds, jobs, cache)
+            if result is not None:
+                return result
         points = []
         for x in values:
             totals = [0.0, 0.0]
@@ -143,6 +159,38 @@ class PairedSweep:
                 totals[0] += float(getattr(res_a, self.metric))
                 totals[1] += float(getattr(res_b, self.metric))
             points.append(SweepPoint(float(x), totals[0] / len(seeds), totals[1] / len(seeds)))
+        return SweepResult(
+            self.factor, self.metric, self.a_name, self.b_name, tuple(points)
+        )
+
+    def _run_farmed(
+        self,
+        values: Sequence[float],
+        seeds: Sequence[int],
+        jobs: int | None,
+        cache: "ResultCache | None",
+    ) -> SweepResult | None:
+        """Farm the grid out; ``None`` when any spec is unspellable."""
+        from ..parallel import RunSpec, run_batch
+
+        try:
+            specs = [
+                RunSpec.build(self.program, self.topology, strat, config=config, seed=seed)
+                for x in values
+                for seed in seeds
+                for strat_a, strat_b, config in (self.factory(x),)
+                for strat in (strat_a, strat_b)
+            ]
+        except ValueError:
+            return None
+        report = run_batch(specs, jobs=jobs, cache=cache)
+        points = []
+        per_value = 2 * len(seeds)
+        for i, x in enumerate(values):
+            chunk = report.results[i * per_value : (i + 1) * per_value]
+            total_a = sum(float(getattr(res, self.metric)) for res in chunk[0::2])
+            total_b = sum(float(getattr(res, self.metric)) for res in chunk[1::2])
+            points.append(SweepPoint(float(x), total_a / len(seeds), total_b / len(seeds)))
         return SweepResult(
             self.factor, self.metric, self.a_name, self.b_name, tuple(points)
         )

@@ -14,7 +14,7 @@ the conclusion calls for.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 from typing import Literal
 
 __all__ = ["CostModel", "SimConfig"]
@@ -112,6 +112,15 @@ class CostModel:
         word = ratio * self.leaf_work
         return replace(self, word_time=word, hop_overhead=word)
 
+    def to_dict(self) -> dict[str, float]:
+        """JSON-serializable form (the :mod:`repro.parallel` spec format)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, float]) -> "CostModel":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        return cls(**data)
+
 
 @dataclass(frozen=True)
 class SimConfig:
@@ -208,3 +217,28 @@ class SimConfig:
     def replace(self, **changes: object) -> "SimConfig":
         """Return a copy with ``changes`` applied (dataclasses.replace)."""
         return replace(self, **changes)
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serializable form: nested costs dict, tuples as lists.
+
+        The canonical config serialization used by :mod:`repro.parallel`
+        run specs and the on-disk result cache.  :meth:`from_dict` is the
+        exact inverse (``from_dict(to_dict(c)) == c``).
+        """
+        data = asdict(self)
+        data["costs"] = self.costs.to_dict()
+        if self.pe_speeds is not None:
+            data["pe_speeds"] = list(self.pe_speeds)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "SimConfig":
+        """Rebuild a config from :meth:`to_dict` output."""
+        kwargs = dict(data)
+        costs = kwargs.get("costs")
+        if isinstance(costs, dict):
+            kwargs["costs"] = CostModel.from_dict(costs)
+        speeds = kwargs.get("pe_speeds")
+        if speeds is not None:
+            kwargs["pe_speeds"] = tuple(float(s) for s in speeds)
+        return cls(**kwargs)

@@ -1,0 +1,197 @@
+"""Canonical run specifications: one simulation as a hashable value.
+
+Every experiment in this reproduction reduces to a bag of independent
+``simulate(workload, topology, strategy, config, seed)`` calls.
+:class:`RunSpec` is that call reified as data: spec strings for the
+three factories (:func:`repro.workload.make`, :func:`repro.topology.make`,
+:func:`repro.core.make_strategy`), the full :class:`SimConfig`, and the
+seed.  Because a spec is pure data it can be
+
+* **shipped to a worker process** (it pickles trivially — no live
+  machine state crosses the fork);
+* **hashed** — :meth:`RunSpec.key` digests the *canonical* form, so
+  spelling aliases (``"cwn"`` vs ``"cwn:radius=9,horizon=2"`` on a
+  grid, ``"FIB:9"`` vs ``"fib:9"``) address the same cache entry;
+* **stored** — :meth:`to_json` / :meth:`from_json` round-trip exactly.
+
+The canonicalization contract is owned by the factories themselves
+(``spec_of`` / ``canonical_spec`` in each package), so a new workload
+kind only has to teach its own factory how to spell itself.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any
+
+from ..core import Strategy, canonical_spec as canonical_strategy, spec_of as strategy_spec
+from ..oracle.config import SimConfig
+from ..topology import Topology, canonical_spec as canonical_topology, make as make_topology, spec_of as topology_spec
+from ..workload import Program, canonical_spec as canonical_workload, spec_of as workload_spec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..oracle.stats import SimResult
+
+__all__ = ["SPEC_SCHEMA", "RunSpec"]
+
+#: Version tag baked into every canonical dict (and hence every hash and
+#: cache path).  Bump it whenever simulation semantics change in a way
+#: that invalidates previously computed results.
+SPEC_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation run as canonical, hashable, JSON-serializable data.
+
+    ``workload`` / ``topology`` / ``strategy`` are factory spec strings;
+    ``seed`` (when given) overrides ``config.seed`` exactly as the
+    ``seed=`` convenience argument of :func:`repro.experiments.runner.simulate`
+    does, so ``spec.run()`` is bit-identical to the equivalent in-process
+    ``simulate`` call.
+    """
+
+    workload: str
+    topology: str
+    strategy: str
+    config: SimConfig = field(default_factory=SimConfig)
+    seed: int | None = None
+    start_pe: int = 0
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        workload: Program | str,
+        topology: Topology | str,
+        strategy: Strategy | str,
+        config: SimConfig | None = None,
+        seed: int | None = None,
+        start_pe: int = 0,
+    ) -> "RunSpec":
+        """Make a spec from objects or spec strings (mirrors ``simulate``).
+
+        Objects are spelled back into canonical spec strings via the
+        factories' ``spec_of``; objects whose parameters the spec grammar
+        cannot express raise ``ValueError`` (callers fall back to
+        in-process execution for those).
+        """
+        if not isinstance(workload, str):
+            workload = workload_spec(workload)
+        if not isinstance(topology, str):
+            topology = topology_spec(topology)
+        if not isinstance(strategy, str):
+            strategy = strategy_spec(strategy)
+        return cls(workload, topology, strategy, config or SimConfig(), seed, start_pe)
+
+    # -- execution ---------------------------------------------------------------
+
+    @property
+    def effective_config(self) -> SimConfig:
+        """``config`` with the seed override folded in."""
+        if self.seed is None:
+            return self.config
+        return self.config.replace(seed=self.seed)
+
+    def run(self) -> "SimResult":
+        """Execute this spec in the current process."""
+        from ..experiments.runner import simulate
+
+        return simulate(
+            self.workload,
+            self.topology,
+            self.strategy,
+            config=self.config,
+            start_pe=self.start_pe,
+            seed=self.seed,
+        )
+
+    # -- canonical form and hashing ---------------------------------------------
+
+    def canonical(self) -> "RunSpec":
+        """The unique representative of this spec's equivalence class.
+
+        Spec strings are normalized through the factories (the strategy
+        against the topology's family, so bare ``"cwn"`` resolves to the
+        same explicit parameters :func:`~repro.experiments.runner.build_machine`
+        would give it) and the seed override is folded into the config.
+        """
+        topology = canonical_topology(self.topology)
+        family = make_topology(topology).family
+        return replace(
+            self,
+            workload=canonical_workload(self.workload),
+            topology=topology,
+            strategy=canonical_strategy(self.strategy, family=family),
+            config=self.effective_config,
+            seed=None,
+        )
+
+    def canonical_dict(self) -> dict[str, Any]:
+        """Canonical JSON-able form — the preimage of :meth:`key`.
+
+        Canonicalization re-parses every spec string (it even builds the
+        topology to resolve the strategy family), so the result is
+        memoized on the instance — the cache consults it several times
+        per spec, and the fields it derives from are frozen.
+        """
+        cached = self.__dict__.get("_canonical_dict")
+        if cached is None:
+            spec = self.canonical()
+            cached = {
+                "schema": SPEC_SCHEMA,
+                "workload": spec.workload,
+                "topology": spec.topology,
+                "strategy": spec.strategy,
+                "config": spec.config.to_dict(),
+                "start_pe": spec.start_pe,
+            }
+            object.__setattr__(self, "_canonical_dict", cached)
+        return cached
+
+    def key(self) -> str:
+        """Content-address: SHA-256 of the canonical form (memoized).
+
+        Stable across processes and sessions (no hash randomization is
+        involved), and identical for every spelling of the same run.
+        """
+        cached = self.__dict__.get("_key")
+        if cached is None:
+            payload = json.dumps(
+                self.canonical_dict(), sort_keys=True, separators=(",", ":")
+            )
+            cached = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+            object.__setattr__(self, "_key", cached)
+        return cached
+
+    # -- plain serialization (non-canonicalizing) --------------------------------
+
+    def to_json(self) -> str:
+        """Round-trippable JSON of this spec exactly as spelled."""
+        return json.dumps(
+            {
+                "workload": self.workload,
+                "topology": self.topology,
+                "strategy": self.strategy,
+                "config": self.config.to_dict(),
+                "seed": self.seed,
+                "start_pe": self.start_pe,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunSpec":
+        """Inverse of :meth:`to_json`."""
+        data = json.loads(text)
+        return cls(
+            workload=data["workload"],
+            topology=data["topology"],
+            strategy=data["strategy"],
+            config=SimConfig.from_dict(data["config"]),
+            seed=data["seed"],
+            start_pe=data["start_pe"],
+        )

@@ -31,9 +31,11 @@ __all__ = [
     "Star",
     "Topology",
     "Torus3D",
+    "canonical_spec",
     "make",
     "paper_dlm",
     "paper_grid",
+    "spec_of",
 ]
 
 #: The DLM instances named in the paper's plot captions, keyed by PE count:
@@ -119,3 +121,40 @@ def make(spec: str) -> Topology:
     except ValueError as exc:
         raise ValueError(f"malformed topology spec {spec!r}: {exc}") from exc
     raise ValueError(f"unknown topology kind {kind!r} in spec {spec!r}")
+
+
+def spec_of(topology: Topology) -> str:
+    """The canonical :func:`make` spec that rebuilds ``topology``.
+
+    Inverse of :func:`make`; topologies with parameters ``make`` cannot
+    express (e.g. a no-wraparound :class:`Grid`) raise ``ValueError``.
+    """
+    if type(topology) is Grid:
+        if not topology.wraparound:
+            raise ValueError("no spec-string syntax for a non-wraparound Grid")
+        return f"grid:{topology.rows}x{topology.cols}"
+    if type(topology) is DoubleLatticeMesh:
+        return f"dlm:{topology.span}x{topology.rows}x{topology.cols}"
+    if type(topology) is Hypercube:
+        return f"hypercube:{topology.dim}"
+    if type(topology) is Ring:
+        return f"ring:{topology.n}"
+    if type(topology) is Complete:
+        return f"complete:{topology.n}"
+    if type(topology) is KaryTree:
+        return f"tree:{topology.arity}x{topology.levels}"
+    if type(topology) is Torus3D:
+        return f"torus3d:{topology.x}x{topology.y}x{topology.z}"
+    if type(topology) is ChordalRing:
+        return f"chordal:{topology.n}x{topology.chord}"
+    if type(topology) is CubeConnectedCycles:
+        return f"ccc:{topology.d}"
+    if type(topology) is Star:
+        return f"star:{topology.n}"
+    raise ValueError(f"no spec-string syntax for {type(topology).__name__}")
+
+
+def canonical_spec(spec: str | Topology) -> str:
+    """Normalize a topology spec (or object) to its canonical spelling."""
+    topology = make(spec) if isinstance(spec, str) else spec
+    return spec_of(topology)

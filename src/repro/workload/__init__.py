@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from collections.abc import Iterator
 
+from .._spec_util import fmt_num, require_defaults
 from .base import Goal, Leaf, Program, Split
 from .binomial import BinomialCoefficient
 from .composite import ParallelMix
@@ -41,8 +42,10 @@ __all__ = [
     "fib_calls",
     "fib_value",
     "record",
+    "canonical_spec",
     "make",
     "paper_workloads",
+    "spec_of",
 ]
 
 
@@ -113,3 +116,56 @@ def make(spec: str) -> Program:
     except (ValueError, KeyError) as exc:
         raise ValueError(f"malformed workload spec {spec!r}: {exc}") from exc
     raise ValueError(f"unknown workload kind {kind!r} in spec {spec!r}")
+
+
+def spec_of(program: Program) -> str:
+    """The canonical :func:`make` spec that rebuilds ``program``.
+
+    The exact inverse of :func:`make` up to spelling: every program
+    built by ``make`` satisfies ``make(spec_of(p))`` equivalent to
+    ``p``, and aliases (default parameters spelled or omitted) collapse
+    to one canonical string.  Programs whose parameters ``make`` cannot
+    express — e.g. a :class:`RandomTree` with a non-default
+    ``work_spread`` — raise ``ValueError``; the parallel farm falls back
+    to in-process execution for those.
+    """
+    if type(program) is DivideConquer:
+        return f"dc:{program.lo}:{program.hi}"
+    if type(program) is Fibonacci:
+        return f"fib:{program.n}"
+    if type(program) is NQueens:
+        return f"queens:{program.n}"
+    if type(program) is RandomTree:
+        require_defaults(program, work_spread=4.0, max_depth=24)
+        return (
+            f"random:seed={program.seed},depth={program.expected_depth},"
+            f"children={program.max_children}"
+        )
+    if type(program) is CyclicTree:
+        require_defaults(program, expand_depth=4, chain_depth=4)
+        return f"cyclic:{program.cycles}"
+    if type(program) is SkewedTree:
+        return f"skewed:{program.size}:{fmt_num(program.skew)}"
+    if type(program) is BinomialCoefficient:
+        return f"binom:{program.n_param}:{program.k_param}"
+    if type(program) is UnbalancedTreeSearch:
+        require_defaults(program, max_depth=200)
+        return (
+            f"uts:seed={program.seed},b0={program.root_children},"
+            f"q={fmt_num(program.q)},m={program.m}"
+        )
+    if type(program) is QuicksortTree:
+        require_defaults(program, seed=0, cutoff=4)
+        return f"qsort:{program.size}:{fmt_num(program.pivot_bias)}"
+    raise ValueError(f"no spec-string syntax for {type(program).__name__}")
+
+
+def canonical_spec(spec: str | Program) -> str:
+    """Normalize a workload spec (or program) to its canonical spelling.
+
+    ``canonical_spec("FIB:9") == canonical_spec("fib:9") == "fib:9"`` —
+    the content-addressed result cache keys on this, so spelling
+    variants of the same workload share cache entries.
+    """
+    program = make(spec) if isinstance(spec, str) else spec
+    return spec_of(program)

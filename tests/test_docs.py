@@ -15,6 +15,7 @@ import pytest
 DOCS = Path(__file__).parent.parent / "docs"
 
 
+@pytest.mark.slow
 def test_tutorial_snippets_execute():
     text = (DOCS / "tutorial.md").read_text()
     blocks = re.findall(r"```python\n(.*?)```", text, re.S)
