@@ -11,6 +11,7 @@ Commands map one-to-one onto the experiment modules:
 * ``repro hypercube`` — the Appendix I experiments;
 * ``repro scaling`` — CWN's edge vs machine size (the diameter conjecture);
 * ``repro grainsize`` — the medium-grain argument, measured;
+* ``repro stream`` — the open-system query-stream study;
 * ``repro zoo`` — every implemented strategy on one scenario;
 * ``repro bounds fib:15 grid:10x10`` — analytic completion-time bounds;
 * ``repro monitor fib:13 grid:8x8 cwn`` — the red/blue load film;
@@ -19,10 +20,12 @@ Commands map one-to-one onto the experiment modules:
 All experiment commands accept ``--full`` to run at paper scale
 (equivalently, set ``REPRO_FULL=1``), plus the global farm flags
 ``--jobs N`` (fan simulations out over N worker processes; 0 = all
-cores; default serial, or ``REPRO_JOBS``) and ``--no-cache`` (bypass
-the content-addressed result cache that otherwise makes reruns free).
-``table1``, ``table2`` and ``zoo`` currently route through the farm;
-the remaining commands accept the flags but run serially.
+cores; default serial, or ``REPRO_JOBS``) and ``--no-cache``.  Every
+command routes its simulations through the declarative plan pipeline
+(:mod:`repro.experiments.plan`), so the flags are honored uniformly:
+results are cached by default (reruns and interrupted sweeps resume for
+free) and each invocation prints one ``[farm]`` hit/miss line on
+stderr, leaving stdout diff-identical to serial runs.
 """
 
 from __future__ import annotations
@@ -30,6 +33,7 @@ from __future__ import annotations
 import argparse
 import sys
 from collections.abc import Sequence
+from contextlib import contextmanager
 
 __all__ = ["main"]
 
@@ -64,8 +68,8 @@ def _build_parser() -> argparse.ArgumentParser:
     farm.add_argument(
         "--no-cache",
         action="store_true",
-        help="with --jobs/REPRO_JOBS: bypass the on-disk result cache "
-        "(farmed runs otherwise skip previously computed cells)",
+        help="bypass the on-disk result cache (runs otherwise skip "
+        "previously computed cells and persist fresh ones)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -85,6 +89,7 @@ def _build_parser() -> argparse.ArgumentParser:
         ("hypercube", "Appendix I hypercube experiments"),
         ("scaling", "CWN's edge vs machine size (diameter conjecture)"),
         ("grainsize", "grain-size sweep (the medium-grain argument)"),
+        ("stream", "open-system query-stream study"),
         ("zoo", "all strategies on one scenario"),
     ):
         p = sub.add_parser(name, help=help_text, parents=[farm])
@@ -92,6 +97,9 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=1)
         if name == "plots":
             p.add_argument("--kind", choices=("dc", "fib"), default="dc")
+        if name == "stream":
+            p.add_argument("--queries", type=int, default=8)
+            p.add_argument("--spacing", type=float, default=200.0)
         if name == "table2":
             p.add_argument("--kind", choices=("dc", "fib", "both"), default="both")
             p.add_argument(
@@ -131,10 +139,9 @@ def _build_parser() -> argparse.ArgumentParser:
 def _farm_args(args: argparse.Namespace) -> tuple["int | None", object]:
     """Resolve the shared ``--jobs`` / ``--no-cache`` flags.
 
-    Returns ``(jobs, cache)`` where both ``None`` means "keep the
-    classic serial path".  The farm engages when a worker count is
-    requested (``--jobs`` or ``REPRO_JOBS``); the cache rides along
-    unless ``--no-cache`` asked it not to.
+    ``jobs`` comes from ``--jobs`` or the ``REPRO_JOBS`` environment
+    variable (``None`` = serial in-process); the content-addressed
+    result cache is on by default — ``--no-cache`` opts out.
     """
     from .experiments.scale import default_jobs
 
@@ -145,8 +152,6 @@ def _farm_args(args: argparse.Namespace) -> tuple["int | None", object]:
         # malformed --jobs (which argparse already validates).
         print(f"repro: error: {exc}", file=sys.stderr)
         raise SystemExit(2) from None
-    if jobs is None:
-        return None, None
     if getattr(args, "no_cache", False):
         return jobs, None
     from .parallel import ResultCache
@@ -154,98 +159,139 @@ def _farm_args(args: argparse.Namespace) -> tuple["int | None", object]:
     return jobs, ResultCache()
 
 
-def _report_farm(cache: object) -> None:
-    """One stderr line of farm telemetry (stdout stays diff-identical)."""
-    if cache is not None:
-        print(
-            f"[farm] {cache.hits} cache hits, {cache.misses} simulated",
-            file=sys.stderr,
-        )
+@contextmanager
+def _farmed(args: argparse.Namespace):
+    """Resolve the farm flags and print one ``[farm]`` summary line.
+
+    Yields ``(jobs, cache)`` for the experiment call and, when the body
+    completes, sums the telemetry of every plan executed inside it onto
+    stderr (stdout stays diff-identical to a serial, uncached run).
+    """
+    from .experiments.plan import collect_reports
+
+    jobs, cache = _farm_args(args)
+    with collect_reports() as reports:
+        yield jobs, cache
+    hits = sum(r.hits for r in reports)
+    simulated = sum(r.executed for r in reports)
+    print(f"[farm] {hits} cache hits, {simulated} simulated", file=sys.stderr)
+
+
+def _plan_one(
+    workload: str,
+    topology: str,
+    strategy: str,
+    jobs: "int | None",
+    cache: object,
+    config: object = None,
+    seed: "int | None" = None,
+):
+    """Run one CLI-described simulation through the plan engine."""
+    from .experiments.plan import ExperimentPlan, execute, planned_run
+
+    plan = ExperimentPlan(
+        "run",
+        (planned_run(workload, topology, strategy, config=config, seed=seed),),
+        lambda results, _meta: results[0],
+    )
+    return execute(plan, jobs=jobs, cache=cache)
 
 
 def _cmd_run(args: argparse.Namespace) -> None:
-    from .experiments.runner import simulate
-
-    res = simulate(args.workload, args.topology, args.strategy, seed=args.seed)
-    print(res.summary())
-    if args.verbose:
-        import numpy as np
-
-        util = res.per_pe_utilization
-        print(f"result value       : {res.result_value}")
-        print(f"goals executed     : {res.total_goals}")
-        print(f"goal messages      : {res.goal_messages_sent}")
-        print(f"response messages  : {res.response_messages_sent}")
-        print(f"control words      : {res.control_words_sent}")
-        print(f"events executed    : {res.events_executed}")
-        print(
-            "per-PE util        : "
-            f"min={util.min():.2f} median={np.median(util):.2f} max={util.max():.2f}"
+    with _farmed(args) as (jobs, cache):
+        res = _plan_one(
+            args.workload, args.topology, args.strategy, jobs, cache, seed=args.seed
         )
-        print(f"load balance CV    : {res.load_balance_cv:.3f}")
-        print(f"busiest channel    : {res.channel_utilization.max():.2f}")
+        print(res.summary())
+        if args.verbose:
+            import numpy as np
+
+            util = res.per_pe_utilization
+            print(f"result value       : {res.result_value}")
+            print(f"goals executed     : {res.total_goals}")
+            print(f"goal messages      : {res.goal_messages_sent}")
+            print(f"response messages  : {res.response_messages_sent}")
+            print(f"control words      : {res.control_words_sent}")
+            print(f"events executed    : {res.events_executed}")
+            print(
+                "per-PE util        : "
+                f"min={util.min():.2f} median={np.median(util):.2f} max={util.max():.2f}"
+            )
+            print(f"load balance CV    : {res.load_balance_cv:.3f}")
+            print(f"busiest channel    : {res.channel_utilization.max():.2f}")
 
 
 def _cmd_table1(args: argparse.Namespace) -> None:
     from .experiments.optimization import render_table1, run_optimization
 
-    jobs, cache = _farm_args(args)
-    results = run_optimization(small=not args.full, seed=args.seed, jobs=jobs, cache=cache)
-    print(render_table1(results))
-    _report_farm(cache)
+    with _farmed(args) as (jobs, cache):
+        results = run_optimization(
+            small=not args.full, seed=args.seed, jobs=jobs, cache=cache
+        )
+        print(render_table1(results))
 
 
 def _cmd_table2(args: argparse.Namespace) -> None:
     from .experiments.comparison import render_table2, run_comparison, summarize_claims
 
-    jobs, cache = _farm_args(args)
-    cells = run_comparison(
-        kind=args.kind, full=args.full or None, seed=args.seed, jobs=jobs, cache=cache
-    )
-    print(render_table2(cells))
-    print()
-    print(summarize_claims(cells))
-    if getattr(args, "report", False):
-        from .analysis import paired_summary, render_report
-
-        summary = paired_summary([cell.ratio for cell in cells])
-        print()
-        print(
-            render_report(
-                "Table 2 — speedup of CWN over GM",
-                summary,
-                paper_claims={"wins": "118/120", "wins by >10%": "110/120"},
-                notes=[
-                    f"{len(cells)} cells at "
-                    + ("paper scale" if args.full else "reduced scale"),
-                ],
-            )
+    with _farmed(args) as (jobs, cache):
+        cells = run_comparison(
+            kind=args.kind, full=args.full or None, seed=args.seed, jobs=jobs, cache=cache
         )
-    _report_farm(cache)
+        print(render_table2(cells))
+        print()
+        print(summarize_claims(cells))
+        if getattr(args, "report", False):
+            from .analysis import paired_summary, render_report
+
+            summary = paired_summary([cell.ratio for cell in cells])
+            print()
+            print(
+                render_report(
+                    "Table 2 — speedup of CWN over GM",
+                    summary,
+                    paper_claims={"wins": "118/120", "wins by >10%": "110/120"},
+                    notes=[
+                        f"{len(cells)} cells at "
+                        + ("paper scale" if args.full else "reduced scale"),
+                    ],
+                )
+            )
 
 
 def _cmd_table3(args: argparse.Namespace) -> None:
     from .experiments.hops import render_table3, run_hop_study
 
-    study = run_hop_study(fib_n=18 if args.full else 15, seed=args.seed)
-    print(render_table3(study))
-    print(f"\ncommunication ratio (CWN/GM mean distance): {study.communication_ratio:.2f}")
+    with _farmed(args) as (jobs, cache):
+        study = run_hop_study(
+            fib_n=18 if args.full else 15, seed=args.seed, jobs=jobs, cache=cache
+        )
+        print(render_table3(study))
+        print(
+            f"\ncommunication ratio (CWN/GM mean distance): {study.communication_ratio:.2f}"
+        )
 
 
 def _cmd_plots(args: argparse.Namespace) -> None:
     from .experiments.utilization_curves import render_curve, run_all_curves
 
-    for plot_no, curve in run_all_curves(kind=args.kind, full=args.full or None, seed=args.seed):
-        print(render_curve(curve, plot_no))
-        print()
+    with _farmed(args) as (jobs, cache):
+        for plot_no, curve in run_all_curves(
+            kind=args.kind, full=args.full or None, seed=args.seed, jobs=jobs, cache=cache
+        ):
+            print(render_curve(curve, plot_no))
+            print()
 
 
 def _cmd_timeseries(args: argparse.Namespace) -> None:
     from .experiments.timeseries import render_timeseries, run_paper_timeseries
 
-    for plot_no, study in run_paper_timeseries(full=args.full or None, seed=args.seed):
-        print(render_timeseries(study, plot_no))
-        print()
+    with _farmed(args) as (jobs, cache):
+        for plot_no, study in run_paper_timeseries(
+            full=args.full or None, seed=args.seed, jobs=jobs, cache=cache
+        ):
+            print(render_timeseries(study, plot_no))
+            print()
 
 
 def _cmd_hypercube(args: argparse.Namespace) -> None:
@@ -256,28 +302,54 @@ def _cmd_hypercube(args: argparse.Namespace) -> None:
     from .experiments.timeseries import render_timeseries
     from .experiments.utilization_curves import render_curve
 
-    for _dim, curve in run_hypercube_curves(full=args.full or None, seed=args.seed):
-        print(render_curve(curve))
-        print()
-    for _n, study in run_hypercube_timeseries(full=args.full or None, seed=args.seed):
-        print(render_timeseries(study))
-        print()
+    with _farmed(args) as (jobs, cache):
+        for _dim, curve in run_hypercube_curves(
+            full=args.full or None, seed=args.seed, jobs=jobs, cache=cache
+        ):
+            print(render_curve(curve))
+            print()
+        for _n, study in run_hypercube_timeseries(
+            full=args.full or None, seed=args.seed, jobs=jobs, cache=cache
+        ):
+            print(render_timeseries(study))
+            print()
 
 
 def _cmd_scaling(args: argparse.Namespace) -> None:
     from .experiments.scaling import render_scaling, run_scaling
 
-    print(render_scaling(run_scaling(full=args.full or None, seed=args.seed)))
+    with _farmed(args) as (jobs, cache):
+        print(
+            render_scaling(
+                run_scaling(full=args.full or None, seed=args.seed, jobs=jobs, cache=cache)
+            )
+        )
 
 
 def _cmd_grainsize(args: argparse.Namespace) -> None:
     from .experiments.grainsize import render_grainsize, run_grainsize
 
-    print(render_grainsize(run_grainsize(seed=args.seed)))
+    with _farmed(args) as (jobs, cache):
+        print(render_grainsize(run_grainsize(seed=args.seed, jobs=jobs, cache=cache)))
+
+
+def _cmd_stream(args: argparse.Namespace) -> None:
+    from .experiments.query_stream import render_stream, run_stream
+
+    with _farmed(args) as (jobs, cache):
+        results = run_stream(
+            queries=args.queries,
+            spacing=args.spacing,
+            seed=args.seed,
+            jobs=jobs,
+            cache=cache,
+        )
+        print(render_stream(results))
 
 
 def _cmd_zoo(args: argparse.Namespace) -> None:
-    from .experiments.runner import simulate
+    from .experiments.plan import ExperimentPlan, execute
+    from .parallel import RunSpec
 
     fib_n = 15 if args.full else 13
     strategy_specs = (
@@ -285,25 +357,18 @@ def _cmd_zoo(args: argparse.Namespace) -> None:
         "symmetric", "bidding", "diffusion", "randomwalk", "central",
         "random", "roundrobin", "local",
     )
-    jobs, cache = _farm_args(args)
-    if jobs is not None or cache is not None:
-        from .parallel import RunSpec, run_batch
-
-        report = run_batch(
-            [
-                RunSpec(f"fib:{fib_n}", "grid:8x8", spec, seed=args.seed)
-                for spec in strategy_specs
-            ],
-            jobs=jobs,
-            cache=cache,
-        )
-        for res in report.results:
+    plan = ExperimentPlan(
+        "zoo",
+        tuple(
+            RunSpec(f"fib:{fib_n}", "grid:8x8", spec, seed=args.seed)
+            for spec in strategy_specs
+        ),
+        lambda results, _meta: list(results),
+        tuple(strategy_specs),
+    )
+    with _farmed(args) as (jobs, cache):
+        for res in execute(plan, jobs=jobs, cache=cache):
             print(res.summary())
-        _report_farm(cache)
-        return
-    for spec in strategy_specs:
-        res = simulate(f"fib:{fib_n}", "grid:8x8", spec, seed=args.seed)
-        print(res.summary())
 
 
 def _cmd_bounds(args: argparse.Namespace) -> None:
@@ -319,23 +384,27 @@ def _cmd_bounds(args: argparse.Namespace) -> None:
     print(f"  greedy envelope T1/P + T_inf : {bounds.brent_upper:,.0f}")
     print(f"  best possible speedup        : {bounds.max_speedup:.1f}")
     if args.strategy:
-        from .experiments.runner import simulate
-
-        res = simulate(args.workload, args.topology, args.strategy, seed=args.seed)
+        with _farmed(args) as (jobs, cache):
+            res = _plan_one(
+                args.workload, args.topology, args.strategy, jobs, cache, seed=args.seed
+            )
         print(f"\n{res.summary()}")
         print(f"  x lower bound  : {res.completion_time / bounds.lower:.2f}")
         print(f"  x greedy bound : {bounds.quality(res.completion_time):.2f}")
 
 
 def _cmd_monitor(args: argparse.Namespace) -> None:
-    from .experiments.runner import build_machine, simulate
+    from .experiments.runner import build_machine
     from .oracle.config import SimConfig
     from .oracle.monitor import render_film
 
-    pilot = simulate(args.workload, args.topology, args.strategy, seed=args.seed)
-    interval = max(pilot.completion_time / args.frames, 1.0)
-    cfg = SimConfig(sample_interval=interval, sample_per_pe=True, seed=args.seed)
-    res = simulate(args.workload, args.topology, args.strategy, config=cfg)
+    with _farmed(args) as (jobs, cache):
+        pilot = _plan_one(
+            args.workload, args.topology, args.strategy, jobs, cache, seed=args.seed
+        )
+        interval = max(pilot.completion_time / args.frames, 1.0)
+        cfg = SimConfig(sample_interval=interval, sample_per_pe=True, seed=args.seed)
+        res = _plan_one(args.workload, args.topology, args.strategy, jobs, cache, config=cfg)
     cols = getattr(build_machine(args.workload, args.topology, "local").topology, "cols", None)
     print(res.summary())
     print(render_film(res, cols=cols, color=args.color))
@@ -356,9 +425,6 @@ def _cmd_cache(args: argparse.Namespace) -> None:
         print(f"removed {removed} cached result(s) from {cache.root}")
 
 
-#: commands whose run grids currently route through the farm
-_FARM_COMMANDS = frozenset({"table1", "table2", "zoo"})
-
 _COMMANDS = {
     "run": _cmd_run,
     "table1": _cmd_table1,
@@ -369,6 +435,7 @@ _COMMANDS = {
     "hypercube": _cmd_hypercube,
     "scaling": _cmd_scaling,
     "grainsize": _cmd_grainsize,
+    "stream": _cmd_stream,
     "zoo": _cmd_zoo,
     "bounds": _cmd_bounds,
     "monitor": _cmd_monitor,
@@ -383,17 +450,6 @@ def main(argv: Sequence[str] | None = None) -> int:
         import os
 
         os.environ["REPRO_FULL"] = "1"
-    if args.command not in _FARM_COMMANDS and (
-        getattr(args, "jobs", None) is not None or getattr(args, "no_cache", False)
-    ):
-        # Explicit farm flags on a command that runs serially should not
-        # pass silently (REPRO_JOBS, being ambient, does not warn).
-        print(
-            f"repro: warning: --jobs/--no-cache have no effect on "
-            f"'{args.command}' yet (farmed commands: "
-            f"{', '.join(sorted(_FARM_COMMANDS))})",
-            file=sys.stderr,
-        )
     _COMMANDS[args.command](args)
     return 0
 

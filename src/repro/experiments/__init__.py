@@ -12,10 +12,19 @@ tables and figures (see DESIGN.md section 4 for the full index).
 from __future__ import annotations
 
 from . import scale
-from .comparison import render_table2, run_comparison, summarize_claims
+from .comparison import comparison_plan, render_table2, run_comparison, summarize_claims
 from .grainsize import render_grainsize, run_grainsize
 from .hops import render_table3, run_hop_study
 from .optimization import render_table1, run_optimization
+from .plan import (
+    ExecutionReport,
+    ExperimentPlan,
+    LocalRun,
+    collect_reports,
+    execute,
+    merge_plans,
+    planned_run,
+)
 from .plots import ascii_plot
 from .query_stream import render_stream, run_stream
 from .replication import Replication, replicate_metric, replicate_pair
@@ -27,14 +36,22 @@ from .timeseries import render_timeseries, rise_time, run_timeseries, tail_lengt
 from .utilization_curves import render_curve, run_all_curves, run_curve
 
 __all__ = [
+    "ExecutionReport",
+    "ExperimentPlan",
+    "LocalRun",
     "PairedSweep",
     "SweepPoint",
     "SweepResult",
     "Replication",
     "ascii_plot",
     "build_machine",
+    "collect_reports",
+    "comparison_plan",
+    "execute",
     "format_kv",
     "format_table",
+    "merge_plans",
+    "planned_run",
     "render_curve",
     "render_grainsize",
     "render_scaling",

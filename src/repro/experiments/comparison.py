@@ -7,7 +7,9 @@ cases, the CWN is seen to be better.  In 110 of those cases, the
 difference is significant, i.e. more than 10%.  On grids at times the
 CWN leads to thrice as much speed as GM.").
 
-:func:`run_comparison` executes the grid and returns structured cells;
+:func:`comparison_plan` builds the grid as a declarative
+:class:`~repro.experiments.plan.ExperimentPlan`; :func:`run_comparison`
+executes it (optionally farmed/cached) and returns structured cells;
 :func:`render_table2` prints them in the paper's layout (workload rows,
 machine-size columns, grids block then DLM block);
 :func:`summarize_claims` reduces a grid to the paper's three headline
@@ -17,18 +19,21 @@ counts so benches and tests can assert the qualitative reproduction.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Sequence
 
 from ..core import paper_cwn, paper_gm
 from ..oracle.config import SimConfig
 from ..oracle.stats import SimResult
+from ..parallel import ResultCache
 from ..topology import paper_dlm, paper_grid
 from ..workload import DivideConquer, Fibonacci, Program
 from . import scale
-from .runner import simulate
+from .plan import ExperimentPlan, execute, paired, planned_run
 from .tables import format_table
 
 __all__ = [
     "ComparisonCell",
+    "comparison_plan",
     "render_table2",
     "run_comparison",
     "summarize_claims",
@@ -77,6 +82,50 @@ def _workloads(
     return programs
 
 
+def comparison_plan(
+    kind: str = "both",
+    families: tuple[str, ...] = ("grid", "dlm"),
+    full: bool | None = None,
+    config: SimConfig | None = None,
+    seed: int = 1,
+    pe_counts: tuple[int, ...] | None = None,
+    fib_sizes: tuple[int, ...] | None = None,
+    dc_sizes: tuple[int, ...] | None = None,
+) -> ExperimentPlan:
+    """The Table 2 grid as a plan: CWN/GM spec pairs plus cell labels.
+
+    Both competitors in a cell see the same workload, topology, cost
+    model and seed, so the ratio isolates the strategies.  The explicit
+    ``pe_counts`` / ``fib_sizes`` / ``dc_sizes`` overrides exist for
+    focused sub-grids (tests, custom studies); they default to the scale
+    module's grids.
+    """
+    config = config or SimConfig()
+    grid: list[tuple[str, int, Program]] = [
+        (family, n_pes, program)
+        for family in families
+        for n_pes in pe_counts or scale.pe_counts(full)
+        for program in _workloads(kind, full, fib_sizes, dc_sizes)
+    ]
+    runs = []
+    meta: list[Any] = []
+    for family, n_pes, program in grid:
+        topo = _topology(family, n_pes)
+        for strategy in (paper_cwn(family), paper_gm(family)):
+            runs.append(planned_run(program, topo, strategy, config=config, seed=seed))
+            meta.append((family, n_pes))
+
+    def _reduce(
+        results: Sequence[SimResult], labels: Sequence[Any]
+    ) -> list[ComparisonCell]:
+        return [
+            ComparisonCell(cwn_res.workload, family, n_pes, cwn_res, gm_res)
+            for cwn_res, gm_res, (family, n_pes) in paired(results, labels)
+        ]
+
+    return ExperimentPlan("table2", tuple(runs), _reduce, tuple(meta))
+
+
 def run_comparison(
     kind: str = "both",
     families: tuple[str, ...] = ("grid", "dlm"),
@@ -87,55 +136,28 @@ def run_comparison(
     fib_sizes: tuple[int, ...] | None = None,
     dc_sizes: tuple[int, ...] | None = None,
     jobs: int | None = None,
-    cache: "ResultCache | None" = None,
+    cache: ResultCache | None = None,
 ) -> list[ComparisonCell]:
-    """Run the (program x size x family x machine) grid, CWN vs GM paired.
+    """Execute :func:`comparison_plan` and return its cells.
 
-    Both competitors in a cell see the same workload, topology, cost
-    model and seed, so the ratio isolates the strategies.  The explicit
-    ``pe_counts`` / ``fib_sizes`` / ``dc_sizes`` overrides exist for
-    focused sub-grids (tests, custom studies); they default to the scale
-    module's grids.
-
-    ``jobs`` and/or ``cache`` route the grid through the
-    :mod:`repro.parallel` farm: runs fan out over worker processes and
-    previously computed cells are read from the cache instead of
-    resimulated.  Results are identical to the serial path (the farm's
-    determinism guarantee); ``jobs=None`` with no cache keeps the
-    classic in-process loop.
+    ``jobs`` fans the grid out over worker processes and ``cache`` skips
+    previously computed cells; results are identical to serial,
+    uncached execution (the farm's determinism guarantee).
     """
-    config = config or SimConfig()
-    grid: list[tuple[str, int, Program]] = [
-        (family, n_pes, program)
-        for family in families
-        for n_pes in pe_counts or scale.pe_counts(full)
-        for program in _workloads(kind, full, fib_sizes, dc_sizes)
-    ]
-
-    if jobs is not None or cache is not None:
-        from ..parallel import RunSpec, run_batch
-
-        specs: list[RunSpec] = []
-        for family, n_pes, program in grid:
-            topo = _topology(family, n_pes)
-            for strategy in (paper_cwn(family), paper_gm(family)):
-                specs.append(
-                    RunSpec.build(program, topo, strategy, config=config, seed=seed)
-                )
-        report = run_batch(specs, jobs=jobs, cache=cache)
-        paired = zip(report.results[0::2], report.results[1::2])
-        return [
-            ComparisonCell(cwn_res.workload, family, n_pes, cwn_res, gm_res)
-            for (family, n_pes, _program), (cwn_res, gm_res) in zip(grid, paired)
-        ]
-
-    cells: list[ComparisonCell] = []
-    for family, n_pes, program in grid:
-        topo = _topology(family, n_pes)
-        cwn_res = simulate(program, topo, paper_cwn(family), config=config, seed=seed)
-        gm_res = simulate(program, topo, paper_gm(family), config=config, seed=seed)
-        cells.append(ComparisonCell(cwn_res.workload, family, n_pes, cwn_res, gm_res))
-    return cells
+    return execute(
+        comparison_plan(
+            kind=kind,
+            families=families,
+            full=full,
+            config=config,
+            seed=seed,
+            pe_counts=pe_counts,
+            fib_sizes=fib_sizes,
+            dc_sizes=dc_sizes,
+        ),
+        jobs=jobs,
+        cache=cache,
+    )
 
 
 def render_table2(cells: list[ComparisonCell]) -> str:

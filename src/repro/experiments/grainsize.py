@@ -17,15 +17,18 @@ asserts exists.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Any, Sequence
 
 from ..core import paper_cwn, paper_gm
 from ..oracle.config import CostModel, SimConfig
+from ..oracle.stats import SimResult
+from ..parallel import ResultCache
 from ..topology import Topology, paper_grid
 from ..workload import Fibonacci, Program
-from .runner import simulate
+from .plan import ExperimentPlan, execute, paired, planned_run
 from .tables import format_table
 
-__all__ = ["GrainPoint", "render_grainsize", "run_grainsize"]
+__all__ = ["GrainPoint", "grainsize_plan", "render_grainsize", "run_grainsize"]
 
 #: work multipliers swept: leaf/split/combine costs scale together
 DEFAULT_GRAINS: tuple[float, ...] = (0.05, 0.2, 1.0, 5.0, 20.0)
@@ -57,26 +60,50 @@ def scaled_costs(base: CostModel, grain: float) -> CostModel:
     )
 
 
+def grainsize_plan(
+    program: Program | None = None,
+    topology: Topology | None = None,
+    grains: tuple[float, ...] = DEFAULT_GRAINS,
+    seed: int = 1,
+) -> ExperimentPlan:
+    """The grain sweep as a plan: per grain, a CWN/GM pair at scaled costs."""
+    program = program or Fibonacci(13)
+    topology = topology or paper_grid(64)
+    family = topology.family
+    base = CostModel()
+    runs = []
+    meta: list[Any] = []
+    for grain in grains:
+        costs = scaled_costs(base, grain)
+        cfg = SimConfig(costs=costs, seed=seed)
+        comm_per_goal = costs.transfer_time(4) / (costs.leaf_work or 1.0)
+        for strategy in (paper_cwn(family), paper_gm(family)):
+            runs.append(planned_run(program, topology, strategy, config=cfg))
+            meta.append((grain, comm_per_goal))
+
+    def _reduce(
+        results: Sequence[SimResult], labels: Sequence[Any]
+    ) -> list[GrainPoint]:
+        return [
+            GrainPoint(grain, comm_per_goal, cwn.speedup, gm.speedup)
+            for cwn, gm, (grain, comm_per_goal) in paired(results, labels)
+        ]
+
+    return ExperimentPlan("grainsize", tuple(runs), _reduce, tuple(meta))
+
+
 def run_grainsize(
     program: Program | None = None,
     topology: Topology | None = None,
     grains: tuple[float, ...] = DEFAULT_GRAINS,
     seed: int = 1,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
 ) -> list[GrainPoint]:
-    """Sweep the grain with fixed communication costs."""
-    program = program or Fibonacci(13)
-    topology = topology or paper_grid(64)
-    family = topology.family
-    base = CostModel()
-    points = []
-    for grain in grains:
-        costs = scaled_costs(base, grain)
-        cfg = SimConfig(costs=costs, seed=seed)
-        cwn = simulate(program, topology, paper_cwn(family), config=cfg)
-        gm = simulate(program, topology, paper_gm(family), config=cfg)
-        comm_per_goal = costs.transfer_time(4) / (costs.leaf_work or 1.0)
-        points.append(GrainPoint(grain, comm_per_goal, cwn.speedup, gm.speedup))
-    return points
+    """Sweep the grain with fixed communication costs (farmable)."""
+    return execute(
+        grainsize_plan(program, topology, grains, seed), jobs=jobs, cache=cache
+    )
 
 
 def render_grainsize(points: list[GrainPoint]) -> str:

@@ -11,15 +11,18 @@ the paper's "typically thrice as much communication" remark.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Sequence
 
 from ..core import paper_cwn, paper_gm
 from ..oracle.config import SimConfig
 from ..oracle.stats import SimResult
+from ..parallel import ResultCache
 from ..topology import Topology, paper_grid
 from ..workload import Fibonacci, Program
+from .plan import ExperimentPlan, execute, planned_run
 from .tables import format_table
 
-__all__ = ["HopStudy", "render_table3", "run_hop_study"]
+__all__ = ["HopStudy", "hop_plan", "render_table3", "run_hop_study"]
 
 
 @dataclass(frozen=True)
@@ -40,21 +43,38 @@ class HopStudy:
         return self.cwn.mean_goal_distance / gm_mean
 
 
+def hop_plan(
+    fib_n: int = 18,
+    topology: Topology | None = None,
+    config: SimConfig | None = None,
+    seed: int = 1,
+) -> ExperimentPlan:
+    """Table 3 as a plan: one CWN/GM pair with hop tracing on."""
+    topology = topology or paper_grid(100)
+    program: Program = Fibonacci(fib_n)
+    family = topology.family
+    runs = tuple(
+        planned_run(program, topology, strategy, config=config, seed=seed)
+        for strategy in (paper_cwn(family), paper_gm(family))
+    )
+
+    def _reduce(results: Sequence[SimResult], labels: Sequence[Any]) -> HopStudy:
+        cwn_res, gm_res = results
+        return HopStudy(cwn_res.workload, labels[0], cwn_res, gm_res)
+
+    return ExperimentPlan("table3", runs, _reduce, (topology.name, topology.name))
+
+
 def run_hop_study(
     fib_n: int = 18,
     topology: Topology | None = None,
     config: SimConfig | None = None,
     seed: int = 1,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
 ) -> HopStudy:
-    """Reproduce Table 3 (fib(18), 10x10 grid by default)."""
-    from .runner import simulate
-
-    topology = topology or paper_grid(100)
-    program: Program = Fibonacci(fib_n)
-    family = topology.family
-    cwn_res = simulate(program, topology, paper_cwn(family), config=config, seed=seed)
-    gm_res = simulate(program, topology, paper_gm(family), config=config, seed=seed)
-    return HopStudy(cwn_res.workload, topology.name, cwn_res, gm_res)
+    """Reproduce Table 3 (fib(18), 10x10 grid by default; farmable)."""
+    return execute(hop_plan(fib_n, topology, config, seed), jobs=jobs, cache=cache)
 
 
 def render_table3(study: HopStudy) -> str:

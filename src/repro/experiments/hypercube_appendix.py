@@ -5,16 +5,21 @@ Hypercubes": utilization-vs-goals curves for hypercubes of several
 dimensions (up to 7, i.e. 128 PEs) and utilization-vs-time traces on the
 dimension-7 cube for three Fibonacci sizes.  The OCR of the appendix is
 rough, but the experiment family is unambiguous and we regenerate it
-whole: one curve per dimension, one time-series study per size.
+whole: one curve per dimension, one time-series study per size — each
+family merged into one farmed batch on the plan spine.
 """
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from ..oracle.config import SimConfig
+from ..parallel import ResultCache
 from ..topology import Hypercube
 from . import scale
-from .timeseries import TimeSeriesStudy, run_timeseries
-from .utilization_curves import UtilizationCurve, run_curve
+from .plan import execute, merge_plans
+from .timeseries import TimeSeriesStudy, run_many_timeseries
+from .utilization_curves import UtilizationCurve, curve_plan
 
 __all__ = ["run_hypercube_curves", "run_hypercube_timeseries"]
 
@@ -27,26 +32,48 @@ def run_hypercube_curves(
     full: bool | None = None,
     config: SimConfig | None = None,
     seed: int = 1,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+    dims: Sequence[int] | None = None,
 ) -> list[tuple[int, UtilizationCurve]]:
     """Fibonacci utilization-vs-goals on each appendix hypercube."""
     if full is None:
         full = scale.full_scale()
-    dims = FULL_DIMS if full else REDUCED_DIMS
-    return [
-        (dim, run_curve(Hypercube(dim), kind="fib", full=full, config=config, seed=seed))
-        for dim in dims
-    ]
+    if dims is None:
+        dims = FULL_DIMS if full else REDUCED_DIMS
+    dims = list(dims)
+    curves = execute(
+        merge_plans(
+            "hypercube:curves",
+            [
+                curve_plan(Hypercube(dim), kind="fib", full=full, config=config, seed=seed)
+                for dim in dims
+            ],
+        ),
+        jobs=jobs,
+        cache=cache,
+    )
+    return list(zip(dims, curves))
 
 
 def run_hypercube_timeseries(
     full: bool | None = None,
     config: SimConfig | None = None,
     seed: int = 1,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+    dim: int | None = None,
+    sizes: tuple[int, ...] | None = None,
 ) -> list[tuple[int, TimeSeriesStudy]]:
     """Utilization-vs-time on the largest appendix cube, three fib sizes."""
     if full is None:
         full = scale.full_scale()
-    dim = 7 if full else 6
-    sizes = (18, 15, 9) if full else (13, 11, 9)
+    if dim is None:
+        dim = 7 if full else 6
+    if sizes is None:
+        sizes = (18, 15, 9) if full else (13, 11, 9)
     topo = Hypercube(dim)
-    return [(n, run_timeseries(n, topo, config, seed)) for n in sizes]
+    studies = run_many_timeseries(
+        [(n, topo) for n in sizes], config, seed, jobs=jobs, cache=cache
+    )
+    return list(zip(sizes, studies))

@@ -6,23 +6,26 @@ points in the space of planned experiments, and ran the simulations for
 various combination of parameters.  The winning combinations were used
 for the comparison experiments."
 
-:func:`optimize_cwn` and :func:`optimize_gm` sweep each scheme's
-parameter space at configurable sample points and return every
-combination's score (mean speedup over the sample points) plus the
-winner; :func:`run_optimization` does both for a topology family and
-renders a Table-1-style parameter listing.
+:func:`parameter_plan` builds one scheme's sweep as a declarative
+:class:`~repro.experiments.plan.ExperimentPlan`; :func:`optimize_cwn`
+and :func:`optimize_gm` execute it at configurable sample points and
+return every combination's score (mean speedup over the sample points)
+plus the winner; :func:`run_optimization` does both for a topology
+family and renders a Table-1-style parameter listing.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Sequence
+from typing import Any, Callable, Sequence
 
 from ..core import CWN, GradientModel
 from ..oracle.config import SimConfig
+from ..oracle.stats import SimResult
+from ..parallel import ResultCache
 from ..topology import Topology, paper_dlm, paper_grid
 from ..workload import DivideConquer, Fibonacci, Program
-from .runner import simulate
+from .plan import ExperimentPlan, execute, planned_run
 from .tables import format_table
 
 __all__ = [
@@ -30,6 +33,7 @@ __all__ = [
     "default_sample_points",
     "optimize_cwn",
     "optimize_gm",
+    "parameter_plan",
     "render_table1",
     "run_optimization",
 ]
@@ -57,48 +61,58 @@ def default_sample_points(family: str, small: bool = False) -> list[tuple[Progra
     return [(program, topo) for program in sizes]
 
 
+def parameter_plan(
+    build: Callable[..., Any],
+    grid: list[dict[str, Any]],
+    points: list[tuple[Program, Topology]],
+    config: SimConfig | None = None,
+    seed: int = 1,
+    name: str = "table1",
+) -> ExperimentPlan:
+    """One scheme's parameter sweep as a plan.
+
+    One run per (parameter combination, sample point); ``build`` is
+    called afresh for every run (strategies are single-run objects).
+    The reducer scores each combination by mean speedup over the sample
+    points and returns the grid best-first.
+    """
+    runs = tuple(
+        planned_run(program, topo, build(**params), config=config, seed=seed)
+        for params in grid
+        for program, topo in points
+    )
+    meta = tuple(params for params in grid for _ in points)
+
+    def _reduce(
+        results: Sequence[SimResult], labels: Sequence[Any]
+    ) -> list[SweepPoint]:
+        per_point = len(points)
+        scored = []
+        for i, params in enumerate(grid):
+            chunk = results[i * per_point : (i + 1) * per_point]
+            speedups = tuple(res.speedup for res in chunk)
+            scored.append(SweepPoint(params, sum(speedups) / len(speedups), speedups))
+        scored.sort(key=lambda sp: -sp.mean_speedup)
+        return scored
+
+    return ExperimentPlan(name, runs, _reduce, meta)
+
+
 def _sweep(
-    build: Any,
+    build: Callable[..., Any],
     grid: list[dict[str, Any]],
     points: list[tuple[Program, Topology]],
     config: SimConfig | None,
     seed: int,
     jobs: int | None = None,
-    cache: Any = None,
+    cache: ResultCache | None = None,
+    name: str = "table1",
 ) -> list[SweepPoint]:
-    if jobs is not None or cache is not None:
-        from ..parallel import RunSpec, run_batch
-
-        try:
-            specs = [
-                RunSpec.build(program, topo, build(**params), config=config, seed=seed)
-                for params in grid
-                for program, topo in points
-            ]
-        except ValueError:
-            specs = None  # unspellable spec: fall through to the serial loop
-        if specs is not None:
-            report = run_batch(specs, jobs=jobs, cache=cache)
-            per_point = len(points)
-            results = []
-            for i, params in enumerate(grid):
-                chunk = report.results[i * per_point : (i + 1) * per_point]
-                speedups = tuple(res.speedup for res in chunk)
-                results.append(SweepPoint(params, sum(speedups) / len(speedups), speedups))
-            results.sort(key=lambda sp: -sp.mean_speedup)
-            return results
-
-    results = []
-    for params in grid:
-        speedups = tuple(
-            simulate(program, topo, build(**params), config=config, seed=seed).speedup
-            for program, topo in points
-        )
-        results.append(
-            SweepPoint(params, sum(speedups) / len(speedups), speedups)
-        )
-    results.sort(key=lambda sp: -sp.mean_speedup)
-    return results
+    return execute(
+        parameter_plan(build, grid, points, config=config, seed=seed, name=name),
+        jobs=jobs,
+        cache=cache,
+    )
 
 
 def optimize_cwn(
@@ -108,7 +122,7 @@ def optimize_cwn(
     config: SimConfig | None = None,
     seed: int = 1,
     jobs: int | None = None,
-    cache: Any = None,
+    cache: ResultCache | None = None,
 ) -> list[SweepPoint]:
     """Sweep CWN's (radius, horizon) space; best first."""
     grid = [
@@ -117,7 +131,9 @@ def optimize_cwn(
         for h in horizons
         if h <= r
     ]
-    return _sweep(lambda **p: CWN(**p), grid, points, config, seed, jobs, cache)
+    return _sweep(
+        lambda **p: CWN(**p), grid, points, config, seed, jobs, cache, name="table1:cwn"
+    )
 
 
 def optimize_gm(
@@ -128,7 +144,7 @@ def optimize_gm(
     config: SimConfig | None = None,
     seed: int = 1,
     jobs: int | None = None,
-    cache: Any = None,
+    cache: ResultCache | None = None,
 ) -> list[SweepPoint]:
     """Sweep GM's (high, low, interval) space; best first."""
     grid = [
@@ -138,7 +154,16 @@ def optimize_gm(
         for i in intervals
         if l <= h
     ]
-    return _sweep(lambda **p: GradientModel(**p), grid, points, config, seed, jobs, cache)
+    return _sweep(
+        lambda **p: GradientModel(**p),
+        grid,
+        points,
+        config,
+        seed,
+        jobs,
+        cache,
+        name="table1:gm",
+    )
 
 
 def run_optimization(
@@ -147,7 +172,7 @@ def run_optimization(
     config: SimConfig | None = None,
     seed: int = 1,
     jobs: int | None = None,
-    cache: Any = None,
+    cache: ResultCache | None = None,
 ) -> dict[str, dict[str, list[SweepPoint]]]:
     """Both sweeps for each family: ``{family: {"cwn": [...], "gm": [...]}}``.
 

@@ -8,24 +8,30 @@ A stream of queries arriving at different PEs is the regime where that
 difference should matter most — work keeps arriving at arbitrary points
 and the machine is (nearly) never empty.
 
-:func:`run_stream` injects ``queries`` instances of a program,
-``spacing`` apart, round-robin over injection PEs spread across the
-machine, and reports makespan, mean/max response time and utilization
-for each strategy.
+:func:`stream_plan` builds the study as a declarative
+:class:`~repro.experiments.plan.ExperimentPlan` (open-system runs are
+ordinary specs now that :class:`~repro.parallel.spec.RunSpec` carries
+arrival parameters); :func:`run_stream` injects ``queries`` instances
+of a program, ``spacing`` apart, round-robin over injection PEs spread
+across the machine, and reports makespan, mean/max response time and
+utilization for each strategy.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Sequence
 
 from ..core import Strategy, paper_cwn, paper_gm
 from ..oracle.config import SimConfig
-from ..oracle.machine import Machine
+from ..oracle.stats import SimResult
+from ..parallel import ResultCache
 from ..topology import Topology, paper_grid
 from ..workload import Fibonacci, Program
+from .plan import ExperimentPlan, execute, planned_run
 from .tables import format_table
 
-__all__ = ["StreamResult", "render_stream", "run_stream"]
+__all__ = ["StreamResult", "render_stream", "run_stream", "stream_plan"]
 
 
 @dataclass(frozen=True)
@@ -46,7 +52,7 @@ def spread_pes(topology: Topology, count: int) -> list[int]:
     return [(k * n) // count for k in range(count)]
 
 
-def run_stream(
+def stream_plan(
     program: Program | None = None,
     topology: Topology | None = None,
     strategies: dict[str, Strategy] | None = None,
@@ -54,8 +60,10 @@ def run_stream(
     spacing: float = 200.0,
     seed: int = 1,
     config: SimConfig | None = None,
-) -> list[StreamResult]:
-    """Drive each strategy with the same query stream."""
+) -> ExperimentPlan:
+    """The stream study as a plan: one open-system run per strategy."""
+    if queries < 1:
+        raise ValueError(f"queries must be >= 1, got {queries}")
     program = program or Fibonacci(11)
     topology = topology or paper_grid(64)
     if strategies is None:
@@ -65,30 +73,61 @@ def run_stream(
         }
     arrival_pes = spread_pes(topology, queries)
     expected = program.expected_result()
-    out = []
-    for name, strategy in strategies.items():
-        machine = Machine(
-            topology,
+    runs = tuple(
+        planned_run(
             program,
+            topology,
             strategy,
-            (config or SimConfig()).replace(seed=seed),
+            config=config,
+            seed=seed,
             queries=queries,
             arrival_spacing=spacing,
             arrival_pes=arrival_pes,
         )
-        res = machine.run()
-        responses = res.response_times
-        out.append(
-            StreamResult(
-                strategy=name,
-                makespan=res.completion_time,
-                mean_response=sum(responses) / len(responses),
-                max_response=max(responses),
-                utilization_percent=res.utilization_percent,
-                results_ok=all(v == expected for v in res.result_value),
+        for strategy in strategies.values()
+    )
+    meta = tuple(strategies)
+
+    def _reduce(
+        results: Sequence[SimResult], labels: Sequence[Any]
+    ) -> list[StreamResult]:
+        out = []
+        for name, res in zip(labels, results):
+            responses = res.response_times
+            # A single-query machine reports its result unwrapped.
+            values = res.result_value if queries > 1 else [res.result_value]
+            out.append(
+                StreamResult(
+                    strategy=name,
+                    makespan=res.completion_time,
+                    mean_response=sum(responses) / len(responses),
+                    max_response=max(responses),
+                    utilization_percent=res.utilization_percent,
+                    results_ok=all(v == expected for v in values),
+                )
             )
-        )
-    return out
+        return out
+
+    return ExperimentPlan("stream", runs, _reduce, meta)
+
+
+def run_stream(
+    program: Program | None = None,
+    topology: Topology | None = None,
+    strategies: dict[str, Strategy] | None = None,
+    queries: int = 8,
+    spacing: float = 200.0,
+    seed: int = 1,
+    config: SimConfig | None = None,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+) -> list[StreamResult]:
+    """Drive each strategy with the same query stream (farmable)."""
+    return execute(
+        stream_plan(program, topology, strategies, queries, spacing, seed, config),
+        jobs=jobs,
+        cache=cache,
+    )
 
 
 def render_stream(results: list[StreamResult], header: str = "") -> str:

@@ -11,15 +11,23 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Callable, Sequence
 
 from ..core import Strategy, paper_cwn, paper_gm
 from ..oracle.config import SimConfig
+from ..oracle.stats import SimResult
+from ..parallel import ResultCache
 from ..topology import Topology
 from ..workload import Program
-from .runner import simulate
+from .plan import ExperimentPlan, execute, paired, planned_run
 
-__all__ = ["Replication", "replicate_pair", "replicate_metric"]
+__all__ = [
+    "Replication",
+    "metric_plan",
+    "pair_plan",
+    "replicate_metric",
+    "replicate_pair",
+]
 
 # Two-sided 95% Student-t critical values for df = 1..30 (no scipy
 # dependency at runtime keeps this importable everywhere; scipy users
@@ -77,13 +85,36 @@ class Replication:
         return f"{self.mean:.3f} (95% CI [{lo:.3f}, {hi:.3f}], n={self.n})"
 
 
+def pair_plan(
+    program: Program,
+    topology: Topology,
+    seeds: Sequence[int] = range(1, 9),
+    config: SimConfig | None = None,
+) -> ExperimentPlan:
+    """CWN/GM pairs across seeds as a plan; reduces to ratio statistics."""
+    family = topology.family
+    runs = tuple(
+        planned_run(program, topology, strategy, config=config, seed=seed)
+        for seed in seeds
+        for strategy in (paper_cwn(family), paper_gm(family))
+    )
+    meta = tuple(seed for seed in seeds for _ in range(2))
+
+    def _reduce(results: Sequence[SimResult], labels: Sequence[Any]) -> Replication:
+        return Replication(
+            tuple(cwn.speedup / gm.speedup for cwn, gm, _seed in paired(results, labels))
+        )
+
+    return ExperimentPlan("replicate:pair", runs, _reduce, meta)
+
+
 def replicate_pair(
     program: Program,
     topology: Topology,
     seeds: Sequence[int] = range(1, 9),
     config: SimConfig | None = None,
     jobs: int | None = None,
-    cache: "ResultCache | None" = None,
+    cache: ResultCache | None = None,
 ) -> Replication:
     """CWN/GM speedup ratio across seeds (both sides share each seed).
 
@@ -91,73 +122,49 @@ def replicate_pair(
     :mod:`repro.parallel` farm — the statistically honest regime (many
     seeds per point) is exactly where fan-out pays.  Results are
     identical to the serial path; programs or topologies the spec
-    grammar cannot express fall back to in-process execution.
+    grammar cannot express run in-process.
     """
-    family = topology.family
-    if jobs is not None or cache is not None:
-        try:
-            from ..parallel import RunSpec, run_batch
+    return execute(pair_plan(program, topology, seeds, config), jobs=jobs, cache=cache)
 
-            specs = [
-                RunSpec.build(program, topology, strategy, config=config, seed=seed)
-                for seed in seeds
-                for strategy in (paper_cwn(family), paper_gm(family))
-            ]
-        except ValueError:
-            pass  # unspellable spec: fall through to the serial loop
-        else:
-            report = run_batch(specs, jobs=jobs, cache=cache)
-            return Replication(
-                tuple(
-                    cwn.speedup / gm.speedup
-                    for cwn, gm in zip(report.results[0::2], report.results[1::2])
-                )
-            )
-    ratios = []
-    for seed in seeds:
-        cwn = simulate(program, topology, paper_cwn(family), config=config, seed=seed)
-        gm = simulate(program, topology, paper_gm(family), config=config, seed=seed)
-        ratios.append(cwn.speedup / gm.speedup)
-    return Replication(tuple(ratios))
+
+def metric_plan(
+    program: Program,
+    topology: Topology,
+    strategy_factory: Callable[[], Strategy],
+    metric: str = "speedup",
+    seeds: Sequence[int] = range(1, 9),
+    config: SimConfig | None = None,
+) -> ExperimentPlan:
+    """One strategy across seeds as a plan; reduces to metric statistics.
+
+    ``strategy_factory`` is called once per seed (strategies carry
+    per-run state); ``metric`` names a SimResult attribute or property.
+    """
+    runs = tuple(
+        planned_run(program, topology, strategy_factory(), config=config, seed=seed)
+        for seed in seeds
+    )
+    meta = tuple(seeds)
+
+    def _reduce(results: Sequence[SimResult], labels: Sequence[Any]) -> Replication:
+        return Replication(tuple(float(getattr(res, metric)) for res in results))
+
+    return ExperimentPlan(f"replicate:{metric}", runs, _reduce, meta)
 
 
 def replicate_metric(
     program: Program,
     topology: Topology,
-    strategy_factory,
+    strategy_factory: Callable[[], Strategy],
     metric: str = "speedup",
     seeds: Sequence[int] = range(1, 9),
     config: SimConfig | None = None,
     jobs: int | None = None,
-    cache: "ResultCache | None" = None,
+    cache: ResultCache | None = None,
 ) -> Replication:
-    """Any SimResult attribute across seeds for one strategy.
-
-    ``strategy_factory`` is called per seed (strategies carry per-run
-    state); ``metric`` names a SimResult attribute or property.
-    ``jobs``/``cache`` fan the seeds out through the farm when the
-    factory's strategies are spec-expressible (else serial fallback).
-    """
-    if jobs is not None or cache is not None:
-        try:
-            from ..parallel import RunSpec, run_batch
-
-            specs = [
-                RunSpec.build(
-                    program, topology, strategy_factory(), config=config, seed=seed
-                )
-                for seed in seeds
-            ]
-        except ValueError:
-            pass  # unspellable spec: fall through to the serial loop
-        else:
-            report = run_batch(specs, jobs=jobs, cache=cache)
-            return Replication(
-                tuple(float(getattr(res, metric)) for res in report.results)
-            )
-    values = []
-    for seed in seeds:
-        strategy: Strategy = strategy_factory()
-        res = simulate(program, topology, strategy, config=config, seed=seed)
-        values.append(float(getattr(res, metric)))
-    return Replication(tuple(values))
+    """Any SimResult attribute across seeds for one strategy (farmable)."""
+    return execute(
+        metric_plan(program, topology, strategy_factory, metric, seeds, config),
+        jobs=jobs,
+        cache=cache,
+    )

@@ -10,6 +10,8 @@ objects or the compact spec strings of the respective ``make`` helpers::
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from ..core import Strategy, make_strategy
 from ..oracle.config import SimConfig
 from ..oracle.machine import Machine
@@ -28,12 +30,17 @@ def build_machine(
     strategy: Strategy | str,
     config: SimConfig | None = None,
     start_pe: int = 0,
+    queries: int = 1,
+    arrival_spacing: float = 0.0,
+    arrival_pes: "Sequence[int] | None" = None,
+    arrival_times: "Sequence[float] | None" = None,
 ) -> Machine:
     """Construct (but do not run) a fully wired machine.
 
     Spec strings are resolved here; a strategy given as a bare name
     (``"cwn"``, ``"gm"``) picks up the paper's Table 1 parameters for the
-    topology's family.
+    topology's family.  ``queries`` > 1 (with the arrival knobs) builds
+    an open-system machine — see :class:`~repro.oracle.machine.Machine`.
     """
     if isinstance(workload, str):
         workload = make_workload(workload)
@@ -41,7 +48,17 @@ def build_machine(
         topology = make_topology(topology)
     if isinstance(strategy, str):
         strategy = make_strategy(strategy, family=topology.family)
-    return Machine(topology, workload, strategy, config, start_pe)
+    return Machine(
+        topology,
+        workload,
+        strategy,
+        config,
+        start_pe,
+        queries=queries,
+        arrival_spacing=arrival_spacing,
+        arrival_pes=None if arrival_pes is None else list(arrival_pes),
+        arrival_times=None if arrival_times is None else list(arrival_times),
+    )
 
 
 def simulate(
@@ -51,13 +68,29 @@ def simulate(
     config: SimConfig | None = None,
     start_pe: int = 0,
     seed: int | None = None,
+    queries: int = 1,
+    arrival_spacing: float = 0.0,
+    arrival_pes: "Sequence[int] | None" = None,
+    arrival_times: "Sequence[float] | None" = None,
 ) -> SimResult:
     """Run one simulation to completion and return its :class:`SimResult`.
 
     ``seed`` overrides ``config.seed`` as a convenience for replication
-    sweeps.
+    sweeps.  The ``queries`` / ``arrival_*`` knobs expose the machine's
+    open-system mode through the same narrow waist, so query-stream runs
+    are ordinary specs to the plan/farm pipeline.
     """
     if seed is not None:
         config = (config or SimConfig()).replace(seed=seed)
-    machine = build_machine(workload, topology, strategy, config, start_pe)
+    machine = build_machine(
+        workload,
+        topology,
+        strategy,
+        config,
+        start_pe,
+        queries=queries,
+        arrival_spacing=arrival_spacing,
+        arrival_pes=arrival_pes,
+        arrival_times=arrival_times,
+    )
     return machine.run()

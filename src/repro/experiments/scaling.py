@@ -6,21 +6,28 @@ of course tend to have larger diameters."  This study fixes a workload
 and sweeps machine size within each family, recording the CWN/GM ratio
 against PE count and network diameter so the conjecture can be checked
 directly rather than read off Table 2's corners.
+
+:func:`scaling_plan` builds the sweep as a declarative
+:class:`~repro.experiments.plan.ExperimentPlan`; :func:`run_scaling`
+executes it (optionally farmed/cached).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Sequence
 
 from ..core import paper_cwn, paper_gm
 from ..oracle.config import SimConfig
+from ..oracle.stats import SimResult
+from ..parallel import ResultCache
 from ..topology import paper_dlm, paper_grid
 from ..workload import Fibonacci, Program
 from . import scale
-from .runner import simulate
+from .plan import ExperimentPlan, execute, paired, planned_run
 from .tables import format_table
 
-__all__ = ["ScalingPoint", "render_scaling", "run_scaling"]
+__all__ = ["ScalingPoint", "render_scaling", "run_scaling", "scaling_plan"]
 
 
 @dataclass(frozen=True)
@@ -38,27 +45,52 @@ class ScalingPoint:
         return self.cwn_speedup / self.gm_speedup
 
 
+def scaling_plan(
+    program: Program | None = None,
+    families: tuple[str, ...] = ("grid", "dlm"),
+    full: bool | None = None,
+    config: SimConfig | None = None,
+    seed: int = 1,
+) -> ExperimentPlan:
+    """Machine sizes x families with a fixed workload (fib(15) default)."""
+    if program is None:
+        program = Fibonacci(15 if not scale.full_scale() else 18)
+    runs = []
+    meta: list[Any] = []
+    for family in families:
+        make = paper_grid if family == "grid" else paper_dlm
+        for n_pes in scale.pe_counts(full):
+            topo = make(n_pes)
+            for strategy in (paper_cwn(family), paper_gm(family)):
+                runs.append(
+                    planned_run(program, topo, strategy, config=config, seed=seed)
+                )
+                meta.append((family, n_pes, topo.diameter))
+
+    def _reduce(
+        results: Sequence[SimResult], labels: Sequence[Any]
+    ) -> list[ScalingPoint]:
+        return [
+            ScalingPoint(family, n_pes, diameter, cwn.speedup, gm.speedup)
+            for cwn, gm, (family, n_pes, diameter) in paired(results, labels)
+        ]
+
+    return ExperimentPlan("scaling", tuple(runs), _reduce, tuple(meta))
+
+
 def run_scaling(
     program: Program | None = None,
     families: tuple[str, ...] = ("grid", "dlm"),
     full: bool | None = None,
     config: SimConfig | None = None,
     seed: int = 1,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
 ) -> list[ScalingPoint]:
-    """Sweep machine sizes with a fixed workload (fib(15) by default)."""
-    if program is None:
-        program = Fibonacci(15 if not scale.full_scale() else 18)
-    points: list[ScalingPoint] = []
-    for family in families:
-        make = paper_grid if family == "grid" else paper_dlm
-        for n_pes in scale.pe_counts(full):
-            topo = make(n_pes)
-            cwn = simulate(program, topo, paper_cwn(family), config=config, seed=seed)
-            gm = simulate(program, topo, paper_gm(family), config=config, seed=seed)
-            points.append(
-                ScalingPoint(family, n_pes, topo.diameter, cwn.speedup, gm.speedup)
-            )
-    return points
+    """Execute :func:`scaling_plan` (``jobs``/``cache`` farm the grid)."""
+    return execute(
+        scaling_plan(program, families, full, config, seed), jobs=jobs, cache=cache
+    )
 
 
 def render_scaling(points: list[ScalingPoint]) -> str:

@@ -5,7 +5,9 @@ diameter conjecture (§4) are all instances of one shape: vary a single
 factor, run two strategies at every point, look at how the comparison
 moves.  :class:`PairedSweep` is that shape as a reusable object —
 
-* :meth:`PairedSweep.run` executes the grid (one seed or several);
+* :meth:`PairedSweep.plan` emits the grid as a declarative
+  :class:`~repro.experiments.plan.ExperimentPlan`;
+* :meth:`PairedSweep.run` executes it (one seed or several);
 * :attr:`SweepResult.ratios` gives the A/B metric ratio per point;
 * :meth:`SweepResult.crossovers` locates where the winner changes
   (via :mod:`repro.analysis.crossover`);
@@ -20,15 +22,16 @@ sweeps strategy parameters (radius, watermarks), cost-model knobs
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Any, Callable, Sequence
 
 from ..analysis.crossover import Crossover, find_crossovers
 from ..core.base import Strategy
 from ..oracle.config import SimConfig
 from ..oracle.stats import SimResult
+from ..parallel import ResultCache
 from ..topology.base import Topology
 from ..workload.base import Program
-from .runner import simulate
+from .plan import ExperimentPlan, execute, planned_run
 from .tables import format_table
 
 __all__ = ["PairedSweep", "SweepPoint", "SweepResult"]
@@ -125,72 +128,64 @@ class PairedSweep:
         self.a_name = a_name
         self.b_name = b_name
 
-    def run(
+    def plan(
         self,
         values: Sequence[float],
         seeds: Sequence[int] = (1,),
-        jobs: int | None = None,
-        cache: "ResultCache | None" = None,
-    ) -> SweepResult:
-        """Execute the sweep; metrics are averaged over ``seeds``.
+    ) -> ExperimentPlan:
+        """The ``2 x |values| x |seeds|`` grid as a plan.
 
-        ``jobs``/``cache`` route the ``2 x |values| x |seeds|`` grid
-        through the :mod:`repro.parallel` farm with identical results;
-        sweeps whose program/topology/strategies cannot be spelled as
-        factory specs silently keep the in-process path.
+        One factory call per (value, seed): strategies run exactly once,
+        so every simulation needs a fresh pair.  The reducer averages
+        the metric over seeds per swept value.
         """
         if not values:
             raise ValueError("sweep needs at least one value")
         if not seeds:
             raise ValueError("sweep needs at least one seed")
-        if jobs is not None or cache is not None:
-            result = self._run_farmed(values, seeds, jobs, cache)
-            if result is not None:
-                return result
-        points = []
+        runs = []
+        meta: list[Any] = []
         for x in values:
-            totals = [0.0, 0.0]
             for seed in seeds:
-                # One factory call per seed: strategies run exactly once,
-                # so every simulation needs a fresh pair.
                 strat_a, strat_b, config = self.factory(x)
-                res_a = simulate(self.program, self.topology, strat_a, config=config, seed=seed)
-                res_b = simulate(self.program, self.topology, strat_b, config=config, seed=seed)
-                totals[0] += float(getattr(res_a, self.metric))
-                totals[1] += float(getattr(res_b, self.metric))
-            points.append(SweepPoint(float(x), totals[0] / len(seeds), totals[1] / len(seeds)))
-        return SweepResult(
-            self.factor, self.metric, self.a_name, self.b_name, tuple(points)
-        )
+                for strat in (strat_a, strat_b):
+                    runs.append(
+                        planned_run(
+                            self.program, self.topology, strat, config=config, seed=seed
+                        )
+                    )
+                    meta.append((x, seed))
 
-    def _run_farmed(
+        def _reduce(
+            results: Sequence[SimResult], labels: Sequence[Any]
+        ) -> SweepResult:
+            points = []
+            per_value = 2 * len(seeds)
+            for i, x in enumerate(values):
+                chunk = results[i * per_value : (i + 1) * per_value]
+                total_a = sum(float(getattr(res, self.metric)) for res in chunk[0::2])
+                total_b = sum(float(getattr(res, self.metric)) for res in chunk[1::2])
+                points.append(
+                    SweepPoint(float(x), total_a / len(seeds), total_b / len(seeds))
+                )
+            return SweepResult(
+                self.factor, self.metric, self.a_name, self.b_name, tuple(points)
+            )
+
+        return ExperimentPlan(f"sweep:{self.factor}", tuple(runs), _reduce, tuple(meta))
+
+    def run(
         self,
         values: Sequence[float],
-        seeds: Sequence[int],
-        jobs: int | None,
-        cache: "ResultCache | None",
-    ) -> SweepResult | None:
-        """Farm the grid out; ``None`` when any spec is unspellable."""
-        from ..parallel import RunSpec, run_batch
+        seeds: Sequence[int] = (1,),
+        jobs: int | None = None,
+        cache: ResultCache | None = None,
+    ) -> SweepResult:
+        """Execute the sweep; metrics are averaged over ``seeds``.
 
-        try:
-            specs = [
-                RunSpec.build(self.program, self.topology, strat, config=config, seed=seed)
-                for x in values
-                for seed in seeds
-                for strat_a, strat_b, config in (self.factory(x),)
-                for strat in (strat_a, strat_b)
-            ]
-        except ValueError:
-            return None
-        report = run_batch(specs, jobs=jobs, cache=cache)
-        points = []
-        per_value = 2 * len(seeds)
-        for i, x in enumerate(values):
-            chunk = report.results[i * per_value : (i + 1) * per_value]
-            total_a = sum(float(getattr(res, self.metric)) for res in chunk[0::2])
-            total_b = sum(float(getattr(res, self.metric)) for res in chunk[1::2])
-            points.append(SweepPoint(float(x), total_a / len(seeds), total_b / len(seeds)))
-        return SweepResult(
-            self.factor, self.metric, self.a_name, self.b_name, tuple(points)
-        )
+        ``jobs``/``cache`` route the grid through the
+        :mod:`repro.parallel` farm with identical results; sweeps whose
+        program/topology/strategies cannot be spelled as factory specs
+        run in-process.
+        """
+        return execute(self.plan(values, seeds), jobs=jobs, cache=cache)

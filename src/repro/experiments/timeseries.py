@@ -16,6 +16,13 @@ These plots carry the paper's key diagnostics:
 * GM's slow start and, on the grids, the hoarding "vicious cycle" that
   flattens its curve.
 
+Each study is a two-stage pipeline on the plan spine: a **pilot plan**
+(no sampling) sizes each strategy's sampling interval from its
+completion time, then a **sampled plan** records the trace — both
+stages farm and cache like any other experiment, and
+:func:`run_many_timeseries` merges a whole plot family into one batch
+per stage.
+
 :func:`rise_time` and :func:`tail_length` quantify the first and third
 observations so tests/benches can assert them.
 """
@@ -23,21 +30,30 @@ observations so tests/benches can assert them.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Sequence
 
 from ..core import paper_cwn, paper_gm
 from ..oracle.config import SimConfig
+from ..oracle.stats import SimResult
+from ..parallel import ResultCache
 from ..topology import Topology, paper_dlm, paper_grid
 from ..workload import Fibonacci
+from .plan import ExperimentPlan, execute, merge_plans, planned_run
 from .plots import ascii_plot
-from .runner import simulate
 
 __all__ = [
     "TimeSeriesStudy",
+    "pilot_plan",
     "render_timeseries",
     "rise_time",
+    "run_many_timeseries",
     "run_timeseries",
+    "sampled_plan",
     "tail_length",
 ]
+
+#: the strategies every time-series study traces, in plot order
+_STRATEGIES = (("cwn", paper_cwn), ("gm", paper_gm))
 
 
 @dataclass(frozen=True)
@@ -51,58 +67,152 @@ class TimeSeriesStudy:
     completion: dict[str, float]
 
 
+def pilot_plan(
+    fib_n: int,
+    topology: Topology,
+    config: SimConfig | None = None,
+    seed: int = 1,
+) -> ExperimentPlan:
+    """Stage 1: unsampled runs whose completion times size the intervals.
+
+    Reduces to ``{strategy: completion_time}``.
+    """
+    base = config or SimConfig()
+    family = topology.family
+    runs = tuple(
+        planned_run(Fibonacci(fib_n), topology, build(family), config=base, seed=seed)
+        for _name, build in _STRATEGIES
+    )
+    meta = tuple(name for name, _build in _STRATEGIES)
+
+    def _reduce(results: Sequence[SimResult], labels: Sequence[Any]) -> dict[str, float]:
+        return {name: res.completion_time for name, res in zip(labels, results)}
+
+    return ExperimentPlan("timeseries:pilot", runs, _reduce, meta)
+
+
+def sampled_plan(
+    fib_n: int,
+    topology: Topology,
+    intervals: dict[str, float],
+    config: SimConfig | None = None,
+    seed: int = 1,
+) -> ExperimentPlan:
+    """Stage 2: the real traces, each strategy at its pilot-sized interval."""
+    base = config or SimConfig()
+    family = topology.family
+    runs = tuple(
+        planned_run(
+            Fibonacci(fib_n),
+            topology,
+            build(family),
+            config=base.replace(sample_interval=intervals[name]),
+            seed=seed,
+        )
+        for name, build in _STRATEGIES
+    )
+    meta = tuple(name for name, _build in _STRATEGIES)
+
+    def _reduce(results: Sequence[SimResult], labels: Sequence[Any]) -> TimeSeriesStudy:
+        series: dict[str, list[tuple[float, float]]] = {}
+        completion: dict[str, float] = {}
+        label = ""
+        for name, res in zip(labels, results):
+            series[name] = [(s.time, 100.0 * s.utilization) for s in res.samples]
+            completion[name] = res.completion_time
+            label = res.workload
+        return TimeSeriesStudy(topology.name, label, series, completion)
+
+    return ExperimentPlan("timeseries", runs, _reduce, meta)
+
+
+def _intervals(pilot: dict[str, float], samples: int) -> dict[str, float]:
+    """Interval per strategy: about ``samples`` points over its run."""
+    return {name: max(ct / samples, 1.0) for name, ct in pilot.items()}
+
+
 def run_timeseries(
     fib_n: int,
     topology: Topology,
     config: SimConfig | None = None,
     seed: int = 1,
     samples: int = 60,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
 ) -> TimeSeriesStudy:
     """Sample both strategies' utilization through a fib(n) run.
 
     The sampling interval adapts to each run's length so every trace has
     about ``samples`` points (the paper's "short sampling intervals").
     """
-    base = config or SimConfig()
-    family = topology.family
-    series: dict[str, list[tuple[float, float]]] = {}
-    completion: dict[str, float] = {}
-    label = ""
-    for name, build in (("cwn", paper_cwn), ("gm", paper_gm)):
-        # Pilot run (no sampling) to size the interval, then the real run.
-        pilot = simulate(Fibonacci(fib_n), topology, build(family), config=base, seed=seed)
-        interval = max(pilot.completion_time / samples, 1.0)
-        cfg = base.replace(sample_interval=interval)
-        res = simulate(Fibonacci(fib_n), topology, build(family), config=cfg, seed=seed)
-        series[name] = [(s.time, 100.0 * s.utilization) for s in res.samples]
-        completion[name] = res.completion_time
-        label = res.workload
-    return TimeSeriesStudy(topology.name, label, series, completion)
+    [study] = run_many_timeseries(
+        [(fib_n, topology)], config, seed, samples, jobs=jobs, cache=cache
+    )
+    return study
+
+
+def run_many_timeseries(
+    combos: Sequence[tuple[int, Topology]],
+    config: SimConfig | None = None,
+    seed: int = 1,
+    samples: int = 60,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+) -> list[TimeSeriesStudy]:
+    """Several studies, each stage merged into one farmed batch.
+
+    ``combos`` is a list of (fib size, topology); the returned studies
+    are in the same order.
+    """
+    combos = list(combos)
+    pilots = execute(
+        merge_plans(
+            "timeseries:pilot",
+            [pilot_plan(n, topo, config, seed) for n, topo in combos],
+        ),
+        jobs=jobs,
+        cache=cache,
+    )
+    return execute(
+        merge_plans(
+            "timeseries",
+            [
+                sampled_plan(n, topo, _intervals(pilot, samples), config, seed)
+                for (n, topo), pilot in zip(combos, pilots)
+            ],
+        ),
+        jobs=jobs,
+        cache=cache,
+    )
 
 
 def run_paper_timeseries(
     full: bool | None = None,
     config: SimConfig | None = None,
     seed: int = 1,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+    sizes: tuple[int, ...] | None = None,
+    topologies: Sequence[Topology] | None = None,
 ) -> list[tuple[int, TimeSeriesStudy]]:
     """Plots 11-16 (fib 18/15/9 on 100-PE DLM, then 10x10 grid).
 
     At reduced scale fib(18) is replaced by fib(15)'s cheaper cousin
     fib(13) to keep bench runtimes low; pass ``full=True`` (or set
-    REPRO_FULL=1) for the paper's exact sizes.
+    REPRO_FULL=1) for the paper's exact sizes.  ``sizes`` / ``topologies``
+    override the paper's inventory for focused studies and tests.
     """
     from . import scale
 
     if full is None:
         full = scale.full_scale()
-    sizes = (18, 15, 9) if full else (13, 11, 9)
-    studies = []
-    plot_no = 11
-    for topo in (paper_dlm(100), paper_grid(100)):
-        for n in sizes:
-            studies.append((plot_no, run_timeseries(n, topo, config, seed)))
-            plot_no += 1
-    return studies
+    if sizes is None:
+        sizes = (18, 15, 9) if full else (13, 11, 9)
+    if topologies is None:
+        topologies = (paper_dlm(100), paper_grid(100))
+    combos = [(n, topo) for topo in topologies for n in sizes]
+    studies = run_many_timeseries(combos, config, seed, jobs=jobs, cache=cache)
+    return [(11 + i, study) for i, study in enumerate(studies)]
 
 
 def render_timeseries(study: TimeSeriesStudy, plot_no: int | None = None) -> str:

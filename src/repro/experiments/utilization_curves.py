@@ -6,24 +6,36 @@ percent) against the problem size in total goals generated (X), one
 curve per strategy.  The fib counterparts were "very similar, so we omit
 them from the plots" — we can generate both.
 
-:func:`run_curve` produces one plot's data; :func:`run_all_curves` the
-whole family; :func:`render_curve` draws the ASCII figure.
+:func:`curve_plan` builds one plot as a declarative
+:class:`~repro.experiments.plan.ExperimentPlan`; :func:`run_curve`
+produces one plot's data; :func:`run_all_curves` merges the whole
+family into one farmed batch; :func:`render_curve` draws the ASCII
+figure.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Sequence
 
 from ..core import paper_cwn, paper_gm
 from ..oracle.config import SimConfig
+from ..oracle.stats import SimResult
+from ..parallel import ResultCache
 from ..topology import Topology, paper_dlm, paper_grid
 from ..workload import DivideConquer, Fibonacci, Program
 from . import scale
+from .plan import ExperimentPlan, execute, merge_plans, planned_run
 from .plots import ascii_plot
-from .runner import simulate
 from .tables import format_table
 
-__all__ = ["UtilizationCurve", "render_curve", "run_all_curves", "run_curve"]
+__all__ = [
+    "UtilizationCurve",
+    "curve_plan",
+    "render_curve",
+    "run_all_curves",
+    "run_curve",
+]
 
 
 @dataclass(frozen=True)
@@ -44,6 +56,39 @@ def _programs(kind: str, full: bool | None) -> list[Program]:
     raise ValueError(f"workload kind must be 'dc' or 'fib', not {kind!r}")
 
 
+def curve_plan(
+    topology: Topology,
+    kind: str = "dc",
+    full: bool | None = None,
+    config: SimConfig | None = None,
+    seed: int = 1,
+    strategies: tuple[str, ...] = ("cwn", "gm"),
+) -> ExperimentPlan:
+    """One plot as a plan: problem sizes x strategies on one topology."""
+    family = topology.family
+    builders = {"cwn": paper_cwn, "gm": paper_gm}
+    runs = []
+    meta: list[Any] = []
+    for program in _programs(kind, full):
+        for strat in strategies:
+            runs.append(
+                planned_run(
+                    program, topology, builders[strat](family), config=config, seed=seed
+                )
+            )
+            meta.append(strat)
+
+    def _reduce(
+        results: Sequence[SimResult], labels: Sequence[Any]
+    ) -> UtilizationCurve:
+        series: dict[str, list[tuple[int, float]]] = {s: [] for s in strategies}
+        for strat, res in zip(labels, results):
+            series[strat].append((res.total_goals, res.utilization_percent))
+        return UtilizationCurve(topology.name, kind, series)
+
+    return ExperimentPlan(f"plot:{topology.name}", tuple(runs), _reduce, tuple(meta))
+
+
 def run_curve(
     topology: Topology,
     kind: str = "dc",
@@ -51,16 +96,15 @@ def run_curve(
     config: SimConfig | None = None,
     seed: int = 1,
     strategies: tuple[str, ...] = ("cwn", "gm"),
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
 ) -> UtilizationCurve:
     """One topology's utilization-vs-goals curve for both strategies."""
-    family = topology.family
-    builders = {"cwn": paper_cwn, "gm": paper_gm}
-    series: dict[str, list[tuple[int, float]]] = {s: [] for s in strategies}
-    for program in _programs(kind, full):
-        for strat in strategies:
-            res = simulate(program, topology, builders[strat](family), config=config, seed=seed)
-            series[strat].append((res.total_goals, res.utilization_percent))
-    return UtilizationCurve(topology.name, kind, series)
+    return execute(
+        curve_plan(topology, kind, full, config, seed, strategies),
+        jobs=jobs,
+        cache=cache,
+    )
 
 
 #: The paper's plot inventory: (plot number, family, PE count).
@@ -83,18 +127,27 @@ def run_all_curves(
     full: bool | None = None,
     config: SimConfig | None = None,
     seed: int = 1,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
 ) -> list[tuple[int, UtilizationCurve]]:
-    """Plots 1-10 (deduplicated; plot 8 repeats plot 7's configuration)."""
+    """Plots 1-10 (deduplicated; plot 8 repeats plot 7's configuration).
+
+    The whole family merges into one plan, so every cell of every plot
+    fans out together instead of plot by plot.
+    """
     machine_sizes = set(scale.pe_counts(full))
-    curves: list[tuple[int, UtilizationCurve]] = []
+    plot_nos: list[int] = []
+    plans: list[ExperimentPlan] = []
     seen: set[tuple[str, int]] = set()
     for plot_no, family, n_pes in PAPER_PLOTS:
         if n_pes not in machine_sizes or (family, n_pes) in seen:
             continue
         seen.add((family, n_pes))
         topo = paper_grid(n_pes) if family == "grid" else paper_dlm(n_pes)
-        curves.append((plot_no, run_curve(topo, kind, full, config, seed)))
-    return curves
+        plot_nos.append(plot_no)
+        plans.append(curve_plan(topo, kind, full, config, seed))
+    curves = execute(merge_plans("plots", plans), jobs=jobs, cache=cache)
+    return list(zip(plot_nos, curves))
 
 
 def render_curve(curve: UtilizationCurve, plot_no: int | None = None) -> str:

@@ -14,10 +14,10 @@ this package makes such bags cheap:
   batches: cache hits skipped, failures retried, every completed run
   persisted immediately.
 
-The experiment modules (``repro.experiments.comparison``,
-``optimization``, ``replication``, ``sweep``) and the CLI's ``--jobs`` /
-``--no-cache`` flags route through :func:`run_batch`; the pieces compose
-directly too::
+Every experiment module routes through :func:`run_batch` via the
+declarative plan spine (:mod:`repro.experiments.plan`), as do the CLI's
+uniform ``--jobs`` / ``--no-cache`` flags; the pieces compose directly
+too::
 
     from repro.parallel import ResultCache, RunSpec, run_batch
 

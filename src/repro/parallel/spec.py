@@ -24,7 +24,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Sequence
 
 from ..core import Strategy, canonical_spec as canonical_strategy, spec_of as strategy_spec
 from ..oracle.config import SimConfig
@@ -59,6 +59,11 @@ class RunSpec:
     config: SimConfig = field(default_factory=SimConfig)
     seed: int | None = None
     start_pe: int = 0
+    #: open-system extension: >1 turns the run into a query stream
+    queries: int = 1
+    arrival_spacing: float = 0.0
+    arrival_pes: tuple[int, ...] | None = None
+    arrival_times: tuple[float, ...] | None = None
 
     # -- construction ------------------------------------------------------------
 
@@ -71,6 +76,10 @@ class RunSpec:
         config: SimConfig | None = None,
         seed: int | None = None,
         start_pe: int = 0,
+        queries: int = 1,
+        arrival_spacing: float = 0.0,
+        arrival_pes: "Sequence[int] | None" = None,
+        arrival_times: "Sequence[float] | None" = None,
     ) -> "RunSpec":
         """Make a spec from objects or spec strings (mirrors ``simulate``).
 
@@ -85,7 +94,18 @@ class RunSpec:
             topology = topology_spec(topology)
         if not isinstance(strategy, str):
             strategy = strategy_spec(strategy)
-        return cls(workload, topology, strategy, config or SimConfig(), seed, start_pe)
+        return cls(
+            workload,
+            topology,
+            strategy,
+            config or SimConfig(),
+            seed,
+            start_pe,
+            queries,
+            arrival_spacing,
+            None if arrival_pes is None else tuple(int(p) for p in arrival_pes),
+            None if arrival_times is None else tuple(float(t) for t in arrival_times),
+        )
 
     # -- execution ---------------------------------------------------------------
 
@@ -107,6 +127,10 @@ class RunSpec:
             config=self.config,
             start_pe=self.start_pe,
             seed=self.seed,
+            queries=self.queries,
+            arrival_spacing=self.arrival_spacing,
+            arrival_pes=self.arrival_pes,
+            arrival_times=self.arrival_times,
         )
 
     # -- canonical form and hashing ---------------------------------------------
@@ -128,6 +152,13 @@ class RunSpec:
             strategy=canonical_strategy(self.strategy, family=family),
             config=self.effective_config,
             seed=None,
+            # With one query and no explicit times, the spacing is never
+            # read (query 0 arrives at 0 regardless) — zero it so it
+            # cannot split keys.  arrival_pes stays: the machine injects
+            # the single query at arrival_pes[0].
+            arrival_spacing=self.arrival_spacing
+            if self.queries != 1 or self.arrival_times is not None
+            else 0.0,
         )
 
     def canonical_dict(self) -> dict[str, Any]:
@@ -149,6 +180,26 @@ class RunSpec:
                 "config": spec.config.to_dict(),
                 "start_pe": spec.start_pe,
             }
+            # Open-system runs extend the canonical form; default runs
+            # (one query, default arrival point and times) omit the
+            # block entirely, so every pre-existing single-query key —
+            # and the cache entries addressed by it — stays valid.  The
+            # block appears whenever any arrival knob the machine
+            # actually reads is set: queries, explicit times, or
+            # arrival_pes (which places even a single query).
+            if (
+                spec.queries != 1
+                or spec.arrival_times is not None
+                or spec.arrival_pes is not None
+            ):
+                cached["arrivals"] = {
+                    "queries": spec.queries,
+                    "spacing": spec.arrival_spacing,
+                    "pes": None if spec.arrival_pes is None else list(spec.arrival_pes),
+                    "times": None
+                    if spec.arrival_times is None
+                    else list(spec.arrival_times),
+                }
             object.__setattr__(self, "_canonical_dict", cached)
         return cached
 
@@ -179,14 +230,22 @@ class RunSpec:
                 "config": self.config.to_dict(),
                 "seed": self.seed,
                 "start_pe": self.start_pe,
+                "queries": self.queries,
+                "arrival_spacing": self.arrival_spacing,
+                "arrival_pes": None if self.arrival_pes is None else list(self.arrival_pes),
+                "arrival_times": None
+                if self.arrival_times is None
+                else list(self.arrival_times),
             },
             sort_keys=True,
         )
 
     @classmethod
     def from_json(cls, text: str) -> "RunSpec":
-        """Inverse of :meth:`to_json`."""
+        """Inverse of :meth:`to_json` (pre-arrival-era JSON still loads)."""
         data = json.loads(text)
+        pes = data.get("arrival_pes")
+        times = data.get("arrival_times")
         return cls(
             workload=data["workload"],
             topology=data["topology"],
@@ -194,4 +253,8 @@ class RunSpec:
             config=SimConfig.from_dict(data["config"]),
             seed=data["seed"],
             start_pe=data["start_pe"],
+            queries=data.get("queries", 1),
+            arrival_spacing=data.get("arrival_spacing", 0.0),
+            arrival_pes=None if pes is None else tuple(pes),
+            arrival_times=None if times is None else tuple(times),
         )

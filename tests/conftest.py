@@ -2,9 +2,28 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.oracle.config import CostModel, SimConfig
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_result_cache(tmp_path_factory):
+    """Point the default result cache at a session-private directory.
+
+    Experiment commands cache by default now, so without this the suite
+    would read and write ~/.cache/repro-kale88 — polluting the user's
+    real cache and letting stale entries leak into assertions.
+    """
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("result-cache"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
 from repro.topology import Complete, DoubleLatticeMesh, Grid, Hypercube, Ring
 from repro.workload import DivideConquer, Fibonacci
 

@@ -85,8 +85,8 @@ class TestExperimentCommands:
         original = hops.run_hop_study
         monkeypatch.setattr(
             "repro.experiments.hops.run_hop_study",
-            lambda fib_n=15, topology=None, config=None, seed=1: original(
-                9, Grid(4, 4), config, seed
+            lambda fib_n=15, topology=None, config=None, seed=1, **farm: original(
+                9, Grid(4, 4), config, seed, **farm
             ),
         )
         assert main(["table3"]) == 0

@@ -63,8 +63,8 @@ class TestCliExperimentCommands:
             "repro.cli.__name__", "repro.cli", raising=False
         )  # no-op anchor
 
-        def small(full=None, seed=1):
-            return original(program=Fib(9), full=False, seed=seed)
+        def small(full=None, seed=1, **farm):
+            return original(program=Fib(9), full=False, seed=seed, **farm)
 
         monkeypatch.setattr(scaling, "run_scaling", small)
         # cli imports the symbol at call time from the module:
@@ -79,8 +79,8 @@ class TestCliExperimentCommands:
 
         original = gs.run_grainsize
 
-        def small(seed=1):
-            return original(Fib(9), Grid(4, 4), grains=(0.5, 1.0), seed=seed)
+        def small(seed=1, **farm):
+            return original(Fib(9), Grid(4, 4), grains=(0.5, 1.0), seed=seed, **farm)
 
         monkeypatch.setattr(gs, "run_grainsize", small)
         assert main(["grainsize"]) == 0
