@@ -128,7 +128,7 @@ class AdaptiveCWN(CWN):
             return
         machine = self.machine
         nbrs = machine.neighbors(pe)
-        loads = [machine.known_load(pe, nb) for nb in nbrs]
+        loads = machine.known_loads_of(pe, nbrs)
         # Most-loaded believed neighbor, negated loads reuse the seeded
         # tie-breaking of argmin_load.
         if max(loads) < self.pull_threshold:

@@ -48,8 +48,10 @@ def argmin_load(
     lowest-index hotspot) or ``"lowest"`` (fully order-deterministic).
     """
     best = min(loads)
+    if loads.count(best) == 1:
+        return candidates[loads.index(best)]
     ties = [c for c, ld in zip(candidates, loads) if ld == best]
-    if len(ties) == 1 or tie_break == "lowest":
+    if tie_break == "lowest":
         return ties[0]
     return ties[rng.randrange(len(ties))]
 
@@ -99,6 +101,14 @@ class Strategy:
         move goals from here must guard against re-entrancy (moving a
         goal changes loads, which re-fires this hook).
         """
+
+    # The machine elides calls to hooks a strategy did not override —
+    # these two fire on every queue operation / every executor drain, so
+    # a no-op virtual call is real money on the kernel hot path.  The
+    # tags survive only on the base implementations; any override is
+    # called normally.
+    on_idle._noop_hook = True  # type: ignore[attr-defined]
+    on_load_changed._noop_hook = True  # type: ignore[attr-defined]
 
     # -- reporting ---------------------------------------------------------------
 

@@ -118,28 +118,62 @@ class CentralScheduler(Strategy):
         self.max_backlog = max(self.max_backlog, len(self._inbox))
         if not self._dispatcher_running:
             self._dispatcher_running = True
-            self.machine.engine.process(self._dispatcher(), name="central-dispatch")
+            engine = self.machine.engine
+            if self.machine.process_kernel:
+                engine.process(self._dispatcher(), name="central-dispatch")
+            else:
+                engine.after(0.0, self._dispatch_kick)
+
+    def _dispatch_one(self) -> bool:
+        """Pop and place one goal; True if a goal was dispatched."""
+        if not self._inbox:
+            return False
+        machine = self.machine
+        goal = self._inbox.popleft()
+        # True-load oracle: strictly more information than any
+        # distributed strategy gets.
+        n = machine.topology.n
+        target = min(range(n), key=lambda p: (machine.load_of(p), p))
+        self.dispatched += 1
+        if target == self.manager:
+            machine.enqueue(self.manager, goal)
+            return True
+        # _hop increments per physical hop, so total recorded hops =
+        # (source -> manager) + (manager -> target), both walked.
+        self._hop(
+            self.manager,
+            GoalMessage(self.manager, self.manager, goal, hops=goal.hops, target=target),
+        )
+        return True
+
+    # The dispatcher is a self-terminating callback chain: each decision
+    # costs ``dispatch_cost`` on the serialized co-processor queue, so a
+    # decision event re-arms itself while the inbox is non-empty.
+
+    def _dispatch_kick(self, _payload: object = None) -> None:
+        if self.dispatch_cost > 0:
+            if self._inbox:
+                self.machine.engine.after(self.dispatch_cost, self._dispatch_next)
+            else:
+                self._dispatcher_running = False
+            return
+        # Free oracle: drain synchronously within this event.
+        while self._inbox:
+            self._dispatch_one()
+        self._dispatcher_running = False
+
+    def _dispatch_next(self, _payload: object = None) -> None:
+        self._dispatch_one()
+        if self._inbox:
+            self.machine.engine.after(self.dispatch_cost, self._dispatch_next)
+        else:
+            self._dispatcher_running = False
 
     def _dispatcher(self):
-        machine = self.machine
-        n = machine.topology.n
+        """Generator twin of the callback dispatcher (process kernel)."""
         while self._inbox:
             if self.dispatch_cost > 0:
                 yield hold(self.dispatch_cost)
-            if not self._inbox:
+            if not self._dispatch_one():
                 break
-            goal = self._inbox.popleft()
-            # True-load oracle: strictly more information than any
-            # distributed strategy gets.
-            target = min(range(n), key=lambda p: (machine.load_of(p), p))
-            self.dispatched += 1
-            if target == self.manager:
-                machine.enqueue(self.manager, goal)
-                continue
-            # _hop increments per physical hop, so total recorded hops =
-            # (source -> manager) + (manager -> target), both walked.
-            self._hop(
-                self.manager,
-                GoalMessage(self.manager, self.manager, goal, hops=goal.hops, target=target),
-            )
         self._dispatcher_running = False

@@ -102,7 +102,7 @@ class CWN(Strategy):
             self._accept(pe, msg)
             return
         nbrs = machine.neighbors(pe)
-        loads = [machine.known_load(pe, nb) for nb in nbrs]
+        loads = machine.known_loads_of(pe, nbrs)
         least = min(loads)
         if msg.hops >= self.horizon:
             own = machine.load_of(pe)

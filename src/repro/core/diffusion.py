@@ -59,31 +59,45 @@ class Diffusion(Strategy):
         return {"alpha": self.alpha, "interval": self.interval}
 
     def start(self) -> None:
-        engine = self.machine.engine
-        rng = self.machine.rng
-        for pe in range(self.machine.topology.n):
+        machine = self.machine
+        engine = machine.engine
+        rng = machine.rng
+        legacy = machine.process_kernel
+        for pe in range(machine.topology.n):
             offset = rng.random() * self.interval if self.stagger else 0.0
-            engine.process(self._diffuser(pe), name=f"diff{pe}", delay=offset)
+            if legacy:
+                engine.process(self._diffuser(pe), name=f"diff{pe}", delay=offset)
+            else:
+                engine.tick(
+                    self.interval,
+                    lambda pe=pe: self._diffuse_cycle(pe),
+                    offset,
+                    name=f"diff{pe}",
+                )
+
+    def _diffuse_cycle(self, pe: int) -> None:
+        """One exchange cycle: ship down every positive believed gradient."""
+        machine = self.machine
+        my_load = machine.load_of(pe)
+        if my_load < 2:  # keep at least the executing item's successor
+            return
+        for nb in machine.neighbors(pe):
+            diff = my_load - machine.known_load(pe, nb)
+            quota = int(self.alpha * diff)
+            for _ in range(quota):
+                goal = machine.take_shippable(pe, newest_first=True)
+                if goal is None:
+                    break
+                goal.hops += 1
+                machine.send_goal(pe, nb, GoalMessage(pe, nb, goal, hops=goal.hops))
+            my_load = machine.load_of(pe)
+            if my_load < 2:
+                break
 
     def _diffuser(self, pe: int):
-        machine = self.machine
+        """Generator twin of :meth:`_diffuse_cycle` (process kernel)."""
         while True:
-            my_load = machine.load_of(pe)
-            if my_load >= 2:  # keep at least the executing item's successor
-                for nb in machine.neighbors(pe):
-                    diff = my_load - machine.known_load(pe, nb)
-                    quota = int(self.alpha * diff)
-                    for _ in range(quota):
-                        goal = machine.take_shippable(pe, newest_first=True)
-                        if goal is None:
-                            break
-                        goal.hops += 1
-                        machine.send_goal(
-                            pe, nb, GoalMessage(pe, nb, goal, hops=goal.hops)
-                        )
-                    my_load = machine.load_of(pe)
-                    if my_load < 2:
-                        break
+            self._diffuse_cycle(pe)
             yield hold(self.interval)
 
     def on_goal_created(self, pe: int, goal: Goal) -> None:

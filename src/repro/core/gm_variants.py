@@ -31,7 +31,6 @@ from __future__ import annotations
 
 from typing import Any
 
-from ..oracle.engine import hold
 from .gradient import GradientModel
 
 __all__ = ["BatchGradient", "EventGradient"]
@@ -122,20 +121,8 @@ class EventGradient(GradientModel):
             self._evaluating[pe] = False
 
     def _cycle(self, pe: int) -> None:
-        machine = self.machine
-        state = self.node_state(machine.load_of(pe))
-        if state == self.IDLE:
-            prox = 0
-        else:
-            prox = min(self.neighbor_proximity[pe].values()) + 1
-            clamp = machine.diameter + 1
-            if prox > clamp:
-                prox = clamp
-        if prox != self.proximity[pe]:
-            self.proximity[pe] = prox
-            machine.post_to_neighbors(pe, "prox", prox)
-        if state == self.ABUNDANT:
-            self._ship_one(pe)
+        # One reactive evaluation is exactly one periodic-GM wakeup body.
+        self._gradient_cycle(pe)
 
 
 class BatchGradient(GradientModel):
@@ -176,30 +163,27 @@ class BatchGradient(GradientModel):
         params["batch"] = self.batch
         return params
 
-    def _gradient_process(self, pe: int):
+    def _gradient_cycle(self, pe: int) -> None:
         machine = self.machine
-        interval = self.interval
-        clamp = machine.diameter + 1
-        while True:
-            load = machine.load_of(pe)
-            state = self.node_state(load)
-            if state == self.IDLE:
-                prox = 0
-            else:
-                prox = min(self.neighbor_proximity[pe].values()) + 1
-                if prox > clamp:
-                    prox = clamp
-            if prox != self.proximity[pe]:
-                self.proximity[pe] = prox
-                machine.post_to_neighbors(pe, "prox", prox)
-            shipped = 0
-            while (
-                shipped < self.batch
-                and self.node_state(machine.load_of(pe)) == self.ABUNDANT
-            ):
-                before = machine.stats.goal_messages_sent
-                self._ship_one(pe)
-                if machine.stats.goal_messages_sent == before:
-                    break  # queue held only pinned continuations
-                shipped += 1
-            yield hold(interval)
+        load = machine.load_of(pe)
+        state = self.node_state(load)
+        if state == self.IDLE:
+            prox = 0
+        else:
+            prox = min(self.neighbor_proximity[pe].values()) + 1
+            clamp = machine.diameter + 1
+            if prox > clamp:
+                prox = clamp
+        if prox != self.proximity[pe]:
+            self.proximity[pe] = prox
+            machine.post_to_neighbors(pe, "prox", prox)
+        shipped = 0
+        while (
+            shipped < self.batch
+            and self.node_state(machine.load_of(pe)) == self.ABUNDANT
+        ):
+            before = machine.stats.goal_messages_sent
+            self._ship_one(pe)
+            if machine.stats.goal_messages_sent == before:
+                break  # queue held only pinned continuations
+            shipped += 1

@@ -109,11 +109,28 @@ class GradientModel(Strategy):
         ]
 
     def start(self) -> None:
-        engine = self.machine.engine
-        rng = self.machine.rng
-        for pe in range(self.machine.topology.n):
+        """One asynchronous gradient process per PE.
+
+        On the callback kernel each is an engine tick (one recycled heap
+        entry per PE); the process kernel spawns the seed's generators.
+        Both draw the stagger offsets from the run RNG in PE order, so
+        the wakeup schedule — and everything downstream — is identical.
+        """
+        machine = self.machine
+        engine = machine.engine
+        rng = machine.rng
+        legacy = machine.process_kernel
+        for pe in range(machine.topology.n):
             offset = rng.random() * self.interval if self.stagger else 0.0
-            engine.process(self._gradient_process(pe), name=f"gm{pe}", delay=offset)
+            if legacy:
+                engine.process(self._gradient_process(pe), name=f"gm{pe}", delay=offset)
+            else:
+                engine.tick(
+                    self.interval,
+                    lambda pe=pe: self._gradient_cycle(pe),
+                    offset,
+                    name=f"gm{pe}",
+                )
 
     # -- the asynchronous gradient process ---------------------------------------
 
@@ -125,24 +142,29 @@ class GradientModel(Strategy):
             return self.ABUNDANT
         return self.NEUTRAL
 
-    def _gradient_process(self, pe: int):
+    def _gradient_cycle(self, pe: int) -> None:
+        """One wakeup: classify, recompute proximity, broadcast, ship."""
         machine = self.machine
+        load = machine.load_of(pe)
+        state = self.node_state(load)
+        if state == self.IDLE:
+            prox = 0
+        else:
+            prox = min(self.neighbor_proximity[pe].values()) + 1
+            clamp = machine.diameter + 1
+            if prox > clamp:
+                prox = clamp
+        if prox != self.proximity[pe]:
+            self.proximity[pe] = prox
+            machine.post_to_neighbors(pe, "prox", prox)
+        if state == self.ABUNDANT:
+            self._ship_one(pe)
+
+    def _gradient_process(self, pe: int):
+        """Generator twin of :meth:`_gradient_cycle` (process kernel)."""
         interval = self.interval
-        clamp = machine.diameter + 1
         while True:
-            load = machine.load_of(pe)
-            state = self.node_state(load)
-            if state == self.IDLE:
-                prox = 0
-            else:
-                prox = min(self.neighbor_proximity[pe].values()) + 1
-                if prox > clamp:
-                    prox = clamp
-            if prox != self.proximity[pe]:
-                self.proximity[pe] = prox
-                machine.post_to_neighbors(pe, "prox", prox)
-            if state == self.ABUNDANT:
-                self._ship_one(pe)
+            self._gradient_cycle(pe)
             yield hold(interval)
 
     def _ship_one(self, pe: int) -> None:

@@ -120,7 +120,7 @@ class WorkStealing(Strategy):
         if not candidates:
             self._probe_failed(requester)
             return
-        loads = [machine.known_load(at, nb) for nb in candidates]
+        loads = machine.known_loads_of(at, candidates)
         victim = argmin_load(candidates, [-ld for ld in loads], machine.rng, self.tie_break)
         # Encode requester and remaining budget in the word's value.
         machine.post_word(at, victim, "steal", requester * 100 + (budget - 1))

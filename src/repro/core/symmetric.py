@@ -132,7 +132,7 @@ class Symmetric(Strategy):
     def _forward(self, pe: int, msg: GoalMessage) -> None:
         machine = self.machine
         nbrs = machine.neighbors(pe)
-        loads = [machine.known_load(pe, nb) for nb in nbrs]
+        loads = machine.known_loads_of(pe, nbrs)
         target = argmin_load(nbrs, loads, machine.rng, self.tie_break)
         msg.hops += 1
         machine.send_goal(pe, target, msg)
@@ -154,7 +154,7 @@ class Symmetric(Strategy):
         if not candidates:
             self._probe_failed(requester)
             return
-        loads = [machine.known_load(at, nb) for nb in candidates]
+        loads = machine.known_loads_of(at, candidates)
         victim = argmin_load(
             candidates, [-ld for ld in loads], machine.rng, self.tie_break
         )

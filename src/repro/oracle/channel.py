@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from collections import deque
 from collections.abc import Callable
+from heapq import heappush
 from typing import Any
 
 from .config import CostModel
@@ -42,6 +43,7 @@ class Channel:
         "busy_time",
         "messages_carried",
         "words_carried",
+        "_busy_until",
     )
 
     def __init__(
@@ -57,6 +59,9 @@ class Channel:
         self.busy_time = 0.0
         self.messages_carried = 0
         self.words_carried = 0
+        #: end time of the transfer currently charged into busy_time; the
+        #: accrual anchor for :meth:`effective_busy` (mirrors PE._hold_end)
+        self._busy_until = 0.0
 
     @property
     def backlog(self) -> int:
@@ -83,11 +88,19 @@ class Channel:
 
     def _start(self, msg: Message, deliver: Deliver) -> None:
         self.busy = True
-        duration = self.costs.transfer_time(msg.size_words)
+        words = msg.size_words
+        costs = self.costs
+        duration = costs.hop_overhead + costs.word_time * words  # transfer_time()
         self.busy_time += duration
         self.messages_carried += 1
-        self.words_carried += msg.size_words
-        self.engine.schedule(duration, self._complete, (msg, deliver))
+        self.words_carried += words
+        # Inlined Engine.after: one transfer-complete event per message
+        # is the single most common heap entry in CWN runs.
+        engine = self.engine
+        end = engine.now + duration
+        self._busy_until = end
+        engine._seq += 1
+        heappush(engine._heap, [end, 10, engine._seq, self._complete, (msg, deliver)])
 
     def _complete(self, payload: tuple[Message, Deliver]) -> None:
         msg, deliver = payload
@@ -97,11 +110,28 @@ class Channel:
             self._start(nxt_msg, nxt_deliver)
         deliver(msg)
 
+    def effective_busy(self, now: float) -> float:
+        """Busy time accrued up to ``now`` (mid-transfer time pro rata).
+
+        ``busy_time`` charges each transfer's full duration up front, so
+        at completion it overcounts any transfer still in flight — the
+        run ends (``Engine.stop``) the instant the last root response
+        arrives, dropping pending ``_complete`` events while their
+        durations stay charged.  This is the accrual-correct reading,
+        mirroring ``PE.effective_busy``; reported statistics use it.
+        """
+        overhang = self._busy_until - now
+        return self.busy_time - overhang if overhang > 0 else self.busy_time
+
     def utilization(self, elapsed: float) -> float:
-        """Fraction of ``elapsed`` this channel spent transferring."""
+        """Fraction of ``elapsed`` this channel spent transferring.
+
+        Accrual-correct: in-flight transfer time past ``elapsed`` is not
+        counted, so the value is genuinely ≤ 1 rather than clamped there.
+        """
         if elapsed <= 0:
             return 0.0
-        return min(1.0, self.busy_time / elapsed)
+        return min(1.0, self.effective_busy(elapsed) / elapsed)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state: Any = "busy" if self.busy else "idle"

@@ -8,22 +8,33 @@ pure Python:
 
 * an event heap keyed by ``(time, priority, sequence)`` so that
   simultaneous events fire in a deterministic order,
+* direct **event callbacks** — the hot path: any callable can be put on
+  the calendar with :meth:`Engine.schedule` (validating) or
+  :meth:`Engine.after` (trusted, no validation),
+* a recurring-tick facility (:meth:`Engine.tick`) for periodic machinery
+  (samplers, load broadcasters, gradient wakeups) that reuses one mutable
+  heap entry instead of allocating a fresh one every period,
 * a generator-based :class:`Process` abstraction — a process is a Python
   generator that ``yield``\\ s *commands* (:func:`hold`, :func:`waitevent`,
   :func:`passivate`) to the kernel, exactly in the style of SIMSCRIPT or
-  SimPy processes,
+  SimPy processes — kept for tests and exotic strategies,
 * :class:`Signal` for condition-style wakeups.
 
 The kernel is deliberately small and allocation-light: simulations in the
 reproduction push hundreds of thousands of events per run, and following
 the HPC guidance ("make it work, make it reliably fast where profiles say
-so") the hot path avoids per-event object churn where practical.
+so") the hot path avoids per-event object churn.  Everything on the
+fib/nqueens Table-2 path — PE executors, channels, periodic strategy
+machinery — runs as callbacks; a generator process pays ~2 extra Python
+frames per resumption and should only be used where its linear control
+flow genuinely earns that cost.
 """
 
 from __future__ import annotations
 
 import heapq
 from collections.abc import Callable, Generator, Iterable
+from contextlib import contextmanager
 from typing import Any
 
 __all__ = [
@@ -31,14 +42,53 @@ __all__ = [
     "Process",
     "Signal",
     "SimulationError",
+    "Tick",
     "hold",
     "passivate",
+    "process_kernel_active",
+    "use_process_kernel",
     "waitevent",
 ]
 
 
 class SimulationError(RuntimeError):
     """Raised for kernel misuse (negative delays, double activation...)."""
+
+
+# ---------------------------------------------------------------------------
+# Legacy process-kernel switch.
+#
+# The callback executors are bit-for-bit equivalent to the seed's
+# generator processes (same heap entries, same sequence numbers, same
+# event count).  The golden tests prove it by running both kernels and
+# comparing entire SimResults; this switch is how they reach the
+# generator implementations, which are otherwise dead on the hot path.
+# ---------------------------------------------------------------------------
+
+_process_kernel = False
+
+
+def process_kernel_active() -> bool:
+    """True while the seed's generator-process kernel is selected."""
+    return _process_kernel
+
+
+@contextmanager
+def use_process_kernel(enabled: bool = True):
+    """Context manager selecting the generator-process kernel (test-only).
+
+    A ``Machine`` captures the flag once, at construction, and its PEs,
+    periodic machinery, and strategy processes all key off that capture —
+    so a machine keeps whichever kernel it was built with for its whole
+    life, even if this context has since exited.
+    """
+    global _process_kernel
+    previous = _process_kernel
+    _process_kernel = enabled
+    try:
+        yield
+    finally:
+        _process_kernel = previous
 
 
 # ---------------------------------------------------------------------------
@@ -177,6 +227,65 @@ class Process:
         return f"Process({self.name!r}, {state})"
 
 
+class Tick:
+    """A recurring callback owning one reusable heap entry.
+
+    Created by :meth:`Engine.tick`.  On each firing the kernel calls
+    ``fn()`` and pushes the *same* five-slot entry back with an advanced
+    time and a fresh sequence number — per period that is one heappush
+    and zero allocations, against the generator pattern's resumption
+    frames plus a command tuple plus a new heap entry.
+
+    The sequence number is (re)drawn **after** ``fn()`` returns, exactly
+    where a generator process would schedule its next ``hold`` — so among
+    simultaneous events a tick's next firing sorts after everything its
+    body scheduled, bit-for-bit matching the process it replaced.
+    """
+
+    __slots__ = ("engine", "interval", "fn", "name", "_entry", "_skip", "_stopped")
+
+    def __init__(
+        self,
+        engine: "Engine",
+        interval: float,
+        fn: Callable[[], Any],
+        name: str = "",
+        skip_first: bool = False,
+    ) -> None:
+        self.engine = engine
+        self.interval = interval
+        self.fn = fn
+        self.name = name or getattr(fn, "__name__", "tick")
+        #: emulate a hold-first process body: the first firing only
+        #: reschedules (same event count as the generator's priming step)
+        self._skip = skip_first
+        self._stopped = False
+        self._entry: list | None = None
+
+    def _fire(self, _payload: Any = None) -> None:
+        if self._stopped:
+            self._entry = None
+            return
+        if self._skip:
+            self._skip = False
+        else:
+            self.fn()
+        engine = self.engine
+        entry = self._entry
+        engine._seq += 1
+        entry[0] = engine.now + self.interval
+        entry[2] = engine._seq
+        heapq.heappush(engine._heap, entry)
+
+    def stop(self) -> None:
+        """Cancel future firings (takes effect when the pending entry pops)."""
+        self._stopped = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "stopped" if self._stopped else f"every {self.interval}"
+        return f"Tick({self.name!r}, {state})"
+
+
 class Engine:
     """The event calendar and simulation clock.
 
@@ -214,6 +323,55 @@ class Engine:
             self._heap, [self.now + delay, priority, self._seq, action, payload]
         )
 
+    def after(
+        self,
+        delay: float,
+        action: Callable[..., Any],
+        payload: Any = None,
+        priority: int = 10,
+    ) -> None:
+        """:meth:`schedule` minus the negative-delay guard.
+
+        The kernel-internal fast path: callers (PE executors, channels,
+        word transport) derive delays from validated non-negative costs,
+        so the branch would never fire.  A negative delay here corrupts
+        the calendar silently — external/model code must use
+        :meth:`schedule`.
+        """
+        self._seq += 1
+        heapq.heappush(
+            self._heap, [self.now + delay, priority, self._seq, action, payload]
+        )
+
+    def tick(
+        self,
+        interval: float,
+        fn: Callable[[], Any],
+        offset: float = 0.0,
+        *,
+        name: str = "",
+        skip_first: bool = False,
+        priority: int = 10,
+    ) -> Tick:
+        """Run ``fn()`` every ``interval`` units, first at ``now + offset``.
+
+        Returns the :class:`Tick`, whose one heap entry is recycled every
+        period.  ``skip_first=True`` makes the firing at ``offset`` a
+        silent reschedule — the shape of a generator body that starts
+        with ``yield hold(interval)`` (samplers, broadcasters), where the
+        registration event primes the loop without sampling at t=0.
+        """
+        if interval <= 0:
+            raise SimulationError(f"tick interval must be positive (got {interval!r})")
+        if offset < 0:
+            raise SimulationError(f"cannot tick into the past (offset={offset!r})")
+        tick = Tick(self, interval, fn, name, skip_first)
+        self._seq += 1
+        entry = [self.now + offset, priority, self._seq, tick._fire, None]
+        tick._entry = entry
+        heapq.heappush(self._heap, entry)
+        return tick
+
     def _schedule_process(self, delay: float, proc: Process) -> None:
         self._seq += 1
         heapq.heappush(self._heap, [self.now + delay, 10, self._seq, proc, None])
@@ -240,41 +398,77 @@ class Engine:
         if self._running:
             raise SimulationError("Engine.run() is not reentrant")
         self._running = True
+        # Hot loop: locals for everything invariant across events.  The
+        # event counter is flushed in ``finally`` so `events_executed`
+        # stays correct on stop(), limit overrun, and model exceptions.
         heap = self._heap
-        max_events = self.max_events
+        pop = heapq.heappop
+        push = heapq.heappush
+        proc_cls = Process
+        limit = self.max_events
+        if limit is None:
+            limit = float("inf")
+        executed = self.events_executed
         try:
-            while heap and not self._stopped:
-                entry = heapq.heappop(heap)
-                time = entry[0]
-                if until is not None and time > until:
-                    # Put it back: a later run() call may continue from here.
-                    heapq.heappush(heap, entry)
-                    self.now = until
-                    break
-                self.now = time
-                self.events_executed += 1
-                if max_events is not None and self.events_executed > max_events:
-                    raise SimulationError(
-                        f"event limit exceeded ({max_events}); "
-                        "likely a runaway model"
-                    )
-                action = entry[3]
-                if type(action) is Process:
-                    if action.alive:
-                        action._step(entry[4])
-                else:
-                    action(entry[4])
+            if until is None:
+                while heap and not self._stopped:
+                    entry = pop(heap)
+                    self.now = entry[0]
+                    executed += 1
+                    if executed > limit:
+                        raise SimulationError(
+                            f"event limit exceeded ({self.max_events}); "
+                            "likely a runaway model"
+                        )
+                    action = entry[3]
+                    if type(action) is proc_cls:
+                        if action.alive:
+                            action._step(entry[4])
+                    else:
+                        action(entry[4])
+            else:
+                while heap and not self._stopped:
+                    entry = pop(heap)
+                    time = entry[0]
+                    if time > until:
+                        # Put it back: a later run() call may continue here.
+                        push(heap, entry)
+                        self.now = until
+                        break
+                    self.now = time
+                    executed += 1
+                    if executed > limit:
+                        raise SimulationError(
+                            f"event limit exceeded ({self.max_events}); "
+                            "likely a runaway model"
+                        )
+                    action = entry[3]
+                    if type(action) is proc_cls:
+                        if action.alive:
+                            action._step(entry[4])
+                    else:
+                        action(entry[4])
         finally:
+            self.events_executed = executed
             self._running = False
         return self.now
 
     def step(self) -> bool:
-        """Execute a single event; return False if the calendar is empty."""
-        if not self._heap:
+        """Execute a single event; return False if the calendar is empty.
+
+        Honors the same guards as :meth:`run`: a stopped engine stays
+        stopped (``step()`` returns False instead of silently reviving
+        the run), and the ``max_events`` runaway limit still raises.
+        """
+        if not self._heap or self._stopped:
             return False
         entry = heapq.heappop(self._heap)
         self.now = entry[0]
         self.events_executed += 1
+        if self.max_events is not None and self.events_executed > self.max_events:
+            raise SimulationError(
+                f"event limit exceeded ({self.max_events}); likely a runaway model"
+            )
         action = entry[3]
         if type(action) is Process:
             if action.alive:
@@ -297,10 +491,11 @@ class Engine:
 
         Unlike :meth:`clear`, stopping is sticky: events scheduled *by*
         the in-flight event (or by processes resumed later in the same
-        timestep) do not restart execution.  This is how a simulation
-        declares "the answer is in" while strategy processes — periodic
-        gradient wakeups, steal retries — would otherwise keep seeding
-        the calendar forever.
+        timestep) do not restart execution, and :meth:`step` refuses to
+        single-step a stopped engine.  This is how a simulation declares
+        "the answer is in" while strategy machinery — periodic gradient
+        wakeups, steal retries — would otherwise keep seeding the
+        calendar forever.
         """
         self._stopped = True
 

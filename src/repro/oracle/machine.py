@@ -27,7 +27,8 @@ deliberately.
 from __future__ import annotations
 
 import random
-from typing import TYPE_CHECKING, Any, Callable
+from heapq import heappush
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 import numpy as np
 
@@ -35,7 +36,7 @@ from ..topology.base import Topology
 from ..workload.base import Goal, Program
 from .channel import Channel
 from .config import SimConfig
-from .engine import Engine, SimulationError, hold
+from .engine import Engine, SimulationError, hold, process_kernel_active
 from .message import ControlWord, GoalMessage, LoadUpdate, Message, ResponseMessage
 from .pe import PE
 from .stats import SimResult, StatsCollector, UtilizationSample
@@ -44,6 +45,11 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..core.base import Strategy
 
 __all__ = ["Machine"]
+
+
+def _queue_load(pe: "PE") -> float:
+    """The paper's default load measure: messages waiting to be processed."""
+    return float(len(pe.queue))
 
 
 class Machine:
@@ -105,6 +111,11 @@ class Machine:
 
         self.engine = Engine()
         self.engine.max_events = self.config.max_events
+        #: kernel choice, captured once at construction: PEs, periodic
+        #: machinery, and strategy processes all key off this machine
+        #: attribute so a machine keeps one kernel for its whole life
+        #: even if the use_process_kernel() context has since exited.
+        self.process_kernel = process_kernel_active()
         self.rng = random.Random(self.config.seed)
         self.stats = StatsCollector(topology.n, self.config.trace_hops)
         self.stats._clock = lambda: self.engine.now
@@ -129,16 +140,37 @@ class Machine:
             for member in ch.members:
                 self._pe_channels[member].append(ch)
 
-        #: known_loads[observer, subject] — what `observer` believes about
+        #: known_loads[observer][subject] — what `observer` believes about
         #: `subject`'s load.  Initially 0 (everyone looks idle), matching
-        #: the paper's GM initialization convention.
-        self._known_loads = np.zeros((topology.n, topology.n))
-        self._last_posted = np.zeros(topology.n)
-        self._last_posted.fill(-1.0)  # force the first post
+        #: the paper's GM initialization convention.  Plain nested lists:
+        #: the access pattern is single-cell reads on the placement hot
+        #: path, where numpy scalar indexing costs ~5x a list index.
+        self._known_loads: list[list[float]] = [
+            [0.0] * topology.n for _ in range(topology.n)
+        ]
+        self._last_posted: list[float] = [-1.0] * topology.n  # force the first post
+        #: does load_changed() publish anything? (precomputed: it runs on
+        #: every queue push/pop, and the mode never changes mid-run)
+        self._posting = self.config.load_info in ("on_change", "channel")
+        self._post_on_change = self.config.load_info == "on_change"
+        self._instant_info = self.config.load_info == "instant"
+        self._piggyback = self.config.load_info == "piggyback"
+        # Hook elision: load_changed runs on every queue push/pop and
+        # pe_went_idle on every executor drain; when the strategy kept
+        # the base no-op (tagged ``_noop_hook``) skip the call entirely.
+        cls = type(strategy)
+        self._on_load_changed = (
+            None
+            if getattr(cls.on_load_changed, "_noop_hook", False)
+            else strategy.on_load_changed
+        )
+        self._on_idle = (
+            None if getattr(cls.on_idle, "_noop_hook", False) else strategy.on_idle
+        )
 
         #: the load measure; strategies may replace it (future-commitments
         #: metric).  Receives the PE object, returns a float.
-        self.load_fn: Callable[[PE], float] = lambda pe: float(pe.queue_length)
+        self.load_fn: Callable[[PE], float] = _queue_load
 
         self._finished = False
         self.completion_time: float = float("nan")
@@ -160,10 +192,25 @@ class Machine:
         if self._finished:
             raise SimulationError("a Machine instance runs exactly once")
         cfg = self.config
+        legacy = self.process_kernel
         if cfg.sample_interval > 0:
-            self.engine.process(self._sampler(), name="sampler")
+            if legacy:
+                self.engine.process(self._sampler(), name="sampler")
+            else:
+                self._sample_prev = np.zeros(self.topology.n)
+                self.engine.tick(
+                    cfg.sample_interval, self._sample, name="sampler", skip_first=True
+                )
         if cfg.load_info == "periodic":
-            self.engine.process(self._periodic_load_broadcaster(), name="loadcast")
+            if legacy:
+                self.engine.process(self._periodic_load_broadcaster(), name="loadcast")
+            else:
+                self.engine.tick(
+                    cfg.load_info_interval,
+                    self._broadcast_loads,
+                    name="loadcast",
+                    skip_first=True,
+                )
         self.strategy.start()
 
         for k in range(self.queries):
@@ -214,13 +261,15 @@ class Machine:
             responses_routed=self.stats.responses_routed,
             response_hops=self.stats.response_hops,
             control_words_sent=self.stats.control_words_sent,
-            channel_busy_time=np.array([ch.busy_time for ch in self.channels]),
+            channel_busy_time=np.array(
+                [ch.effective_busy(elapsed) for ch in self.channels]
+            ),
             channel_messages=np.array([ch.messages_carried for ch in self.channels]),
             samples=self.stats.samples,
             events_executed=self.engine.events_executed,
             seed=self.config.seed,
             piggybacked_words=self.stats.piggybacked_words,
-            first_goal_time=self.stats.first_goal_time,
+            first_goal_time=np.array(self.stats.first_goal_time, dtype=float),
             params=self.strategy.describe_params(),
             query_completions=[qr[0] for qr in self.query_results],
             query_arrivals=list(self.arrival_times),
@@ -272,7 +321,8 @@ class Machine:
 
     def pe_went_idle(self, pe: int) -> None:
         """The executor on ``pe`` ran out of work (strategy hook)."""
-        self.strategy.on_idle(pe)
+        if self._on_idle is not None:
+            self._on_idle(pe)
 
     # ------------------------------------------------------------------
     # Services used by strategies
@@ -288,9 +338,23 @@ class Machine:
 
     def known_load(self, observer: int, subject: int) -> float:
         """What ``observer`` believes about ``subject``'s load."""
-        if self.config.load_info == "instant":
-            return self.load_of(subject)
-        return float(self._known_loads[observer, subject])
+        if self._instant_info:
+            return self.load_fn(self.pes[subject])
+        return self._known_loads[observer][subject]
+
+    def known_loads_of(self, observer: int, subjects: "Sequence[int]") -> list[float]:
+        """:meth:`known_load` for several subjects in one call.
+
+        The bulk form placement loops should use: neighbor scans happen
+        on every goal hop, and one belief-row fetch beats a method call
+        per neighbor.
+        """
+        if self._instant_info:
+            load_fn = self.load_fn
+            pes = self.pes
+            return [load_fn(pes[s]) for s in subjects]
+        row = self._known_loads[observer]
+        return [row[s] for s in subjects]
 
     def enqueue(self, pe: int, goal: Goal) -> None:
         """Accept ``goal`` into ``pe``'s work queue."""
@@ -303,17 +367,20 @@ class Machine:
     def send_goal(self, src: int, dst: int, msg: GoalMessage) -> None:
         """Transmit a goal message one hop to a neighbor."""
         msg.src, msg.dst = src, dst
-        if self.config.load_info == "piggyback":
+        if self._piggyback:
             msg.load_word = self.load_of(src)
         self.stats.goal_messages_sent += 1
         channel = self._pick_channel(src, dst)
         decision = self.config.costs.route_decision
         if decision > 0:
-            self.engine.schedule(
-                decision, lambda _p, c=channel, m=msg: c.send(m, self._goal_arrived)
-            )
+            self.engine.after(decision, self._launch_goal, (channel, msg))
         else:
             channel.send(msg, self._goal_arrived)
+
+    def _launch_goal(self, payload: "tuple[Channel, GoalMessage]") -> None:
+        """Route decision made (co-processor latency paid): start the hop."""
+        channel, msg = payload
+        channel.send(msg, self._goal_arrived)
 
     def post_to_neighbors(self, src: int, kind: str, value: float) -> None:
         """Broadcast a one-word strategy datum (e.g. GM proximity)."""
@@ -333,43 +400,63 @@ class Machine:
     # ------------------------------------------------------------------
 
     def load_changed(self, pe: int) -> None:
-        """``pe``'s load measure may have changed; propagate per config."""
-        self.strategy.on_load_changed(pe)
-        mode = self.config.load_info
-        if mode in ("instant", "periodic", "piggyback"):
-            # instant reads live; periodic has its own broadcaster;
-            # piggyback only rides on regular traffic (send_goal /
-            # _forward_response attach the word).
+        """``pe``'s load measure may have changed; propagate per config.
+
+        Runs on every queue push/pop — the quiet modes (instant reads
+        live; periodic has its own broadcaster; piggyback only rides on
+        regular traffic) exit on one precomputed flag test.
+        """
+        hook = self._on_load_changed
+        if hook is not None:
+            hook(pe)
+        if not self._posting:
             return
-        value = self.load_of(pe)
+        value = self.load_fn(self.pes[pe])
         if value == self._last_posted[pe]:
             return
         self._last_posted[pe] = value
-        if mode == "on_change":
+        if self._post_on_change:
             self.stats.control_words_sent += 1
-            self.engine.schedule(
-                self.config.load_info_delay, self._apply_load_word, (pe, value)
+            # Inlined Engine.after: one belief-update event per queue
+            # change is the second most common heap entry in a run.
+            engine = self.engine
+            engine._seq += 1
+            heappush(
+                engine._heap,
+                [
+                    engine.now + self.config.load_info_delay,
+                    10,
+                    engine._seq,
+                    self._apply_load_word,
+                    (pe, value),
+                ],
             )
         else:  # "channel"
             self._channel_broadcast(pe, LoadUpdate(pe, -1, value))
 
     def _apply_load_word(self, payload: tuple[int, float]) -> None:
         pe, value = payload
-        nbrs = self.topology.neighbors(pe)
-        self._known_loads[list(nbrs), pe] = value
+        known = self._known_loads
+        for nb in self.topology.neighbors(pe):
+            known[nb][pe] = value
+
+    def _broadcast_loads(self) -> None:
+        """One periodic tick posting every changed PE load (``"periodic"``)."""
+        delay = self.config.load_info_delay
+        engine = self.engine
+        for pe in range(self.topology.n):
+            value = self.load_of(pe)
+            if value != self._last_posted[pe]:
+                self._last_posted[pe] = value
+                self.stats.control_words_sent += 1
+                engine.after(delay, self._apply_load_word, (pe, value))
 
     def _periodic_load_broadcaster(self):
-        """One global process posting every PE's load each interval."""
+        """Generator twin of :meth:`_broadcast_loads` (process kernel)."""
         interval = self.config.load_info_interval
-        delay = self.config.load_info_delay
         while True:
             yield hold(interval)
-            for pe in range(self.topology.n):
-                value = self.load_of(pe)
-                if value != self._last_posted[pe]:
-                    self._last_posted[pe] = value
-                    self.stats.control_words_sent += 1
-                    self.engine.schedule(delay, self._apply_load_word, (pe, value))
+            self._broadcast_loads()
 
     # ------------------------------------------------------------------
     # Word transport (strategy control data)
@@ -394,7 +481,7 @@ class Machine:
         self.stats.control_words_sent += len(targets)
         delay = 0.0 if mode == "instant" else self.config.load_info_delay
         if delay > 0:
-            self.engine.schedule(delay, self._apply_word, (targets, src, kind, value))
+            self.engine.after(delay, self._apply_word, (targets, src, kind, value))
         else:
             self._apply_word((targets, src, kind, value))
 
@@ -412,7 +499,7 @@ class Machine:
 
     def _word_heard(self, member: int, msg: Message) -> None:
         if type(msg) is LoadUpdate:
-            self._known_loads[member, msg.src] = msg.load
+            self._known_loads[member][msg.src] = msg.load
         else:
             self.strategy.on_word(member, msg.src, msg.word_kind, msg.value)
 
@@ -435,12 +522,12 @@ class Machine:
 
     def _absorb_piggyback(self, observer: int, subject: int, load: float) -> None:
         self.stats.piggybacked_words += 1
-        self._known_loads[observer, subject] = load
+        self._known_loads[observer][subject] = load
 
     def _forward_response(self, cur: int, msg: ResponseMessage) -> None:
         nxt = self.topology.next_hop(cur, msg.final_dst)
         msg.src, msg.dst = cur, nxt
-        if self.config.load_info == "piggyback":
+        if self._piggyback:
             msg.load_word = self.load_of(cur)
         self.stats.response_messages_sent += 1
         self._pick_channel(cur, nxt).send(msg, self._response_arrived)
@@ -458,18 +545,24 @@ class Machine:
     # Sampling
     # ------------------------------------------------------------------
 
-    def _sampler(self):
+    def _sample(self) -> None:
+        """One utilization sample (the tick body on the callback kernel)."""
         cfg = self.config
         interval = cfg.sample_interval
         n = self.topology.n
-        prev = np.zeros(n)
+        now = self.engine.now
+        cur = np.array([pe.effective_busy(now) for pe in self.pes])
+        delta = cur - self._sample_prev
+        self._sample_prev = cur
+        per_pe = tuple(delta / interval) if cfg.sample_per_pe else None
+        self.stats.samples.append(
+            UtilizationSample(now, float(delta.sum()) / (n * interval), per_pe)
+        )
+
+    def _sampler(self):
+        """Generator twin of :meth:`_sample` (process kernel)."""
+        interval = self.config.sample_interval
+        self._sample_prev = np.zeros(self.topology.n)
         while True:
             yield hold(interval)
-            now = self.engine.now
-            cur = np.array([pe.effective_busy(now) for pe in self.pes])
-            delta = cur - prev
-            prev = cur
-            per_pe = tuple(delta / interval) if cfg.sample_per_pe else None
-            self.stats.samples.append(
-                UtilizationSample(now, float(delta.sum()) / (n * interval), per_pe)
-            )
+            self._sample()

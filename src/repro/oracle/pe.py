@@ -1,10 +1,28 @@
 """The processing element (PE) model.
 
-Each PE owns a FIFO work queue and a single executor process — ORACLE's
-"one process for each user process running on a PE".  Work items are
-either :class:`~repro.workload.base.Goal` objects awaiting their first
+Each PE owns a FIFO work queue and a single executor — ORACLE's "one
+process for each user process running on a PE".  Work items are either
+:class:`~repro.workload.base.Goal` objects awaiting their first
 execution, or :class:`CombineItem` continuations of suspended tasks whose
 last child response just arrived.
+
+The executor is a two-state callback machine driven directly by the
+event calendar (the same treatment :mod:`~repro.oracle.channel` got):
+
+* ``_dispatch`` fires when a parked executor is woken (or at t=0 when it
+  first starts) and begins the next work burst;
+* ``_burst_done`` fires when the current burst's charged time elapses,
+  performs the item's completion actions (respond / spawn children /
+  combine), and chains straight into the next burst without leaving the
+  event.
+
+This is bit-for-bit equivalent to the seed's generator process — same
+heap entries, same sequence numbers, same event count — but drops the
+two generator frames (`_executor` + `_work`), the command tuple, and the
+``Process._step`` dispatch that every burst used to pay.  The generator
+implementation survives as ``_executor`` and is selected by
+:func:`~repro.oracle.engine.use_process_kernel` so the golden tests can
+prove the equivalence.
 
 The paper's load measure: "We simply count all the messages waiting to be
 processed as 'load'" — i.e. the queue length, goals and continuations
@@ -21,6 +39,7 @@ Gradient Model removes them via :meth:`PE.take_shippable_goal`.
 
 from __future__ import annotations
 
+from heapq import heappush
 from collections import deque
 from typing import TYPE_CHECKING, Any
 
@@ -32,12 +51,19 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
 
 __all__ = ["CombineItem", "PE", "TaskRecord"]
 
+#: Sentinel marking a child slot whose response has not arrived yet.
+#: ``None`` is a perfectly legitimate child *value* (a leaf returning
+#: nothing), so duplicate detection must not key on it.
+_PENDING = object()
+
 
 class TaskRecord:
     """A task suspended awaiting responses — pinned to its PE.
 
     ``values`` is ordered by child position so ``Program.combine`` sees
-    children in spawn order regardless of response arrival order.
+    children in spawn order regardless of response arrival order.  Unfilled
+    slots hold a private sentinel (never ``None``: a child's value may
+    legitimately be ``None``).
     """
 
     __slots__ = (
@@ -67,7 +93,7 @@ class TaskRecord:
         self.parent_task = parent_task
         self.child_index = child_index
         self.pending = n_children
-        self.values: list[Any] = [None] * n_children
+        self.values: list[Any] = [_PENDING] * n_children
         self.combine_mult = combine_mult
 
 
@@ -96,6 +122,14 @@ class PE:
         "_next_task_id",
         "_hold_end",
         "speed",
+        "_parked",
+        "_item",
+        "_expansion",
+        "_engine",
+        "_costs",
+        "_program",
+        "_stats",
+        "_fifo",
     )
 
     def __init__(self, index: int, machine: "Machine", speed: float = 1.0) -> None:
@@ -117,7 +151,26 @@ class PE:
         #: lets effective_busy() report accrual-correct utilization while
         #: a hold is still in progress (the time-series sampler needs it).
         self._hold_end = 0.0
-        self.proc = machine.engine.process(self._executor(), name=f"pe{index}")
+        # Hot-path caches: one attribute load instead of three per burst.
+        self._engine = machine.engine
+        self._costs = machine.config.costs
+        self._program = machine.program
+        self._stats = machine.stats
+        self._fifo = machine.config.queue_discipline == "fifo"
+        #: True when the executor has drained its queue and needs a wake
+        #: event (the callback twin of ``Process.asleep``); False while a
+        #: startup/wake event is pending or a burst is in flight.
+        self._parked = False
+        #: the in-flight work item and (for goals) its expansion, carried
+        #: from burst start to ``_burst_done``
+        self._item: Goal | CombineItem | None = None
+        self._expansion: Any = None
+        if machine.process_kernel:
+            self.proc = machine.engine.process(self._executor(), name=f"pe{index}")
+        else:
+            #: legacy generator process, or None on the callback kernel
+            self.proc = None
+            machine.engine.after(0.0, self._dispatch)
 
     def effective_busy(self, now: float) -> float:
         """Busy time accrued up to ``now`` (mid-burst work counts pro rata)."""
@@ -138,10 +191,13 @@ class PE:
         self.queue.append(item)
         if self.idle:
             self.idle = False
-            # The executor may not have passivated yet (work arriving at
-            # t=0, before its first step): it will then find the queue
-            # non-empty on its own; only a passivated process needs a kick.
-            if self.proc.asleep:
+            if self.proc is None:
+                # Only a parked executor needs a kick; at t=0 (before its
+                # startup event fires) it will find the queue on its own.
+                if self._parked:
+                    self._parked = False
+                    self._engine.after(0.0, self._dispatch)
+            elif self.proc.asleep:
                 self.proc.activate()
         self.machine.load_changed(self.index)
 
@@ -162,15 +218,120 @@ class PE:
                 return goal  # type: ignore[return-value]
         return None
 
-    # -- executor ---------------------------------------------------------------
+    # -- callback executor -------------------------------------------------------
 
-    def _work(self, duration: float):
-        """Charge ``duration`` of compute and hold for it (speed-scaled).
+    def _dispatch(self, _payload: Any = None) -> None:
+        """Startup / wake event: begin the next burst or park.
+
+        The wake can be spurious: between ``push()`` scheduling it and it
+        firing, a strategy may have shipped the queued goal elsewhere
+        (``take_shippable_goal``), so an empty queue here re-parks — the
+        exact shape of the generator's inner drain loop.
+        """
+        if self.queue:
+            self._begin_burst()
+            return
+        self.idle = True
+        self.machine.pe_went_idle(self.index)
+        if self.queue:
+            # The idle hook attracted work synchronously; start it rather
+            # than park (the generator kernel would lose this wakeup).
+            self._begin_burst()
+        else:
+            self._parked = True
+
+    def _begin_burst(self) -> None:
+        """Pop one item, charge its compute time, arm ``_burst_done``.
 
         ``busy_time`` records wall-clock busy time, so utilization stays
         a wall-clock fraction on heterogeneous machines (a fast PE doing
         the same work is busy for less time).
         """
+        item = self.queue.popleft() if self._fifo else self.queue.pop()
+        machine = self.machine
+        machine.load_changed(self.index)
+        costs = self._costs
+        if type(item) is Goal:
+            self._stats.record_goal_start(self.index, item)
+            self.goals_executed += 1
+            expansion = self._program.expand(item.payload)
+            if type(expansion) is Leaf:
+                duration = costs.leaf_work * expansion.work
+            else:
+                duration = costs.split_work * expansion.work
+            self._expansion = expansion
+        else:  # CombineItem
+            duration = costs.combine_work * item.task.combine_mult
+            self._expansion = None
+        self._item = item
+        duration /= self.speed
+        self.busy_time += duration
+        engine = self._engine
+        end = engine.now + duration
+        self._hold_end = end
+        engine._seq += 1
+        heappush(engine._heap, [end, 10, engine._seq, self._burst_done, None])
+
+    def _burst_done(self, _payload: Any = None) -> None:
+        """The burst's charged time elapsed: complete the item, chain on."""
+        item = self._item
+        expansion = self._expansion
+        machine = self.machine
+        if expansion is None:  # CombineItem
+            task = item.task
+            value = self._program.combine(task.payload, task.values)
+            del self.tasks[task.task_id]
+            machine.respond(
+                self.index, task.parent_pe, task.parent_task, task.child_index, value
+            )
+        elif type(expansion) is Leaf:
+            machine.respond(
+                self.index,
+                item.parent_pe,
+                item.parent_task,
+                item.child_index,
+                expansion.value,
+            )
+        else:
+            task = TaskRecord(
+                self._next_task_id,
+                item.payload,
+                item.parent_pe,
+                item.parent_task,
+                item.child_index,
+                len(expansion.children),
+                expansion.combine_work,
+            )
+            self._next_task_id += 1
+            self.tasks[task.task_id] = task
+            self.pending_tasks += 1
+            machine.load_changed(self.index)
+            for child_index, child_payload in enumerate(expansion.children):
+                child = Goal(
+                    child_payload,
+                    parent_pe=self.index,
+                    parent_task=task.task_id,
+                    child_index=child_index,
+                    depth=item.depth + 1,
+                )
+                machine.goal_created(self.index, child)
+        # Chain into the next item within this same event — exactly the
+        # generator's loop, minus its resumption machinery.
+        if self.queue:
+            self._begin_burst()
+            return
+        self._item = self._expansion = None
+        self.idle = True
+        machine.pe_went_idle(self.index)
+        if self.queue:
+            self._begin_burst()
+        else:
+            self._parked = True
+
+    # -- legacy generator executor (process kernel; golden-test twin) ------------
+
+    def _work(self, duration: float):
+        """Charge ``duration`` of compute and hold for it (speed-scaled)."""
         duration /= self.speed
         self.busy_time += duration
         self._hold_end = self.machine.engine.now + duration
@@ -238,9 +399,14 @@ class PE:
     # -- response delivery ---------------------------------------------------------
 
     def deliver_response(self, task_id: int, child_index: int, value: Any) -> None:
-        """A child's result arrived; enqueue the combine when it's the last."""
+        """A child's result arrived; enqueue the combine when it's the last.
+
+        Duplicate detection keys on the slot's *fill state* (a private
+        sentinel), not its value: a workload whose leaf or combine
+        legitimately returns ``None`` must still trip the guard.
+        """
         task = self.tasks[task_id]
-        if task.values[child_index] is not None or task.pending <= 0:
+        if task.values[child_index] is not _PENDING or task.pending <= 0:
             raise RuntimeError(
                 f"duplicate response for task {task_id} child {child_index} on PE {self.index}"
             )
@@ -249,9 +415,6 @@ class PE:
         if task.pending == 0:
             self.pending_tasks -= 1
             self.push(CombineItem(task))
-        else:
-            # pending_tasks unchanged but queue length untouched: no load event
-            pass
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -43,8 +43,10 @@ class StatsCollector:
         self.goals_created = 0
         self.goals_started = 0
         #: time each PE first started executing a goal (NaN = never) —
-        #: the "work front": how fast the strategy involves the machine
-        self.first_goal_time = np.full(n_pes, np.nan)
+        #: the "work front": how fast the strategy involves the machine.
+        #: A plain list while collecting (single-cell updates on the goal
+        #: hot path); the machine converts to an array when reporting.
+        self.first_goal_time: list[float] = [float("nan")] * n_pes
         self._clock = lambda: 0.0  # injected by the machine
         #: goal-message channel transfers (paper's communication volume)
         self.goal_messages_sent = 0
@@ -63,11 +65,13 @@ class StatsCollector:
 
     def record_goal_start(self, pe: int, goal: Any) -> None:
         self.goals_started += 1
-        if np.isnan(self.first_goal_time[pe]):
-            self.first_goal_time[pe] = self._clock()
+        first = self.first_goal_time
+        if first[pe] != first[pe]:  # NaN check without a numpy round-trip
+            first[pe] = self._clock()
         if self.trace_hops:
             h = goal.hops
-            self.hop_histogram[h] = self.hop_histogram.get(h, 0) + 1
+            hist = self.hop_histogram
+            hist[h] = hist.get(h, 0) + 1
 
 
 def hop_mean(histogram: dict[int, int]) -> float:

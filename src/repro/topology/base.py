@@ -18,8 +18,10 @@ A topology describes the machine's communication structure two ways:
 
 Routing uses hop-count shortest paths (BFS over the neighbor relation)
 with deterministic lowest-index tie-breaking, so simulations are exactly
-reproducible.  Distance/next-hop tables are computed lazily and cached —
-a 400-PE machine needs a 400x400 uint16 matrix, i.e. nothing.
+reproducible.  Distance/next-hop tables are computed lazily and memoized
+**by neighbor structure** across instances: experiment sweeps construct
+the same topology object for every one of thousands of runs, and the
+table build is the dominant machine-construction cost.
 """
 
 from __future__ import annotations
@@ -27,9 +29,10 @@ from __future__ import annotations
 from collections import deque
 from functools import cached_property
 
-import numpy as np
-
 __all__ = ["Topology"]
+
+#: (distance, next-hop) tables keyed by the exact neighbor relation.
+_ROUTING_MEMO: dict[tuple, tuple[list[list[int]], list[list[int]]]] = {}
 
 
 class Topology:
@@ -106,13 +109,39 @@ class Topology:
         return self._pair_channels[(a, b)]
 
     @cached_property
-    def _distance_matrix(self) -> np.ndarray:
-        """All-pairs hop distances via BFS from every node (uint16)."""
+    def _distance_matrix(self) -> list[list[int]]:
+        """All-pairs hop distances via BFS from every node.
+
+        Plain nested lists: ``distance()``/``next_hop()`` are single-cell
+        reads on the response-routing hot path, where numpy scalar
+        indexing costs ~5x a list index.  Shared across instances via the
+        structural memo — sweeps rebuild the same topology for every run,
+        and the BFS + next-hop sweep is the dominant construction cost.
+        """
+        return self._routing[0]
+
+    @cached_property
+    def _next_hop(self) -> list[list[int]]:
+        """``next_hop[src][dst]`` = lowest-index neighbor on a shortest path."""
+        return self._routing[1]
+
+    @cached_property
+    def _routing(self) -> tuple[list[list[int]], list[list[int]]]:
+        key = tuple(self._neighbors)
+        cached = _ROUTING_MEMO.get(key)
+        if cached is None:
+            if len(_ROUTING_MEMO) >= 64:  # sweeps touch a handful of shapes
+                _ROUTING_MEMO.clear()
+            cached = _ROUTING_MEMO[key] = self._compute_routing()
+        return cached
+
+    def _compute_routing(self) -> tuple[list[list[int]], list[list[int]]]:
         n = self.n
-        dist = np.full((n, n), np.iinfo(np.uint16).max, dtype=np.uint16)
         nbrs = self._neighbors
+        unreached = n  # any real distance is < n
+        dist: list[list[int]] = []
         for src in range(n):
-            row = dist[src]
+            row = [unreached] * n
             row[src] = 0
             q = deque([src])
             while q:
@@ -122,38 +151,34 @@ class Topology:
                     if du < row[v]:
                         row[v] = du
                         q.append(v)
-        if dist.max() == np.iinfo(np.uint16).max:
-            raise ValueError(f"{self.name} is not connected")
-        return dist
-
-    @cached_property
-    def _next_hop(self) -> np.ndarray:
-        """``next_hop[src, dst]`` = lowest-index neighbor on a shortest path."""
-        n = self.n
-        dist = self._distance_matrix
-        table = np.zeros((n, n), dtype=np.int32)
+            if unreached in row:
+                raise ValueError(f"{self.name} is not connected")
+            dist.append(row)
+        table: list[list[int]] = []
         for src in range(n):
             drow = dist[src]
+            trow = [0] * n
             for dst in range(n):
                 if dst == src:
-                    table[src, dst] = src
+                    trow[dst] = src
                     continue
                 want = drow[dst] - 1
                 # neighbors are in ascending order: first match is the
                 # deterministic lowest-index choice.
-                for nb in self._neighbors[src]:
-                    if dist[nb, dst] == want:
-                        table[src, dst] = nb
+                for nb in nbrs[src]:
+                    if dist[nb][dst] == want:
+                        trow[dst] = nb
                         break
-        return table
+            table.append(trow)
+        return dist, table
 
     def distance(self, a: int, b: int) -> int:
         """Hop-count distance between ``a`` and ``b``."""
-        return int(self._distance_matrix[a, b])
+        return self._distance_matrix[a][b]
 
     def next_hop(self, src: int, dst: int) -> int:
         """The neighbor ``src`` should forward to, to reach ``dst``."""
-        return int(self._next_hop[src, dst])
+        return self._next_hop[src][dst]
 
     def shortest_path(self, src: int, dst: int) -> list[int]:
         """Full PE sequence from ``src`` to ``dst`` inclusive."""
@@ -167,13 +192,13 @@ class Topology:
     @cached_property
     def diameter(self) -> int:
         """Maximum shortest-path distance over all PE pairs."""
-        return int(self._distance_matrix.max())
+        return max(max(row) for row in self._distance_matrix)
 
     @cached_property
     def mean_distance(self) -> float:
         """Mean pairwise hop distance (excluding self-pairs)."""
         n = self.n
-        total = float(self._distance_matrix.sum())
+        total = float(sum(sum(row) for row in self._distance_matrix))
         return total / (n * (n - 1)) if n > 1 else 0.0
 
     # -- presentation -----------------------------------------------------------

@@ -79,7 +79,66 @@ class TestStatistics:
         engine.run()
         assert ch.utilization(8.0) == 0.5
         assert ch.utilization(0.0) == 0.0
-        assert ch.utilization(2.0) == 1.0  # clamped
+        assert ch.utilization(2.0) == 1.0  # mid-transfer: 2 of 4 accrued
+
+    def test_effective_busy_accrues_pro_rata(self):
+        """Regression: busy_time charges the full transfer up front, so a
+        transfer still in flight used to overcount — hidden by the
+        utilization clamp.  effective_busy() is the accrual-correct read."""
+        engine, ch = make_channel()
+        ch.send(Message(0, 1, size_words=10), lambda m: None)
+        engine.run(until=4.0)
+        assert ch.busy_time == 10.0  # charged up front
+        assert ch.effective_busy(4.0) == 4.0
+        assert ch.effective_busy(10.0) == 10.0
+        assert ch.effective_busy(50.0) == 10.0
+
+    def test_utilization_correct_with_idle_gap_and_inflight_tail(self):
+        """Transfer 0-10, idle 10-15, transfer 15-25: at t=18 the naive
+        busy_time/elapsed reading is 20/18 > 1 (formerly clamped to 1.0);
+        the accrual-correct value is 13/18."""
+        engine, ch = make_channel()
+        ch.send(Message(0, 1, size_words=10), lambda m: None)
+        engine.schedule(
+            15.0, lambda _p: ch.send(Message(0, 1, size_words=10), lambda m: None)
+        )
+        engine.run(until=18.0)
+        assert ch.busy_time == 20.0
+        assert ch.effective_busy(18.0) == 13.0
+        assert ch.utilization(18.0) == 13.0 / 18.0
+
+
+class TestMachineChannelAccounting:
+    def test_reported_busy_time_excludes_inflight_tail(self):
+        """End-to-end regression: a run that stops with transfers still in
+        flight must not report more channel busy time than elapsed time."""
+        from repro.core import CWN
+        from repro.oracle.config import SimConfig
+        from repro.oracle.machine import Machine
+        from repro.topology import Grid
+        from repro.workload import Fibonacci
+
+        # Channel-borne load words with transfers slower than a combine
+        # burst guarantee broadcasts are still on the wire when the root
+        # response lands.
+        machine = Machine(
+            Grid(4, 4),
+            Fibonacci(8),
+            CWN(radius=4, horizon=1),
+            SimConfig(
+                seed=3,
+                load_info="channel",
+                costs=CostModel(word_time=30.0, hop_overhead=30.0),
+            ),
+        )
+        res = machine.run()
+        assert (res.channel_busy_time <= res.completion_time + 1e-9).all()
+        # The scenario is real: some channel was mid-transfer at stop, so
+        # its raw charge exceeds what the result reports.
+        inflight = [ch for ch in machine.channels if ch.busy]
+        assert inflight, "expected transfers in flight at completion"
+        for ch in inflight:
+            assert ch.busy_time > res.channel_busy_time[ch.cid]
 
 
 class TestBroadcast:

@@ -10,6 +10,8 @@ from repro.oracle.engine import (
     SimulationError,
     hold,
     passivate,
+    process_kernel_active,
+    use_process_kernel,
     waitevent,
 )
 
@@ -158,6 +160,40 @@ class TestRunControl:
             engine.schedule(1.0, lambda _: None)
         engine.run()
         assert engine.events_executed == 5
+
+    def test_step_respects_stop(self):
+        """Regression: step() used to bypass the sticky stopped flag and
+        silently keep executing a finished simulation."""
+        engine = Engine()
+        log = []
+        engine.schedule(1.0, lambda _: log.append("a"))
+        engine.schedule(2.0, lambda _: log.append("b"))
+        assert engine.step() is True
+        engine.stop()
+        assert engine.step() is False
+        assert log == ["a"]
+        assert engine.pending == 1  # the event survives, it just won't run
+
+    def test_step_respects_max_events(self):
+        """Regression: step() used to bypass the runaway-model guard."""
+        engine = Engine()
+        engine.max_events = 2
+        for _ in range(5):
+            engine.schedule(1.0, lambda _: None)
+        assert engine.step() is True
+        assert engine.step() is True
+        with pytest.raises(SimulationError, match="event limit"):
+            engine.step()
+
+    def test_step_and_run_share_the_limit(self):
+        engine = Engine()
+        engine.max_events = 3
+        for _ in range(5):
+            engine.schedule(1.0, lambda _: None)
+        assert engine.step() is True
+        with pytest.raises(SimulationError, match="event limit"):
+            engine.run()
+        assert engine.events_executed == 4  # 1 stepped + 2 run + the overrun
 
 
 class TestProcesses:
@@ -346,3 +382,105 @@ class TestProcesses:
         engine.process(proc())
         with pytest.raises(SimulationError, match="unknown process command"):
             engine.run()
+
+
+class TestAfter:
+    def test_after_matches_schedule(self):
+        engine = Engine()
+        log = []
+        engine.after(2.0, lambda _: log.append(("fast", engine.now)))
+        engine.schedule(1.0, lambda _: log.append(("checked", engine.now)))
+        engine.run()
+        assert log == [("checked", 1.0), ("fast", 2.0)]
+
+    def test_after_passes_payload_and_priority(self):
+        engine = Engine()
+        log = []
+        engine.after(1.0, log.append, payload="lo", priority=20)
+        engine.after(1.0, log.append, payload="hi", priority=1)
+        engine.run()
+        assert log == ["hi", "lo"]
+
+
+class TestTick:
+    def test_fires_at_offset_then_every_interval(self):
+        engine = Engine()
+        times = []
+        engine.tick(10.0, lambda: times.append(engine.now), offset=3.0)
+        engine.schedule(35.0, lambda _: engine.stop())
+        engine.run()
+        assert times == [3.0, 13.0, 23.0, 33.0]
+
+    def test_skip_first_emulates_hold_first_processes(self):
+        """skip_first=True is the shape of `while True: yield hold(i); body`:
+        a priming event at the offset, first body one interval later."""
+        engine = Engine()
+        times = []
+        engine.tick(10.0, lambda: times.append(engine.now), skip_first=True)
+        engine.schedule(25.0, lambda _: engine.stop())
+        engine.run()
+        assert times == [10.0, 20.0]
+
+    def test_reuses_one_heap_entry(self):
+        engine = Engine()
+        tick = engine.tick(5.0, lambda: None)
+        entry = tick._entry
+        for _ in range(4):
+            assert engine.pending == 1
+            engine.step()
+            assert tick._entry is entry, "the tick must recycle its entry"
+
+    def test_stop_cancels_future_firings(self):
+        engine = Engine()
+        times = []
+        tick = engine.tick(5.0, lambda: times.append(engine.now))
+        engine.schedule(12.0, lambda _: tick.stop())
+        engine.run()
+        assert times == [0.0, 5.0, 10.0]
+        assert engine.pending == 0
+
+    def test_tick_matches_generator_event_sequence(self):
+        """Bit-parity witness: a tick and the equivalent generator process
+        produce identical (time, seq-order) interleavings — including
+        events scheduled *by* the body sorting before the next firing."""
+
+        def trace(engine, register):
+            log = []
+
+            def body():
+                log.append(("body", engine.now))
+                engine.schedule(0.0, lambda _: log.append(("side", engine.now)))
+
+            register(engine, body)
+            engine.schedule(22.0, lambda _: engine.stop())
+            engine.run()
+            return log
+
+        def with_tick(engine, body):
+            engine.tick(10.0, body, offset=1.0)
+
+        def with_process(engine, body):
+            def proc():
+                while True:
+                    body()
+                    yield hold(10.0)
+
+            engine.process(proc(), delay=1.0)
+
+        assert trace(Engine(), with_tick) == trace(Engine(), with_process)
+
+    def test_validation(self):
+        engine = Engine()
+        with pytest.raises(SimulationError, match="interval"):
+            engine.tick(0.0, lambda: None)
+        with pytest.raises(SimulationError, match="past"):
+            engine.tick(1.0, lambda: None, offset=-1.0)
+
+    def test_process_kernel_switch_scopes_and_restores(self):
+        assert not process_kernel_active()
+        with use_process_kernel():
+            assert process_kernel_active()
+            with use_process_kernel(False):
+                assert not process_kernel_active()
+            assert process_kernel_active()
+        assert not process_kernel_active()

@@ -1,0 +1,152 @@
+"""Golden equivalence: callback kernel vs the seed's generator kernel.
+
+The PR 3 hot-path overhaul replaced every generator process on the
+Table-2 path — PE executors, the utilization sampler, the periodic load
+broadcaster, GM/diffusion wakeups, the central dispatcher — with direct
+event callbacks and engine ticks.  The contract is **bit-for-bit
+identity**: same heap entries, same sequence numbers, same event count,
+same RNG consumption, hence a byte-identical :class:`SimResult`.
+
+These tests prove it by running every strategy family on a reduced
+Table-2 slice under both kernels (the generator implementations survive
+behind :func:`~repro.oracle.engine.use_process_kernel`) and comparing
+*every* result field — including ``events_executed``, the most fragile
+witness of event-sequence identity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CWN,
+    AdaptiveCWN,
+    BatchGradient,
+    Bidding,
+    CentralScheduler,
+    Diffusion,
+    EventGradient,
+    GradientModel,
+    KeepLocal,
+    RandomPlacement,
+    RandomWalk,
+    RoundRobin,
+    Symmetric,
+    ThresholdRandom,
+    WorkStealing,
+    paper_cwn,
+    paper_gm,
+)
+from repro.oracle.config import SimConfig
+from repro.oracle.engine import process_kernel_active, use_process_kernel
+from repro.oracle.machine import Machine
+from repro.topology import DoubleLatticeMesh, Grid
+from repro.workload import DivideConquer, Fibonacci
+
+
+def run_both(make_strategy, topology_factory, program, config):
+    """One run per kernel; fresh machine + strategy + topology each."""
+    callback = Machine(topology_factory(), program, make_strategy(), config).run()
+    with use_process_kernel():
+        assert process_kernel_active()
+        legacy = Machine(topology_factory(), program, make_strategy(), config).run()
+    assert not process_kernel_active()
+    return callback, legacy
+
+
+def assert_bit_identical(a, b):
+    """Every SimResult field equal — floats by exact equality, not approx."""
+    for field in (
+        "strategy",
+        "topology",
+        "workload",
+        "n_pes",
+        "completion_time",
+        "result_value",
+        "total_goals",
+        "sequential_work",
+        "hop_histogram",
+        "goal_messages_sent",
+        "response_messages_sent",
+        "responses_routed",
+        "response_hops",
+        "control_words_sent",
+        "samples",
+        "events_executed",
+        "seed",
+        "piggybacked_words",
+        "params",
+        "query_completions",
+        "query_arrivals",
+    ):
+        assert getattr(a, field) == getattr(b, field), field
+    for field in ("busy_time", "goals_per_pe", "channel_busy_time", "channel_messages"):
+        assert np.array_equal(getattr(a, field), getattr(b, field)), field
+    assert np.array_equal(a.first_goal_time, b.first_goal_time, equal_nan=True)
+
+
+#: every strategy family in the zoo, default-parameterized small
+ALL_STRATEGIES = [
+    ("cwn", lambda: CWN(radius=4, horizon=1)),
+    ("acwn", lambda: AdaptiveCWN(radius=4, horizon=1)),
+    ("gm", lambda: GradientModel()),
+    ("gm-event", lambda: EventGradient()),
+    ("gm-batch", lambda: BatchGradient()),
+    ("diffusion", lambda: Diffusion()),
+    ("central", lambda: CentralScheduler()),
+    ("stealing", lambda: WorkStealing()),
+    ("symmetric", lambda: Symmetric()),
+    ("bidding", lambda: Bidding()),
+    ("randomwalk", lambda: RandomWalk()),
+    ("threshold", lambda: ThresholdRandom()),
+    ("keep-local", lambda: KeepLocal()),
+    ("random", lambda: RandomPlacement()),
+    ("round-robin", lambda: RoundRobin()),
+]
+
+
+class TestAllStrategiesGolden:
+    @pytest.mark.parametrize("name,make", ALL_STRATEGIES, ids=[n for n, _ in ALL_STRATEGIES])
+    def test_grid_fib_slice(self, name, make):
+        a, b = run_both(make, lambda: Grid(4, 4), Fibonacci(9), SimConfig(seed=3))
+        assert_bit_identical(a, b)
+        assert a.result_value == Fibonacci(9).expected_result()
+
+
+class TestTable2SliceGolden:
+    """The paper's two schemes on both topology families, both workloads."""
+
+    @pytest.mark.parametrize("family", ["grid", "dlm"])
+    @pytest.mark.parametrize("kind", ["fib", "dc"])
+    def test_paper_pair(self, family, kind):
+        topo = (lambda: Grid(4, 4)) if family == "grid" else (
+            lambda: DoubleLatticeMesh(4, 4, 4)
+        )
+        program = Fibonacci(9) if kind == "fib" else DivideConquer(1, 21)
+        for build in (paper_cwn, paper_gm):
+            a, b = run_both(lambda: build(family), topo, program, SimConfig(seed=1))
+            assert_bit_identical(a, b)
+
+    def test_sampler_and_periodic_load_info(self):
+        """Engine ticks (sampler, loadcast) vs the seed's processes."""
+        cfg = SimConfig(seed=5, sample_interval=25.0, sample_per_pe=True,
+                        load_info="periodic")
+        a, b = run_both(lambda: paper_cwn("grid"), lambda: Grid(4, 4),
+                        Fibonacci(9), cfg)
+        assert_bit_identical(a, b)
+        assert len(a.samples) >= 2
+
+    def test_open_system_stream(self):
+        """Multi-query arrivals exercise injection + per-query completion."""
+        for make in (lambda: paper_cwn("grid"), lambda: CentralScheduler()):
+            callback = Machine(
+                Grid(4, 4), Fibonacci(8), make(), SimConfig(seed=2),
+                queries=3, arrival_spacing=40.0,
+            ).run()
+            with use_process_kernel():
+                legacy = Machine(
+                    Grid(4, 4), Fibonacci(8), make(), SimConfig(seed=2),
+                    queries=3, arrival_spacing=40.0,
+                ).run()
+            assert_bit_identical(callback, legacy)

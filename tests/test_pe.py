@@ -10,6 +10,7 @@ from repro.oracle.machine import Machine
 from repro.oracle.pe import CombineItem, TaskRecord
 from repro.topology import Complete
 from repro.workload import Fibonacci, Goal
+from repro.workload.base import Leaf, Program, Split
 
 
 @pytest.fixture
@@ -96,6 +97,61 @@ class TestTaskRecord:
     def test_unknown_task_raises(self, idle_machine):
         with pytest.raises(KeyError):
             idle_machine.pes[0].deliver_response(99, 0, 1)
+
+    def test_duplicate_none_response_rejected(self, idle_machine):
+        """Regression: the guard used to key on `values[i] is not None`,
+        so a child legitimately returning None defeated duplicate
+        detection (the duplicate silently double-decremented pending)."""
+        pe = idle_machine.pes[0]
+        task = TaskRecord(7, 5, None, -1, 0, 2, 1.0)
+        pe.tasks[7] = task
+        pe.pending_tasks = 1
+        pe.deliver_response(7, 0, None)
+        with pytest.raises(RuntimeError, match="duplicate"):
+            pe.deliver_response(7, 0, None)
+        assert task.pending == 1  # the duplicate must not consume a slot
+        pe.deliver_response(7, 1, None)
+        assert task.values == [None, None]
+        assert task.pending == 0
+
+
+class _NoneValued(Program):
+    """A side-effect-style workload: every leaf and combine returns None."""
+
+    name = "none-valued"
+
+    def __init__(self, depth: int) -> None:
+        self.depth = depth
+
+    def root_payload(self):
+        return self.depth
+
+    def expand(self, payload):
+        if payload == 0:
+            return Leaf(None)
+        return Split((payload - 1, payload - 1))
+
+    def combine(self, payload, values):
+        assert values == [None, None]
+        return None
+
+    def sequential_work(self, costs) -> float:
+        leaves = 2 ** self.depth
+        splits = leaves - 1
+        return (
+            leaves * costs.leaf_work
+            + splits * (costs.split_work + costs.combine_work)
+        )
+
+
+class TestNoneValuedWorkload:
+    def test_runs_to_completion_with_duplicate_guard_intact(self, fast_config):
+        """None-returning programs exercise every combine slot with the
+        value the old guard treated as 'not yet delivered'."""
+        res = Machine(Complete(4), _NoneValued(4), KeepLocal(), fast_config).run()
+        assert res.result_value is None
+        assert res.total_goals == 2 ** 5 - 1
+        assert res.busy_time.sum() == pytest.approx(res.sequential_work)
 
 
 class TestBusyAccounting:
