@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""CI smoke: 4096-PE machines must build fast and simulate lean.
+
+Run as ``PYTHONPATH=src python scripts/large_machine_smoke.py``.  Fails
+(non-zero exit) if
+
+* wiring a full Machine around ``Grid(64, 64)`` or ``Hypercube(12)``
+  exceeds the construction budget (the old tabulated-routing + dense
+  belief representation spent ~6 s on the grid's BFS alone), or
+* a short CWN run on either machine returns the wrong result, or
+* peak RSS for the whole exercise exceeds the memory budget (the dense
+  N x N belief matrix alone was >= 100 MB per machine at this size).
+"""
+
+from __future__ import annotations
+
+import resource
+import sys
+import time
+
+from repro.core import paper_cwn
+from repro.oracle.config import SimConfig
+from repro.oracle.machine import Machine
+from repro.topology import Grid, Hypercube
+from repro.workload import Fibonacci
+
+CONSTRUCTION_BUDGET_S = 1.0
+RSS_BUDGET_MB = 1024.0
+
+
+def check(topology) -> str:
+    start = time.perf_counter()
+    machine = Machine(
+        topology, Fibonacci(12), paper_cwn(topology.family), SimConfig(seed=1)
+    )
+    built = time.perf_counter() - start
+
+    start = time.perf_counter()
+    result = machine.run()
+    ran = time.perf_counter() - start
+
+    assert built < CONSTRUCTION_BUDGET_S, (
+        f"{topology.name}: construction took {built:.2f} s "
+        f"(budget {CONSTRUCTION_BUDGET_S} s)"
+    )
+    expected = Fibonacci(12).expected_result()
+    assert result.result_value == expected, (
+        f"{topology.name}: fib(12) = {result.result_value}, expected {expected}"
+    )
+    return (
+        f"{topology.name:16s} n={topology.n}  construction {built * 1000:7.1f} ms  "
+        f"cwn fib(12) run {ran * 1000:7.1f} ms  speedup {result.speedup:5.1f}"
+    )
+
+
+def main() -> int:
+    for topology in (Grid(64, 64), Hypercube(12)):
+        print(check(topology))
+    rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024
+    print(f"peak RSS {rss_mb:.0f} MB (budget {RSS_BUDGET_MB:.0f} MB)")
+    assert rss_mb < RSS_BUDGET_MB, f"peak RSS {rss_mb:.0f} MB over budget"
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

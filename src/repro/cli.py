@@ -10,6 +10,7 @@ Commands map one-to-one onto the experiment modules:
 * ``repro timeseries`` — utilization-vs-time traces (Plots 11-16);
 * ``repro hypercube`` — the Appendix I experiments;
 * ``repro scaling`` — CWN's edge vs machine size (the diameter conjecture);
+* ``repro large`` — the same conjecture on 1024-4096-PE machines;
 * ``repro grainsize`` — the medium-grain argument, measured;
 * ``repro stream`` — the open-system query-stream study;
 * ``repro zoo`` — every implemented strategy on one scenario;
@@ -88,6 +89,7 @@ def _build_parser() -> argparse.ArgumentParser:
         ("timeseries", "utilization vs time (Plots 11-16)"),
         ("hypercube", "Appendix I hypercube experiments"),
         ("scaling", "CWN's edge vs machine size (diameter conjecture)"),
+        ("large", "large-machine study: 1024-4096 PEs (grid/torus3d/hypercube)"),
         ("grainsize", "grain-size sweep (the medium-grain argument)"),
         ("stream", "open-system query-stream study"),
         ("zoo", "all strategies on one scenario"),
@@ -326,6 +328,19 @@ def _cmd_scaling(args: argparse.Namespace) -> None:
         )
 
 
+def _cmd_large(args: argparse.Namespace) -> None:
+    from .experiments.large_machines import render_large_machines, run_large_machines
+
+    with _farmed(args) as (jobs, cache):
+        print(
+            render_large_machines(
+                run_large_machines(
+                    full=args.full or None, seed=args.seed, jobs=jobs, cache=cache
+                )
+            )
+        )
+
+
 def _cmd_grainsize(args: argparse.Namespace) -> None:
     from .experiments.grainsize import render_grainsize, run_grainsize
 
@@ -434,6 +449,7 @@ _COMMANDS = {
     "timeseries": _cmd_timeseries,
     "hypercube": _cmd_hypercube,
     "scaling": _cmd_scaling,
+    "large": _cmd_large,
     "grainsize": _cmd_grainsize,
     "stream": _cmd_stream,
     "zoo": _cmd_zoo,

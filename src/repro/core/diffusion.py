@@ -81,8 +81,12 @@ class Diffusion(Strategy):
         my_load = machine.load_of(pe)
         if my_load < 2:  # keep at least the executing item's successor
             return
-        for nb in machine.neighbors(pe):
-            diff = my_load - machine.known_load(pe, nb)
+        nbrs = machine.neighbors(pe)
+        # One belief-row fetch up front: belief updates only ever arrive
+        # via later engine events, so prefetching cannot change behavior.
+        known = machine.known_loads_of(pe, nbrs)
+        for nb, nb_load in zip(nbrs, known):
+            diff = my_load - nb_load
             quota = int(self.alpha * diff)
             for _ in range(quota):
                 goal = machine.take_shippable(pe, newest_first=True)

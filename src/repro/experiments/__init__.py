@@ -15,6 +15,11 @@ from . import scale
 from .comparison import comparison_plan, render_table2, run_comparison, summarize_claims
 from .grainsize import render_grainsize, run_grainsize
 from .hops import render_table3, run_hop_study
+from .large_machines import (
+    large_machine_plan,
+    render_large_machines,
+    run_large_machines,
+)
 from .optimization import render_table1, run_optimization
 from .plan import (
     ExecutionReport,
@@ -50,10 +55,12 @@ __all__ = [
     "execute",
     "format_kv",
     "format_table",
+    "large_machine_plan",
     "merge_plans",
     "planned_run",
     "render_curve",
     "render_grainsize",
+    "render_large_machines",
     "render_scaling",
     "render_stream",
     "render_table1",
@@ -63,6 +70,7 @@ __all__ = [
     "replicate_metric",
     "replicate_pair",
     "run_grainsize",
+    "run_large_machines",
     "run_stream",
     "rise_time",
     "run_all_curves",

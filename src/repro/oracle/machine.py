@@ -18,9 +18,15 @@ Traffic model
   piggyback-on-a-co-processor assumption), or as genuine channel traffic
   in the fully charged ``"channel"`` mode.
 
-The machine keeps an ``observer x subject`` matrix of *known* loads: what
-each PE currently believes about each neighbor.  Strategies read beliefs
-(never true remote state) unless the oracle ``"instant"`` mode is chosen
+The machine keeps per-observer **sparse rows** of *known* loads: what
+each PE currently believes about each neighbor.  Beliefs only ever form
+along information flows — on-change/periodic words reach neighbors,
+channel broadcasts reach bus members, piggybacked words ride hops — so
+a row holds at most an observer's neighborhood and the whole structure
+is O(N * degree), not the dense N x N matrix it once was (>= 100 MB of
+lists at 4096 PEs).  Unwritten entries read as the initial 0.0, exactly
+as the dense matrix initialized them.  Strategies read beliefs (never
+true remote state) unless the oracle ``"instant"`` mode is chosen
 deliberately.
 """
 
@@ -141,12 +147,15 @@ class Machine:
                 self._pe_channels[member].append(ch)
 
         #: known_loads[observer][subject] — what `observer` believes about
-        #: `subject`'s load.  Initially 0 (everyone looks idle), matching
-        #: the paper's GM initialization convention.  Plain nested lists:
-        #: the access pattern is single-cell reads on the placement hot
-        #: path, where numpy scalar indexing costs ~5x a list index.
-        self._known_loads: list[list[float]] = [
-            [0.0] * topology.n for _ in range(topology.n)
+        #: `subject`'s load.  One sparse dict per observer: every write
+        #: path targets PEs an information flow can actually reach (a
+        #: neighbor, a bus mate, the far end of a hop), so rows stay
+        #: neighborhood-sized and machine memory is O(N * degree) instead
+        #: of the dense N x N lists that dominated large-machine RSS.
+        #: Absent entries read as 0.0 (everyone initially looks idle),
+        #: matching the paper's GM initialization convention.
+        self._known_loads: list[dict[int, float]] = [
+            {} for _ in range(topology.n)
         ]
         self._last_posted: list[float] = [-1.0] * topology.n  # force the first post
         #: does load_changed() publish anything? (precomputed: it runs on
@@ -340,7 +349,7 @@ class Machine:
         """What ``observer`` believes about ``subject``'s load."""
         if self._instant_info:
             return self.load_fn(self.pes[subject])
-        return self._known_loads[observer][subject]
+        return self._known_loads[observer].get(subject, 0.0)
 
     def known_loads_of(self, observer: int, subjects: "Sequence[int]") -> list[float]:
         """:meth:`known_load` for several subjects in one call.
@@ -353,8 +362,8 @@ class Machine:
             load_fn = self.load_fn
             pes = self.pes
             return [load_fn(pes[s]) for s in subjects]
-        row = self._known_loads[observer]
-        return [row[s] for s in subjects]
+        get = self._known_loads[observer].get
+        return [get(s, 0.0) for s in subjects]
 
     def enqueue(self, pe: int, goal: Goal) -> None:
         """Accept ``goal`` into ``pe``'s work queue."""

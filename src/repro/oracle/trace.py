@@ -43,9 +43,19 @@ class TraceEvent:
 
 
 class TraceRecorder:
-    """Accumulates trace events; attach with :func:`attach`."""
+    """Accumulates trace events; attach with :func:`attach`.
 
-    def __init__(self) -> None:
+    ``n_pes`` is the machine size the trace describes; :func:`attach`
+    fills it from the topology so analyses can size spatial arrays even
+    when trailing PEs never emitted an event.  A bare recorder (built
+    outside :func:`attach`) may leave it ``None``, in which case
+    analyses fall back to the largest PE index observed.
+    """
+
+    def __init__(self, n_pes: int | None = None) -> None:
+        if n_pes is not None and n_pes < 1:
+            raise ValueError("n_pes must be >= 1")
+        self.n_pes = n_pes
         self.events: list[TraceEvent] = []
 
     def record(self, time: float, kind: str, pe: int, data: float = 0.0) -> None:
@@ -63,7 +73,7 @@ def attach(machine: "Machine") -> TraceRecorder:
 
     Must be called before ``machine.run()``.  Returns the recorder.
     """
-    recorder = TraceRecorder()
+    recorder = TraceRecorder(n_pes=machine.topology.n)
     engine = machine.engine
 
     original_goal_created = machine.goal_created
@@ -152,8 +162,18 @@ class TraceAnalysis:
         return [(k * bucket, v) for k, v in sorted(buckets.items())]
 
     def pe_activity(self) -> np.ndarray:
-        """Goals started per PE (the spatial distribution of work)."""
-        n = max((e.pe for e in self.recorder.events), default=0) + 1
+        """Goals started per PE (the spatial distribution of work).
+
+        Sized from the recorder's ``n_pes`` (plumbed in by
+        :func:`attach`), so idle trailing PEs appear as explicit zeros
+        instead of silently vanishing from the distribution.  A bare
+        recorder without ``n_pes`` falls back to the largest PE that
+        emitted an event — and an empty trace yields an empty array, not
+        a phantom 1-PE machine.
+        """
+        n = self.recorder.n_pes
+        if n is None:
+            n = max((e.pe for e in self.recorder.events), default=-1) + 1
         counts = np.zeros(n, dtype=int)
         for e in self.recorder.events:
             if e.kind == "started":

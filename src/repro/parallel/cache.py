@@ -46,8 +46,10 @@ __all__ = [
 ]
 
 #: Bump to orphan every stored result (e.g. when SimResult grows fields
-#: that cannot be defaulted on read).
-CACHE_SCHEMA = 1
+#: that cannot be defaulted on read).  v2: channel_busy_time became
+#: accrual-corrected (effective_busy at stop), so v1 entries hold
+#: overcounted channel statistics the current simulator never produces.
+CACHE_SCHEMA = 2
 
 
 def default_cache_dir() -> Path:

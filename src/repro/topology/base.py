@@ -16,23 +16,101 @@ A topology describes the machine's communication structure two ways:
   :mod:`repro.oracle.channel`) are built one-per-entry from
   :attr:`Topology.channels`.
 
-Routing uses hop-count shortest paths (BFS over the neighbor relation)
-with deterministic lowest-index tie-breaking, so simulations are exactly
-reproducible.  Distance/next-hop tables are computed lazily and memoized
-**by neighbor structure** across instances: experiment sweeps construct
-the same topology object for every one of thousands of runs, and the
-table build is the dominant machine-construction cost.
+Routing uses hop-count shortest paths with deterministic lowest-index
+tie-breaking, so simulations are exactly reproducible.  Every concrete
+topology family **computes** its routes — :meth:`Topology.distance` is a
+closed-form per-family override (coordinate arithmetic, popcounts, small
+per-axis tables) and :meth:`Topology.next_hop` derives the same
+"lowest-index neighbor on a shortest path" choice the old all-pairs BFS
+tables produced, without ever materializing an O(N^2) table.  Machine
+construction is therefore O(N) in the PE count: a 64x64 grid or a
+4096-PE hypercube builds in milliseconds where the tabulated scheme
+spent seconds of BFS and >100 MB of nested lists.
+
+Irregular subclasses that cannot spell a closed form inherit a **lazy
+per-source BFS fallback**: one distance row is computed on first demand
+per destination and memoized *by neighbor structure* across instances
+(sweeps rebuild the same topology for every run).  The shared memo is
+LRU at both the shape and the row level and byte-aware, so a handful of
+large shapes cannot pin unbounded memory; see :data:`_ROUTING_MEMO`.
 """
 
 from __future__ import annotations
 
-from collections import deque
+from collections import OrderedDict, deque
 from functools import cached_property
 
-__all__ = ["Topology"]
+__all__ = ["Topology", "VertexTransitiveMetrics"]
 
-#: (distance, next-hop) tables keyed by the exact neighbor relation.
-_ROUTING_MEMO: dict[tuple, tuple[list[list[int]], list[list[int]]]] = {}
+#: Budget for all memoized BFS distance rows across every shape.  Rows
+#: cost ~8 bytes/cell (a CPython list is one pointer per element; the
+#: small ints they reference are interned), so the default admits e.g.
+#: ~four thousand 4096-PE rows — far more than the fallback path ever
+#: needs, and a fraction of what one dense 4096^2 table used to pin.
+_MEMO_MAX_BYTES = 64 * 1024 * 1024
+
+#: Per-shape slice of the budget, so one huge irregular shape queried
+#: all over cannot evict every other shape's working set.
+_STORE_MAX_BYTES = 32 * 1024 * 1024
+
+
+class _RowStore:
+    """LRU cache of one shape's BFS distance rows, keyed by source PE."""
+
+    __slots__ = ("key", "rows", "row_bytes", "nbytes")
+
+    def __init__(self, key: tuple, n: int) -> None:
+        self.key = key
+        self.rows: OrderedDict[int, list[int]] = OrderedDict()
+        # list header + one pointer per cell (ints 0..255 are interned)
+        self.row_bytes = 56 + 8 * n
+        self.nbytes = 0
+
+
+#: Shared BFS-row memo keyed by the exact neighbor relation, LRU over
+#: shapes (most recently constructed/queried last).  Eviction is
+#: byte-aware: oldest shapes go first once the total exceeds
+#: ``_MEMO_MAX_BYTES``, instead of the historical "clear everything at
+#: 64 shapes" cliff that forced full rebuilds mid-sweep.
+_ROUTING_MEMO: OrderedDict[tuple, _RowStore] = OrderedDict()
+_memo_bytes = 0
+
+
+def _shared_store(key: tuple, n: int) -> _RowStore:
+    store = _ROUTING_MEMO.get(key)
+    if store is None:
+        store = _ROUTING_MEMO[key] = _RowStore(key, n)
+    else:
+        _ROUTING_MEMO.move_to_end(key)
+    return store
+
+
+def _remember_row(store: _RowStore, src: int, row: list[int]) -> None:
+    """Insert a freshly computed row, then enforce both byte budgets.
+
+    ``_memo_bytes`` counts exactly the bytes of stores currently *in*
+    the memo.  A store can outlive its memo entry (a live topology holds
+    it through ``_row_store`` after eviction); such an orphan keeps its
+    per-store LRU bound but must not touch the global counter — its
+    bytes were already subtracted when its shape was evicted.
+    """
+    global _memo_bytes
+    resident = _ROUTING_MEMO.get(store.key) is store
+    store.rows[src] = row
+    store.nbytes += store.row_bytes
+    if resident:
+        _memo_bytes += store.row_bytes
+    while store.nbytes > _STORE_MAX_BYTES and len(store.rows) > 1:
+        store.rows.popitem(last=False)
+        store.nbytes -= store.row_bytes
+        if resident:
+            _memo_bytes -= store.row_bytes
+    while resident and _memo_bytes > _MEMO_MAX_BYTES and len(_ROUTING_MEMO) > 1:
+        _, oldest = next(iter(_ROUTING_MEMO.items()))
+        if oldest is store:  # never evict the shape being served
+            break
+        _ROUTING_MEMO.popitem(last=False)
+        _memo_bytes -= oldest.nbytes
 
 
 class Topology:
@@ -44,6 +122,12 @@ class Topology:
     * ``self._build()`` — return ``(neighbor_sets, channels)`` where
       ``neighbor_sets`` is a list of n sets and ``channels`` is a list of
       tuples of member PE indices (each of length >= 2).
+    * optionally override :meth:`distance` with an exact closed form
+      (and, where cheap, :attr:`diameter` / :attr:`mean_distance`);
+      :meth:`next_hop` then needs no override — the base implementation
+      reproduces the BFS tables' lowest-index tie-break from distances
+      alone.  Without an override, routing falls back to lazily
+      memoized per-source BFS rows.
     """
 
     #: short machine-readable family name ("grid", "dlm", "hypercube", ...)
@@ -108,77 +192,70 @@ class Topology:
         """
         return self._pair_channels[(a, b)]
 
-    @cached_property
-    def _distance_matrix(self) -> list[list[int]]:
-        """All-pairs hop distances via BFS from every node.
+    # -- routing (lazy BFS fallback; families override with closed forms) ------
 
-        Plain nested lists: ``distance()``/``next_hop()`` are single-cell
-        reads on the response-routing hot path, where numpy scalar
-        indexing costs ~5x a list index.  Shared across instances via the
-        structural memo — sweeps rebuild the same topology for every run,
-        and the BFS + next-hop sweep is the dominant construction cost.
+    @cached_property
+    def _row_store(self) -> _RowStore:
+        """This shape's slot in the shared structural row memo."""
+        return _shared_store(tuple(self._neighbors), self.n)
+
+    def _bfs_row(self, src: int) -> list[int]:
+        """Hop distances from every PE to ``src`` (memoized per source).
+
+        BFS over the (undirected) neighbor relation, so the row doubles
+        as distance *to* ``src`` — which is the orientation
+        :meth:`next_hop` wants: one row answers every query toward a
+        fixed destination, the common pattern when a response walks
+        hop-by-hop to its parent.
         """
-        return self._routing[0]
-
-    @cached_property
-    def _next_hop(self) -> list[list[int]]:
-        """``next_hop[src][dst]`` = lowest-index neighbor on a shortest path."""
-        return self._routing[1]
-
-    @cached_property
-    def _routing(self) -> tuple[list[list[int]], list[list[int]]]:
-        key = tuple(self._neighbors)
-        cached = _ROUTING_MEMO.get(key)
-        if cached is None:
-            if len(_ROUTING_MEMO) >= 64:  # sweeps touch a handful of shapes
-                _ROUTING_MEMO.clear()
-            cached = _ROUTING_MEMO[key] = self._compute_routing()
-        return cached
-
-    def _compute_routing(self) -> tuple[list[list[int]], list[list[int]]]:
+        store = self._row_store
+        row = store.rows.get(src)
+        if row is not None:
+            store.rows.move_to_end(src)
+            return row
         n = self.n
         nbrs = self._neighbors
         unreached = n  # any real distance is < n
-        dist: list[list[int]] = []
-        for src in range(n):
-            row = [unreached] * n
-            row[src] = 0
-            q = deque([src])
-            while q:
-                u = q.popleft()
-                du = row[u] + 1
-                for v in nbrs[u]:
-                    if du < row[v]:
-                        row[v] = du
-                        q.append(v)
-            if unreached in row:
-                raise ValueError(f"{self.name} is not connected")
-            dist.append(row)
-        table: list[list[int]] = []
-        for src in range(n):
-            drow = dist[src]
-            trow = [0] * n
-            for dst in range(n):
-                if dst == src:
-                    trow[dst] = src
-                    continue
-                want = drow[dst] - 1
-                # neighbors are in ascending order: first match is the
-                # deterministic lowest-index choice.
-                for nb in nbrs[src]:
-                    if dist[nb][dst] == want:
-                        trow[dst] = nb
-                        break
-            table.append(trow)
-        return dist, table
+        row = [unreached] * n
+        row[src] = 0
+        q = deque([src])
+        while q:
+            u = q.popleft()
+            du = row[u] + 1
+            for v in nbrs[u]:
+                if du < row[v]:
+                    row[v] = du
+                    q.append(v)
+        if unreached in row:
+            raise ValueError(f"{self.name} is not connected")
+        _remember_row(store, src, row)
+        return row
 
     def distance(self, a: int, b: int) -> int:
-        """Hop-count distance between ``a`` and ``b``."""
-        return self._distance_matrix[a][b]
+        """Hop-count distance between ``a`` and ``b``.
+
+        Concrete families override this with an exact closed form; the
+        base implementation reads a lazily memoized BFS row.
+        """
+        return self._bfs_row(b)[a]
 
     def next_hop(self, src: int, dst: int) -> int:
-        """The neighbor ``src`` should forward to, to reach ``dst``."""
-        return self._next_hop[src][dst]
+        """The neighbor ``src`` should forward to, to reach ``dst``.
+
+        Deterministic tie-break: the **lowest-index** neighbor on a
+        shortest path.  ``self._neighbors[src]`` is sorted ascending, so
+        the first neighbor one hop closer to ``dst`` is exactly the
+        entry the old precomputed tables held — closed-form and BFS
+        routing are bit-for-bit interchangeable.
+        """
+        if src == dst:
+            return src
+        distance = self.distance
+        want = distance(src, dst) - 1
+        for nb in self._neighbors[src]:
+            if distance(nb, dst) == want:
+                return nb
+        raise ValueError(f"no route from {src} to {dst} in {self.name}")
 
     def shortest_path(self, src: int, dst: int) -> list[int]:
         """Full PE sequence from ``src`` to ``dst`` inclusive."""
@@ -189,16 +266,26 @@ class Topology:
             path.append(cur)
         return path
 
+    def _distance_rows(self):
+        """Stream one distance row per source PE (O(N) live memory).
+
+        The metric properties below fold over this instead of an
+        all-pairs matrix.  Families with closed-form distances override
+        the metrics directly and never touch it.
+        """
+        for src in range(self.n):
+            yield self._bfs_row(src)
+
     @cached_property
     def diameter(self) -> int:
         """Maximum shortest-path distance over all PE pairs."""
-        return max(max(row) for row in self._distance_matrix)
+        return max(max(row) for row in self._distance_rows())
 
     @cached_property
     def mean_distance(self) -> float:
         """Mean pairwise hop distance (excluding self-pairs)."""
         n = self.n
-        total = float(sum(sum(row) for row in self._distance_matrix))
+        total = float(sum(sum(row) for row in self._distance_rows()))
         return total / (n * (n - 1)) if n > 1 else 0.0
 
     # -- presentation -----------------------------------------------------------
@@ -213,3 +300,22 @@ class Topology:
 
     def __len__(self) -> int:
         return self.n
+
+
+class VertexTransitiveMetrics:
+    """Metric shortcuts for vertex-transitive families (mix in before
+    :class:`Topology`): every PE sees the same distance multiset, so one
+    closed-form row from PE 0 yields ``diameter`` and ``mean_distance``
+    in O(N * distance-cost) instead of a full streaming sweep."""
+
+    @cached_property
+    def _distance_profile(self) -> list[int]:
+        return [self.distance(0, b) for b in range(self.n)]
+
+    @cached_property
+    def diameter(self) -> int:
+        return max(self._distance_profile)
+
+    @cached_property
+    def mean_distance(self) -> float:
+        return sum(self._distance_profile) / (self.n - 1)

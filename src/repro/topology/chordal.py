@@ -15,12 +15,12 @@ from __future__ import annotations
 
 import math
 
-from .base import Topology
+from .base import Topology, VertexTransitiveMetrics
 
 __all__ = ["ChordalRing"]
 
 
-class ChordalRing(Topology):
+class ChordalRing(VertexTransitiveMetrics, Topology):
     """``n`` PEs in a cycle plus ``i <-> (i + chord) % n`` skip links.
 
     Parameters
@@ -57,6 +57,30 @@ class ChordalRing(Topology):
                 neighbor_sets[nb].add(pe)
                 links.add((min(pe, nb), max(pe, nb)))
         return neighbor_sets, sorted(links)
+
+    # -- closed-form routing ---------------------------------------------------
+
+    def distance(self, a: int, b: int) -> int:
+        """Shortest mix of chord jumps and ring steps.
+
+        A path is x chord steps (net, signed) plus ring steps whose net
+        displacement makes up the residue: cost ``|x| + circ(k - x*c)``.
+        Any |x| at or above the best cost so far cannot win (each chord
+        step costs 1), so the scan over x terminates within the
+        diameter — O(sqrt(n)) iterations at the default chord.
+        """
+        n, c = self.n, self.chord
+        k = (b - a) % n
+        best = min(k, n - k)  # ring-only path
+        x = 1
+        while x < best:
+            for step in (x * c, -x * c):
+                m = (k - step) % n
+                cand = x + min(m, n - m)
+                if cand < best:
+                    best = cand
+            x += 1
+        return best
 
     @property
     def name(self) -> str:

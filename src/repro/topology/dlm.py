@@ -27,6 +27,9 @@ triples: (5,20,20), (4,16,16), (5,10,10), (4,8,8) and (5,5,5) for the
 
 from __future__ import annotations
 
+from collections import deque
+from functools import cached_property
+
 from .base import Topology
 
 __all__ = ["DoubleLatticeMesh"]
@@ -111,6 +114,69 @@ class DoubleLatticeMesh(Topology):
         unique_buses = sorted(set(buses))
         return neighbor_sets, unique_buses
 
+    # -- closed-form routing ---------------------------------------------------
+    #
+    # Every bus stays within one row or one column and the bus layout is
+    # identical across rows (and across columns), so the DLM is the
+    # Cartesian product of two small 1-D "bus graphs": H_rows on the row
+    # coordinates and H_cols on the column coordinates.  Product-graph
+    # distance is the sum of the coordinate distances, which turns
+    # all-pairs routing into two tables of size rows^2 and cols^2 —
+    # O(N) construction instead of the old O(N^2) whole-mesh BFS.
+
+    @cached_property
+    def _axis_distances(self) -> tuple[list[list[int]], list[list[int]]]:
+        return (
+            _axis_distance_table(self.rows, self._lattice_starts(self.rows, self.span), self.span),
+            _axis_distance_table(self.cols, self._lattice_starts(self.cols, self.span), self.span),
+        )
+
+    def distance(self, a: int, b: int) -> int:
+        r1, c1 = divmod(a, self.cols)
+        r2, c2 = divmod(b, self.cols)
+        drow, dcol = self._axis_distances
+        return drow[r1][r2] + dcol[c1][c2]
+
+    @cached_property
+    def diameter(self) -> int:
+        drow, dcol = self._axis_distances
+        return max(map(max, drow)) + max(map(max, dcol))
+
+    @cached_property
+    def mean_distance(self) -> float:
+        # Each row-coordinate pair occurs cols^2 times and vice versa.
+        drow, dcol = self._axis_distances
+        sr = sum(map(sum, drow))
+        sc = sum(map(sum, dcol))
+        n = self.n
+        return (self.cols**2 * sr + self.rows**2 * sc) / (n * (n - 1))
+
     @property
     def name(self) -> str:
         return f"dlm span={self.span} {self.rows}x{self.cols}"
+
+
+def _axis_distance_table(length: int, starts: list[int], span: int) -> list[list[int]]:
+    """All-pairs BFS over one axis's bus graph (coordinates 0..length-1,
+    adjacent iff they share a bus window)."""
+    adjacency: list[set[int]] = [set() for _ in range(length)]
+    for start in starts:
+        members = [(start + k) % length for k in range(span)]
+        for a in members:
+            for b in members:
+                if a != b:
+                    adjacency[a].add(b)
+    table: list[list[int]] = []
+    for src in range(length):
+        row = [length] * length
+        row[src] = 0
+        queue = deque([src])
+        while queue:
+            u = queue.popleft()
+            du = row[u] + 1
+            for v in adjacency[u]:
+                if du < row[v]:
+                    row[v] = du
+                    queue.append(v)
+        table.append(row)
+    return table

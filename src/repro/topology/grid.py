@@ -12,6 +12,8 @@ Every undirected link between adjacent PEs is one contended channel.
 
 from __future__ import annotations
 
+from functools import cached_property
+
 from .base import Topology
 
 __all__ = ["Grid"]
@@ -69,7 +71,90 @@ class Grid(Topology):
                     connect(me, c)
         return neighbor_sets, sorted(links)
 
+    # -- closed-form routing ---------------------------------------------------
+
+    def distance(self, a: int, b: int) -> int:
+        """Manhattan distance, per-dimension wrapped on the torus."""
+        r1, c1 = divmod(a, self.cols)
+        r2, c2 = divmod(b, self.cols)
+        dr = r1 - r2 if r1 >= r2 else r2 - r1
+        dc = c1 - c2 if c1 >= c2 else c2 - c1
+        if self.wraparound:
+            if dr * 2 > self.rows:
+                dr = self.rows - dr
+            if dc * 2 > self.cols:
+                dc = self.cols - dc
+        return dr + dc
+
+    def next_hop(self, src: int, dst: int) -> int:
+        """Lowest-index neighbor among the moves that shorten a dimension.
+
+        A move along a dimension lies on a shortest path iff it takes
+        the (weakly) shorter way around that dimension; collecting the
+        qualifying neighbor indices and returning the minimum reproduces
+        the generic ascending-neighbor scan without any distance calls.
+        """
+        if src == dst:
+            return src
+        rows, cols = self.rows, self.cols
+        r1, c1 = divmod(src, cols)
+        r2, c2 = divmod(dst, cols)
+        wrap = self.wraparound
+        best = self.n  # above any PE index
+        if r1 != r2:
+            down = (r2 - r1) % rows
+            up = rows - down
+            if not wrap:
+                best = (r1 + 1 if r2 > r1 else r1 - 1) * cols + c1
+            else:
+                if down <= up:
+                    best = ((r1 + 1) % rows) * cols + c1
+                if up <= down:
+                    cand = ((r1 - 1) % rows) * cols + c1
+                    if cand < best:
+                        best = cand
+        if c1 != c2:
+            right = (c2 - c1) % cols
+            left = cols - right
+            if not wrap:
+                cand = r1 * cols + (c1 + 1 if c2 > c1 else c1 - 1)
+                if cand < best:
+                    best = cand
+            else:
+                if right <= left:
+                    cand = r1 * cols + (c1 + 1) % cols
+                    if cand < best:
+                        best = cand
+                if left <= right:
+                    cand = r1 * cols + (c1 - 1) % cols
+                    if cand < best:
+                        best = cand
+        return best
+
+    @cached_property
+    def diameter(self) -> int:
+        if self.wraparound:
+            return self.rows // 2 + self.cols // 2
+        return (self.rows - 1) + (self.cols - 1)
+
+    @cached_property
+    def mean_distance(self) -> float:
+        # Distances separate per dimension, so the pair sum does too:
+        # every (r1, r2) row pair occurs cols^2 times, and vice versa.
+        sr = _axis_pair_sum(self.rows, self.wraparound)
+        sc = _axis_pair_sum(self.cols, self.wraparound)
+        n = self.n
+        return (self.cols**2 * sr + self.rows**2 * sc) / (n * (n - 1))
+
     @property
     def name(self) -> str:
         wrap = "" if self.wraparound else " (no wrap)"
         return f"grid {self.rows}x{self.cols}{wrap}"
+
+
+def _axis_pair_sum(length: int, wraparound: bool) -> int:
+    """Sum of 1-D distances over all ordered coordinate pairs."""
+    if wraparound:
+        # Every offset d in 1..length-1 occurs `length` times.
+        return length * sum(min(d, length - d) for d in range(1, length))
+    return sum(2 * (length - d) * d for d in range(1, length))

@@ -9,6 +9,8 @@ dimension; degree is uniform and equals the dimension.
 
 from __future__ import annotations
 
+from functools import cached_property
+
 from .base import Topology
 
 __all__ = ["Hypercube"]
@@ -36,6 +38,32 @@ class Hypercube(Topology):
                 if other > pe:
                     links.append((pe, other))
         return neighbor_sets, sorted(links)
+
+    # -- closed-form routing ---------------------------------------------------
+
+    def distance(self, a: int, b: int) -> int:
+        """Hamming distance of the coordinate bit patterns."""
+        return (a ^ b).bit_count()
+
+    def next_hop(self, src: int, dst: int) -> int:
+        """Flip the differing bit that yields the smallest neighbor index:
+        clear the highest set differing bit if any, else set the lowest."""
+        if src == dst:
+            return src
+        down = src & (src ^ dst)  # differing bits that are 1 in src
+        if down:
+            return src ^ (1 << (down.bit_length() - 1))
+        diff = src ^ dst
+        return src ^ (diff & -diff)
+
+    @cached_property
+    def diameter(self) -> int:
+        return self.dim
+
+    @cached_property
+    def mean_distance(self) -> float:
+        # sum over all ordered pairs of popcount(a ^ b) = n * dim * n/2.
+        return self.dim * self.n / (2 * (self.n - 1))
 
     @property
     def name(self) -> str:

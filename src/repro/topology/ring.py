@@ -10,6 +10,8 @@ message-passing machines against.
 
 from __future__ import annotations
 
+from functools import cached_property
+
 from .base import Topology
 
 __all__ = ["Complete", "Ring"]
@@ -36,6 +38,35 @@ class Ring(Topology):
             links.append((min(pe, nxt), max(pe, nxt)))
         return neighbor_sets, sorted(set(links))
 
+    # -- closed-form routing ---------------------------------------------------
+
+    def distance(self, a: int, b: int) -> int:
+        """Circular distance: the shorter way around."""
+        d = (b - a) % self.n
+        return d if d * 2 <= self.n else self.n - d
+
+    def next_hop(self, src: int, dst: int) -> int:
+        """Step the shorter way around; on the even-n tie, both steps
+        qualify and the lower index wins."""
+        if src == dst:
+            return src
+        n = self.n
+        cw = (dst - src) % n
+        if cw * 2 < n:
+            return (src + 1) % n
+        if cw * 2 > n:
+            return (src - 1) % n
+        return min((src + 1) % n, (src - 1) % n)
+
+    @cached_property
+    def diameter(self) -> int:
+        return self.n // 2
+
+    @cached_property
+    def mean_distance(self) -> float:
+        # Every offset 1..n-1 occurs once per source: n * sum(min(d, n-d)).
+        return (self.n * self.n // 4) / (self.n - 1)
+
     @property
     def name(self) -> str:
         return f"ring n={self.n}"
@@ -58,6 +89,22 @@ class Complete(Topology):
             (a, b) for a in range(self.n) for b in range(a + 1, self.n)
         ]
         return neighbor_sets, links
+
+    # -- closed-form routing ---------------------------------------------------
+
+    def distance(self, a: int, b: int) -> int:
+        return 0 if a == b else 1
+
+    def next_hop(self, src: int, dst: int) -> int:
+        return dst  # every pair is adjacent
+
+    @cached_property
+    def diameter(self) -> int:
+        return 1
+
+    @cached_property
+    def mean_distance(self) -> float:
+        return 1.0
 
     @property
     def name(self) -> str:

@@ -14,6 +14,8 @@ Every spoke is a point-to-point channel.
 
 from __future__ import annotations
 
+from functools import cached_property
+
 from .base import Topology
 
 __all__ = ["Star"]
@@ -38,6 +40,30 @@ class Star(Topology):
             neighbor_sets[leaf].add(0)
             links.append((0, leaf))
         return neighbor_sets, links
+
+    # -- closed-form routing ---------------------------------------------------
+
+    def distance(self, a: int, b: int) -> int:
+        """0 (self), 1 (hub involved), else 2 (leaf-hub-leaf)."""
+        if a == b:
+            return 0
+        return 1 if a == 0 or b == 0 else 2
+
+    def next_hop(self, src: int, dst: int) -> int:
+        """The hub dispatches directly; every leaf goes through the hub."""
+        if src == dst:
+            return src
+        return dst if src == 0 else 0
+
+    @cached_property
+    def diameter(self) -> int:
+        return 2
+
+    @cached_property
+    def mean_distance(self) -> float:
+        n = self.n
+        # 2(n-1) ordered hub-leaf pairs at distance 1; the rest at 2.
+        return (2 * (n - 1) + 2 * (n - 1) * (n - 2)) / (n * (n - 1))
 
     @property
     def name(self) -> str:

@@ -16,7 +16,10 @@ deduplicate the wrap link (wrap and direct link coincide).
 
 from __future__ import annotations
 
+from functools import cached_property
+
 from .base import Topology
+from .grid import _axis_pair_sum
 
 __all__ = ["Torus3D"]
 
@@ -59,6 +62,43 @@ class Torus3D(Topology):
                         neighbor_sets[nb].add(pe)
                         links.add((min(pe, nb), max(pe, nb)))
         return neighbor_sets, sorted(links)
+
+    # -- closed-form routing ---------------------------------------------------
+
+    def distance(self, a: int, b: int) -> int:
+        """Sum of wrapped per-dimension offsets (z fastest in the index)."""
+        a, az = divmod(a, self.z)
+        b, bz = divmod(b, self.z)
+        ax, ay = divmod(a, self.y)
+        bx, by = divmod(b, self.y)
+        dx = ax - bx if ax >= bx else bx - ax
+        dy = ay - by if ay >= by else by - ay
+        dz = az - bz if az >= bz else bz - az
+        if dx * 2 > self.x:
+            dx = self.x - dx
+        if dy * 2 > self.y:
+            dy = self.y - dy
+        if dz * 2 > self.z:
+            dz = self.z - dz
+        return dx + dy + dz
+
+    @cached_property
+    def diameter(self) -> int:
+        return self.x // 2 + self.y // 2 + self.z // 2
+
+    @cached_property
+    def mean_distance(self) -> float:
+        # Per-dimension pair sums; each combines with the full cross
+        # product of the other two dimensions' coordinate pairs.
+        n = self.n
+        total = 0
+        for length, others in (
+            (self.x, self.y * self.z),
+            (self.y, self.x * self.z),
+            (self.z, self.x * self.y),
+        ):
+            total += others**2 * _axis_pair_sum(length, wraparound=True)
+        return total / (n * (n - 1))
 
     @property
     def name(self) -> str:

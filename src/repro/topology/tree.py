@@ -9,6 +9,8 @@ level order numbering makes ``(i - 1) // arity`` the parent of ``i``.
 
 from __future__ import annotations
 
+from functools import cached_property
+
 from .base import Topology
 
 __all__ = ["KaryTree"]
@@ -57,6 +59,33 @@ class KaryTree(Topology):
             neighbor_sets[par].add(pe)
             links.append((par, pe))
         return neighbor_sets, sorted(links)
+
+    # -- closed-form routing ---------------------------------------------------
+
+    def distance(self, a: int, b: int) -> int:
+        """Walk both nodes up to their lowest common ancestor."""
+        arity = self.arity
+        da, db = self.depth_of(a), self.depth_of(b)
+        dist = 0
+        while da > db:
+            a = (a - 1) // arity
+            da -= 1
+            dist += 1
+        while db > da:
+            b = (b - 1) // arity
+            db -= 1
+            dist += 1
+        while a != b:
+            a = (a - 1) // arity
+            b = (b - 1) // arity
+            dist += 2
+        return dist
+
+    @cached_property
+    def diameter(self) -> int:
+        # Deepest leaf to deepest leaf through the root (arity >= 2
+        # guarantees two root subtrees reach the last level).
+        return 2 * (self.levels - 1)
 
     @property
     def name(self) -> str:

@@ -66,15 +66,16 @@ class TestPiggybackMode:
         )
         machine.run()
         known = machine._known_loads
-        # Some pairs exchanged traffic and updated; the matrix cannot be
-        # all equal to live loads (that would be oracle information).
-        assert any(any(row) for row in known) or True  # smoke: matrix exists
-        # Specifically: entries for non-adjacent pairs never change.
+        # Belief rows are sparse: entries exist only where traffic
+        # delivered a load word, and traffic only crosses channels — so
+        # no row may hold a non-neighbor, and non-adjacent pairs read
+        # the initial zero belief through the public API.
         topo = machine.topology
         for a in range(topo.n):
+            assert set(known[a]) <= set(topo.neighbors(a))
             for b in range(topo.n):
                 if a != b and b not in topo.neighbors(a):
-                    assert known[a][b] == 0.0
+                    assert machine.known_load(a, b) == 0.0
 
     def test_staleness_costs_something(self):
         """Piggyback information is never fresher than on_change; the

@@ -1,10 +1,16 @@
-"""Unit tests for the replication statistics and the scaling study."""
+"""Unit tests for the replication statistics and the scaling studies."""
 
 from __future__ import annotations
 
 import pytest
 
 from repro.core import CWN
+from repro.experiments.large_machines import (
+    LargeMachinePoint,
+    large_machine_plan,
+    large_topology_spec,
+    render_large_machines,
+)
 from repro.experiments.replication import (
     Replication,
     replicate_metric,
@@ -12,7 +18,8 @@ from repro.experiments.replication import (
     t95,
 )
 from repro.experiments.scaling import render_scaling, run_scaling
-from repro.topology import Grid
+from repro.parallel import RunSpec
+from repro.topology import Grid, make
 from repro.workload import Fibonacci
 
 
@@ -106,3 +113,52 @@ class TestScalingStudy:
         text = render_scaling(points)
         assert "diameter" in text
         assert "grid:25" in text and "dlm:100" in text
+
+
+class TestLargeMachinePlan:
+    """Plan construction only — execution lives in the large bench and
+    the CI smoke job (a 1024-PE sweep is too heavy for the unit suite)."""
+
+    def test_shapes_hit_requested_sizes(self):
+        for family in ("grid", "torus3d", "hypercube"):
+            for n_pes in (1024, 2048, 4096):
+                assert make(large_topology_spec(family, n_pes)).n == n_pes
+
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(ValueError):
+            large_topology_spec("grid", 500)
+        with pytest.raises(ValueError):
+            large_topology_spec("dlm", 1024)
+
+    def test_plan_structure(self):
+        plan = large_machine_plan(program=Fibonacci(11), full=False, seed=1)
+        # reduced scale: 3 families x 1024 PEs x 3 strategies
+        assert len(plan.runs) == 9
+        assert all(isinstance(run, RunSpec) for run in plan.runs)  # farmable
+        families = {meta[0] for meta in plan.meta}
+        assert families == {"grid", "torus3d", "hypercube"}
+        assert {meta[1] for meta in plan.meta} == {1024}
+        assert {meta[3] for meta in plan.meta} == {"cwn", "acwn", "gm"}
+
+    def test_full_scale_extends_to_4096(self):
+        plan = large_machine_plan(program=Fibonacci(11), full=True, seed=1)
+        assert {meta[1] for meta in plan.meta} == {1024, 2048, 4096}
+        assert len(plan.runs) == 27
+
+    def test_diameter_axis_spreads_at_fixed_size(self):
+        plan = large_machine_plan(program=Fibonacci(11), full=True, seed=1)
+        diameters = {meta[0]: meta[2] for meta in plan.meta if meta[1] == 4096}
+        assert diameters["hypercube"] == 12
+        assert diameters["torus3d"] == 24
+        assert diameters["grid"] == 64
+
+    def test_render(self):
+        points = [
+            LargeMachinePoint("grid", 1024, 32, "cwn", 80.0, 0.08, 1000.0),
+            LargeMachinePoint("grid", 1024, 32, "acwn", 75.0, 0.07, 1100.0),
+            LargeMachinePoint("grid", 1024, 32, "gm", 50.0, 0.05, 1600.0),
+        ]
+        text = render_large_machines(points)
+        assert "grid:1024" in text
+        assert "CWN/GM" in text
+        assert "1.60" in text  # 80 / 50 on the cwn row

@@ -1,0 +1,255 @@
+"""Closed-form routing must match all-pairs BFS bit for bit.
+
+The topology layer computes ``distance``/``next_hop`` per family
+(coordinate arithmetic, popcounts, per-axis tables) instead of
+tabulating O(N^2) BFS results.  These tests pin the contract: on every
+shape the suite uses, the closed forms reproduce the BFS distances
+*and* the deterministic "lowest-index neighbor on a shortest path"
+tie-break exactly — exhaustively for small machines, on sampled pairs
+for large ones — plus the streamed ``diameter``/``mean_distance``
+metrics, the BFS-row memo's LRU/byte bounds, and the trace-analysis
+regressions that rode along in the same PR.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+
+import pytest
+
+from repro.topology import (
+    ChordalRing,
+    Complete,
+    CubeConnectedCycles,
+    DoubleLatticeMesh,
+    Grid,
+    Hypercube,
+    KaryTree,
+    Ring,
+    Star,
+    Topology,
+    Torus3D,
+)
+from repro.topology import base as topology_base
+
+
+def reference_routing(topo: Topology) -> tuple[list[list[int]], list[list[int]]]:
+    """The seed's tabulated all-pairs BFS: distances + lowest-index hops."""
+    n = topo.n
+    nbrs = [topo.neighbors(pe) for pe in range(n)]
+    dist: list[list[int]] = []
+    for src in range(n):
+        row = [n] * n
+        row[src] = 0
+        queue = deque([src])
+        while queue:
+            u = queue.popleft()
+            du = row[u] + 1
+            for v in nbrs[u]:
+                if du < row[v]:
+                    row[v] = du
+                    queue.append(v)
+        dist.append(row)
+    table: list[list[int]] = []
+    for src in range(n):
+        drow = dist[src]
+        trow = [0] * n
+        for dst in range(n):
+            if dst == src:
+                trow[dst] = src
+                continue
+            want = drow[dst] - 1
+            for nb in nbrs[src]:
+                if dist[nb][dst] == want:
+                    trow[dst] = nb
+                    break
+        table.append(trow)
+    return dist, table
+
+
+#: every closed-form family, at the shapes and sizes the suite exercises
+SMALL_SHAPES = [
+    Grid(5, 5),
+    Grid(4, 4),
+    Grid(3, 7),
+    Grid(2, 5),
+    Grid(2, 2),
+    Grid(4, 4, wraparound=False),
+    Grid(3, 8, wraparound=False),
+    Torus3D(3, 3, 3),
+    Torus3D(2, 3, 3),
+    Torus3D(2, 2, 2),
+    Torus3D(5, 4, 3),
+    Hypercube(1),
+    Hypercube(3),
+    Hypercube(5),
+    Ring(3),
+    Ring(8),
+    Ring(9),
+    Complete(2),
+    Complete(8),
+    Star(3),
+    Star(12),
+    KaryTree(2, 4),
+    KaryTree(3, 3),
+    KaryTree(4, 2),
+    ChordalRing(4),
+    ChordalRing(18),
+    ChordalRing(25, 5),
+    ChordalRing(20, 4),
+    ChordalRing(10, 5),
+    CubeConnectedCycles(3),
+    DoubleLatticeMesh(5, 5, 5),
+    DoubleLatticeMesh(4, 8, 8),
+    DoubleLatticeMesh(4, 6, 6),
+    DoubleLatticeMesh(2, 2, 2),
+    DoubleLatticeMesh(3, 7, 4),
+]
+
+LARGE_SHAPES = [
+    Grid(20, 20),
+    Grid(32, 32),
+    Torus3D(8, 8, 8),
+    Hypercube(9),
+    Ring(257),
+    ChordalRing(400),
+    CubeConnectedCycles(6),
+    DoubleLatticeMesh(5, 20, 20),
+    KaryTree(2, 8),
+    Star(300),
+]
+
+
+@pytest.mark.parametrize("topo", SMALL_SHAPES, ids=lambda t: t.name)
+def test_closed_form_matches_bfs_exhaustively(topo):
+    dist, table = reference_routing(topo)
+    for a in range(topo.n):
+        for b in range(topo.n):
+            assert topo.distance(a, b) == dist[a][b], (topo.name, a, b)
+            assert topo.next_hop(a, b) == table[a][b], (topo.name, a, b)
+
+
+@pytest.mark.parametrize("topo", SMALL_SHAPES, ids=lambda t: t.name)
+def test_metrics_match_bfs(topo):
+    dist, _ = reference_routing(topo)
+    n = topo.n
+    assert topo.diameter == max(map(max, dist))
+    expected_mean = sum(map(sum, dist)) / (n * (n - 1))
+    assert topo.mean_distance == pytest.approx(expected_mean, abs=1e-12)
+
+
+@pytest.mark.parametrize("topo", LARGE_SHAPES, ids=lambda t: t.name)
+def test_closed_form_matches_bfs_sampled(topo):
+    """Large shapes: single-source BFS rows against sampled pairs."""
+    rng = random.Random(20260728)
+    n = topo.n
+    sources = rng.sample(range(n), 8)
+    for src in sources:
+        row = [n] * n
+        row[src] = 0
+        queue = deque([src])
+        while queue:
+            u = queue.popleft()
+            du = row[u] + 1
+            for v in topo.neighbors(u):
+                if du < row[v]:
+                    row[v] = du
+                    queue.append(v)
+        for dst in rng.sample(range(n), 64):
+            assert topo.distance(src, dst) == row[dst], (topo.name, src, dst)
+            # next_hop consistency: one hop closer, lowest index first.
+            if dst != src:
+                hop = topo.next_hop(dst, src)  # row holds distance *to* src
+                want = row[dst] - 1
+                assert row[hop] == want
+                assert all(
+                    row[nb] != want for nb in topo.neighbors(dst) if nb < hop
+                ), (topo.name, dst, src, hop)
+
+
+def test_next_hop_reaches_destination_without_tables():
+    """shortest_path still terminates in exactly distance() hops."""
+    topo = Grid(32, 32)
+    rng = random.Random(7)
+    for _ in range(50):
+        a, b = rng.randrange(topo.n), rng.randrange(topo.n)
+        path = topo.shortest_path(a, b)
+        assert len(path) - 1 == topo.distance(a, b)
+        assert path[0] == a and path[-1] == b
+
+
+class TestRoutingMemo:
+    """The shared BFS-row memo: LRU over shapes, byte-aware, never a
+    wholesale clear."""
+
+    class _Irregular(Topology):
+        """A path graph — no closed form, so it exercises the fallback."""
+
+        family = "path"
+
+        def __init__(self, n: int) -> None:
+            self.n = n
+            super().__init__()
+
+        def _build(self):
+            neighbor_sets = [set() for _ in range(self.n)]
+            links = []
+            for pe in range(self.n - 1):
+                neighbor_sets[pe].add(pe + 1)
+                neighbor_sets[pe + 1].add(pe)
+                links.append((pe, pe + 1))
+            return neighbor_sets, links
+
+    def test_rows_shared_across_instances(self):
+        a, b = self._Irregular(12), self._Irregular(12)
+        assert a.distance(0, 11) == 11
+        assert b._row_store is a._row_store
+        assert 11 in b._row_store.rows  # b reuses a's BFS row
+
+    def test_lru_evicts_oldest_not_everything(self, monkeypatch):
+        memo = topology_base._ROUTING_MEMO
+        # Tight budget: every row is 56 + 8n bytes, so ~3 shapes fit.
+        row_bytes = 56 + 8 * 16
+        monkeypatch.setattr(topology_base, "_MEMO_MAX_BYTES", 3 * row_bytes)
+        shapes = [self._Irregular(16 + i) for i in range(6)]
+        keys = []
+        for topo in shapes:
+            topo.distance(0, 1)  # forces one BFS row into the memo
+            keys.append(tuple(topo._neighbors))
+        alive = [key for key in keys if key in memo]
+        # The newest shapes survive; the oldest were evicted one by one.
+        assert keys[-1] in memo
+        assert keys[0] not in memo
+        assert 1 <= len(alive) < len(keys)
+
+    def test_orphaned_store_does_not_corrupt_accounting(self, monkeypatch):
+        """A store evicted while a live topology still holds it must stop
+        touching the global byte counter: _memo_bytes always equals the
+        sum over stores actually in the memo."""
+        memo = topology_base._ROUTING_MEMO
+        row_bytes = 56 + 8 * 16
+        monkeypatch.setattr(topology_base, "_MEMO_MAX_BYTES", 3 * row_bytes)
+        first = self._Irregular(16)
+        first.distance(0, 1)
+        shapes = [self._Irregular(17 + i) for i in range(5)]
+        for topo in shapes:
+            topo.distance(0, 1)
+        assert tuple(first._neighbors) not in memo  # evicted above
+        # The orphan keeps answering queries (private rows, LRU-bounded)
+        # without inflating the shared accounting.
+        for src in range(8):
+            first._bfs_row(src)
+        assert first.distance(0, 15) == 15
+        assert topology_base._memo_bytes == sum(
+            store.nbytes for store in memo.values()
+        )
+
+    def test_per_shape_row_budget(self, monkeypatch):
+        monkeypatch.setattr(topology_base, "_STORE_MAX_BYTES", 4 * (56 + 8 * 64))
+        topo = self._Irregular(64)
+        for src in range(32):
+            topo._bfs_row(src)
+        assert len(topo._row_store.rows) <= 4
+        # Evicted rows are simply recomputed on demand.
+        assert topo.distance(0, 63) == 63

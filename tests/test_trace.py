@@ -84,6 +84,29 @@ class TestAnalysis:
         with pytest.raises(ValueError):
             TraceAnalysis(TraceRecorder()).placement_rate(0)
 
+    def test_pe_activity_counts_trailing_idle_pes(self, fast_config):
+        """A tiny run leaves high-index PEs idle; they must still appear
+        (as zeros) in the spatial distribution."""
+        machine = Machine(Grid(4, 4), Fibonacci(3), KeepLocal(), fast_config)
+        recorder = attach(machine)
+        machine.run()
+        assert recorder.n_pes == 16
+        activity = TraceAnalysis(recorder).pe_activity()
+        assert len(activity) == 16  # not truncated at the last active PE
+        assert activity[1:].sum() == 0  # keep-local: all work on PE 0
+
+    def test_pe_activity_empty_trace(self):
+        """An empty trace is a 0-PE distribution, not a phantom 1-PE one."""
+        assert len(TraceAnalysis(TraceRecorder()).pe_activity()) == 0
+        assert list(TraceAnalysis(TraceRecorder(n_pes=4)).pe_activity()) == [0, 0, 0, 0]
+
+    def test_recorder_rejects_bad_n_pes(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(n_pes=0)
+
+    def test_queue_wait_stats_empty_trace_with_n_pes(self):
+        assert TraceAnalysis(TraceRecorder(n_pes=8)).queue_wait_stats() == (0.0, 0.0)
+
     def test_keep_local_zero_wait_start(self, fast_config):
         # On keep-local the first goal starts immediately after placement.
         machine = Machine(Grid(4, 4), Fibonacci(7), KeepLocal(), fast_config)
