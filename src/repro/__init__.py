@@ -11,14 +11,21 @@ every table and figure of the evaluation (:mod:`repro.experiments`).
 
 Quickstart::
 
-    from repro import simulate
+    from repro import Scenario, simulate
     result = simulate("fib:15", "grid:10x10", "cwn")
+    result = Scenario.from_spec("fib:15 @ grid:10x10 / cwn").run()  # same run
     print(result.summary())
+
+Every run description is a :class:`~repro.scenario.Scenario` (see
+:mod:`repro.scenario`): one frozen value carrying workload, topology,
+strategy, config, seed/start and the arrival block, constructible from
+the compact spec grammar above and extensible through the three plugin
+registries (``STRATEGIES`` / ``TOPOLOGIES`` / ``WORKLOADS``).
 """
 
 from __future__ import annotations
 
-from . import analysis, core, experiments, oracle, topology, validation, workload
+from . import analysis, core, experiments, oracle, scenario, topology, validation, workload
 from .core import (
     CWN,
     AdaptiveCWN,
@@ -37,6 +44,7 @@ from .core import (
 )
 from .experiments.runner import simulate
 from .oracle import CostModel, Machine, SimConfig, SimResult
+from .scenario import Arrivals, Scenario
 from .topology import (
     ChordalRing,
     Complete,
@@ -64,6 +72,7 @@ __version__ = "1.1.0"
 
 __all__ = [
     "AdaptiveCWN",
+    "Arrivals",
     "BatchGradient",
     "Bidding",
     "BinomialCoefficient",
@@ -89,6 +98,7 @@ __all__ = [
     "RandomWalk",
     "Ring",
     "RoundRobin",
+    "Scenario",
     "SimConfig",
     "SimResult",
     "SkewedTree",
@@ -103,6 +113,7 @@ __all__ = [
     "core",
     "experiments",
     "oracle",
+    "scenario",
     "simulate",
     "topology",
     "validate_result",

@@ -5,12 +5,28 @@ parallel farm's content addressing, so its two failure modes live here,
 once:
 
 * a parameter the grammar has no syntax for (``require_defaults``);
-* a float that would lose precision in its printed form (``fmt_num``).
+* a float that would lose precision in its printed form (``fmt_num``);
+* the shared ``key=value,key=value`` parameter form (``parse_kv``).
 """
 
 from __future__ import annotations
 
-__all__ = ["fmt_num", "require_defaults"]
+from typing import Callable, TypeVar
+
+__all__ = ["fmt_num", "parse_kv", "require_defaults"]
+
+T = TypeVar("T")
+
+
+def parse_kv(rest: str, coerce: "Callable[[str], T]" = float) -> "dict[str, T]":
+    """Parse the ``key=value,key=value`` parameter form shared by the
+    strategy and keyword-style workload spec grammars."""
+    kwargs: dict[str, T] = {}
+    if rest:
+        for item in rest.split(","):
+            key, _, val = item.partition("=")
+            kwargs[key.strip()] = coerce(val)
+    return kwargs
 
 
 def fmt_num(value: float) -> str:

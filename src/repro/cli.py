@@ -2,7 +2,11 @@
 
 Commands map one-to-one onto the experiment modules:
 
-* ``repro run fib:15 grid:10x10 cwn`` — one simulation, summary line;
+* ``repro run "fib:15 @ grid:10x10 / cwn?seed=3"`` — one simulation,
+  summary line (the legacy ``repro run fib:15 grid:10x10 cwn`` three-part
+  form still works);
+* ``repro list [strategies|topologies|workloads]`` — the registered
+  vocabularies the scenario spec grammar draws from;
 * ``repro table1`` — the parameter-optimization sweep (Table 1);
 * ``repro table2`` — the CWN/GM speedup grid (Table 2);
 * ``repro table3`` — the hop-distance histogram (Table 3);
@@ -74,12 +78,43 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    run = sub.add_parser("run", help="run one simulation", parents=[farm])
-    run.add_argument("workload", help="e.g. fib:15, dc:1:987, random:seed=3")
-    run.add_argument("topology", help="e.g. grid:10x10, dlm:5x10x10, hypercube:6")
-    run.add_argument("strategy", help="cwn, gm, acwn, local, random, roundrobin")
-    run.add_argument("--seed", type=int, default=1)
+    run = sub.add_parser(
+        "run",
+        help="run one simulation",
+        parents=[farm],
+        description="Run one simulation, described either as a single "
+        "scenario spec ('fib:15 @ grid:10x10 / cwn?seed=3') or as the "
+        "legacy three positionals (workload topology strategy).",
+    )
+    run.add_argument(
+        "scenario",
+        nargs="+",
+        metavar="SPEC",
+        help="one scenario spec '<workload> @ <topology> / <strategy>[?k=v&...]', "
+        "or three parts: workload (fib:15, dc:1:987) topology (grid:10x10) "
+        "strategy (cwn, gm, acwn, ...)",
+    )
+    run.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="seed override; when omitted, the spec's seed=/cfg.seed= "
+        "override applies, else 1",
+    )
     run.add_argument("--verbose", action="store_true", help="print per-PE stats")
+
+    lst = sub.add_parser(
+        "list",
+        help="list the registered strategies/topologies/workloads",
+        description="Print the registries the spec grammar draws from "
+        "(plugins registered via @register or entry points included).",
+    )
+    lst.add_argument(
+        "what",
+        nargs="?",
+        choices=("strategies", "topologies", "workloads", "all"),
+        default="all",
+    )
 
     for name, help_text in (
         ("table1", "parameter optimization sweep (Table 1)"),
@@ -199,28 +234,79 @@ def _plan_one(
     return execute(plan, jobs=jobs, cache=cache)
 
 
-def _cmd_run(args: argparse.Namespace) -> None:
-    with _farmed(args) as (jobs, cache):
-        res = _plan_one(
-            args.workload, args.topology, args.strategy, jobs, cache, seed=args.seed
-        )
-        print(res.summary())
-        if args.verbose:
-            import numpy as np
+def _scenario_from_args(args: argparse.Namespace):
+    """The ``run`` command's positionals as one Scenario.
 
-            util = res.per_pe_utilization
-            print(f"result value       : {res.result_value}")
-            print(f"goals executed     : {res.total_goals}")
-            print(f"goal messages      : {res.goal_messages_sent}")
-            print(f"response messages  : {res.response_messages_sent}")
-            print(f"control words      : {res.control_words_sent}")
-            print(f"events executed    : {res.events_executed}")
-            print(
-                "per-PE util        : "
-                f"min={util.min():.2f} median={np.median(util):.2f} max={util.max():.2f}"
-            )
-            print(f"load balance CV    : {res.load_balance_cv:.3f}")
-            print(f"busiest channel    : {res.channel_utilization.max():.2f}")
+    One positional is the scenario spec grammar; three are the legacy
+    ``workload topology strategy`` form.  An explicit ``--seed`` wins;
+    otherwise the spec's ``?seed=`` / ``?cfg.seed=`` override applies,
+    and a run with no seed anywhere defaults to 1.
+    """
+    from dataclasses import replace
+
+    from .scenario import Scenario
+
+    parts = args.scenario
+    if len(parts) == 1:
+        scenario = Scenario.from_spec(parts[0])
+    elif len(parts) == 3:
+        scenario = Scenario.of(parts[0], parts[1], parts[2])
+    else:
+        print(
+            "repro: error: run takes one scenario spec "
+            "('fib:15 @ grid:10x10 / cwn') or three parts "
+            "(workload topology strategy)",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    if args.seed is not None:
+        scenario = replace(scenario, seed=args.seed)
+    elif scenario.seed is None and scenario.config.seed == 0:
+        scenario = replace(scenario, seed=1)
+    return scenario
+
+
+def _plan_scenario(scenario, jobs: "int | None", cache: object):
+    """Run one Scenario through the plan engine."""
+    from .experiments.plan import ExperimentPlan, execute, planned_scenario
+
+    plan = ExperimentPlan(
+        "run", (planned_scenario(scenario),), lambda results, _meta: results[0]
+    )
+    return execute(plan, jobs=jobs, cache=cache)
+
+
+def _cmd_run(args: argparse.Namespace) -> None:
+    # A mistyped spec gets the registry's one-line diagnosis (names +
+    # nearest match), not a traceback.  Canonicalizing eagerly resolves
+    # every name through the registries, so all spec mistakes surface
+    # here; errors raised later, mid-simulation, are genuine bugs and
+    # propagate with their tracebacks.
+    try:
+        scenario = _scenario_from_args(args)
+        scenario.canonical()
+    except ValueError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        raise SystemExit(2) from None
+    with _farmed(args) as (jobs, cache):
+        res = _plan_scenario(scenario, jobs, cache)
+    print(res.summary())
+    if args.verbose:
+        import numpy as np
+
+        util = res.per_pe_utilization
+        print(f"result value       : {res.result_value}")
+        print(f"goals executed     : {res.total_goals}")
+        print(f"goal messages      : {res.goal_messages_sent}")
+        print(f"response messages  : {res.response_messages_sent}")
+        print(f"control words      : {res.control_words_sent}")
+        print(f"events executed    : {res.events_executed}")
+        print(
+            "per-PE util        : "
+            f"min={util.min():.2f} median={np.median(util):.2f} max={util.max():.2f}"
+        )
+        print(f"load balance CV    : {res.load_balance_cv:.3f}")
+        print(f"busiest channel    : {res.channel_utilization.max():.2f}")
 
 
 def _cmd_table1(args: argparse.Namespace) -> None:
@@ -364,7 +450,7 @@ def _cmd_stream(args: argparse.Namespace) -> None:
 
 def _cmd_zoo(args: argparse.Namespace) -> None:
     from .experiments.plan import ExperimentPlan, execute
-    from .parallel import RunSpec
+    from .scenario import Scenario
 
     fib_n = 15 if args.full else 13
     strategy_specs = (
@@ -372,10 +458,10 @@ def _cmd_zoo(args: argparse.Namespace) -> None:
         "symmetric", "bidding", "diffusion", "randomwalk", "central",
         "random", "roundrobin", "local",
     )
-    plan = ExperimentPlan(
+    plan = ExperimentPlan.from_scenarios(
         "zoo",
         tuple(
-            RunSpec(f"fib:{fib_n}", "grid:8x8", spec, seed=args.seed)
+            Scenario.of(f"fib:{fib_n}", "grid:8x8", spec, seed=args.seed)
             for spec in strategy_specs
         ),
         lambda results, _meta: list(results),
@@ -425,6 +511,28 @@ def _cmd_monitor(args: argparse.Namespace) -> None:
     print(render_film(res, cols=cols, color=args.color))
 
 
+def _cmd_list(args: argparse.Namespace) -> None:
+    from .core import STRATEGIES
+    from .topology import TOPOLOGIES
+    from .workload import WORKLOADS
+
+    sections = {
+        "strategies": STRATEGIES,
+        "topologies": TOPOLOGIES,
+        "workloads": WORKLOADS,
+    }
+    wanted = sections if args.what == "all" else {args.what: sections[args.what]}
+    for index, (title, registry) in enumerate(wanted.items()):
+        if index:
+            print()
+        print(f"{title}:")
+        for name in registry.names():
+            meta = registry.metadata(name)
+            example = str(meta.get("example", name))
+            summary = str(meta.get("summary", ""))
+            print(f"  {name:<12} {example:<36} {summary}".rstrip())
+
+
 def _cmd_cache(args: argparse.Namespace) -> None:
     from .parallel import ResultCache
 
@@ -456,6 +564,7 @@ _COMMANDS = {
     "bounds": _cmd_bounds,
     "monitor": _cmd_monitor,
     "cache": _cmd_cache,
+    "list": _cmd_list,
 }
 
 

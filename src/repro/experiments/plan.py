@@ -40,6 +40,7 @@ from ..oracle.config import SimConfig
 from ..oracle.stats import SimResult
 from ..parallel import ResultCache, RunSpec, run_batch
 from ..parallel.pool import RunFailure
+from ..scenario import Scenario
 
 __all__ = [
     "ExecutionReport",
@@ -50,6 +51,7 @@ __all__ = [
     "merge_plans",
     "paired",
     "planned_run",
+    "planned_scenario",
 ]
 
 #: progress callback: (completed, total, source) with source
@@ -106,6 +108,43 @@ class ExperimentPlan:
         """``meta`` padded to one entry per run (``None`` when absent)."""
         return self.meta if self.meta else (None,) * len(self.runs)
 
+    @classmethod
+    def from_scenarios(
+        cls,
+        name: str,
+        scenarios: "Sequence[Scenario]",
+        reduce: Reducer,
+        meta: Sequence[Any] = (),
+    ) -> "ExperimentPlan":
+        """Build a plan straight from :class:`~repro.scenario.Scenario` values.
+
+        Each scenario becomes a farmable :class:`~repro.parallel.spec.RunSpec`
+        where the spec grammar can express it, and a :class:`LocalRun`
+        otherwise (see :func:`planned_scenario`).
+        """
+        return cls(name, tuple(planned_scenario(sc) for sc in scenarios), reduce, tuple(meta))
+
+    def scenarios(self) -> tuple["Scenario | None", ...]:
+        """The plan's runs as scenarios (``None`` for opaque local thunks)."""
+        return tuple(
+            run.scenario() if isinstance(run, RunSpec) else None for run in self.runs
+        )
+
+
+def planned_scenario(scenario: "Scenario") -> PlanRun:
+    """One plan entry for ``scenario``: a canonical spec, or a fallback.
+
+    Scenarios the spec grammar can express become
+    :class:`~repro.parallel.spec.RunSpec` (farmable, cacheable); the
+    rest degrade to a :class:`LocalRun` closing over the live objects —
+    the plan still executes, serially and uncached, exactly as the old
+    hand-rolled loops did.
+    """
+    try:
+        return RunSpec.from_scenario(scenario)
+    except ValueError:
+        return LocalRun(thunk=scenario.run, label=scenario.label())
+
 
 def planned_run(
     workload: Any,
@@ -119,17 +158,12 @@ def planned_run(
     arrival_pes: Sequence[int] | None = None,
     arrival_times: Sequence[float] | None = None,
 ) -> PlanRun:
-    """One run for a plan: a canonical spec, or an in-process fallback.
+    """One run for a plan, from loose arguments (mirrors ``simulate``).
 
-    Mirrors :func:`~repro.experiments.runner.simulate`'s signature.
-    Objects whose parameters the spec grammar can express become
-    :class:`~repro.parallel.spec.RunSpec` (farmable, cacheable); the
-    rest degrade to a :class:`LocalRun` closing over the live objects —
-    the plan still executes, serially and uncached, exactly as the old
-    hand-rolled loops did.
+    Kwargs-style sugar over :func:`planned_scenario`.
     """
-    try:
-        return RunSpec.build(
+    return planned_scenario(
+        Scenario.of(
             workload,
             topology,
             strategy,
@@ -141,24 +175,7 @@ def planned_run(
             arrival_pes=arrival_pes,
             arrival_times=arrival_times,
         )
-    except ValueError:
-        from .runner import simulate
-
-        return LocalRun(
-            thunk=lambda: simulate(
-                workload,
-                topology,
-                strategy,
-                config=config,
-                start_pe=start_pe,
-                seed=seed,
-                queries=queries,
-                arrival_spacing=arrival_spacing,
-                arrival_pes=arrival_pes,
-                arrival_times=arrival_times,
-            ),
-            label=f"{workload} / {topology} / {strategy}",
-        )
+    )
 
 
 def paired(

@@ -1,25 +1,28 @@
 """Single-run driver: one (workload, topology, strategy) simulation.
 
-This is the narrow waist of the experiment harness and the library's
-main convenience entry point.  Everything accepts either constructed
-objects or the compact spec strings of the respective ``make`` helpers::
+This is the historical convenience entry point; since the
+:class:`~repro.scenario.Scenario` redesign both helpers are thin shims
+that bundle their arguments into a scenario and call
+:meth:`~repro.scenario.Scenario.build` / :meth:`~repro.scenario.Scenario.run`
+— one construction path for the whole library.  Everything accepts
+either constructed objects or the registries' compact spec strings::
 
     simulate("fib:15", "grid:10x10", "cwn")
     simulate(Fibonacci(15), Grid(10, 10), CWN(radius=9, horizon=2))
+    Scenario.from_spec("fib:15 @ grid:10x10 / cwn").run()   # equivalent
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
-from ..core import Strategy, make_strategy
+from ..core import Strategy
 from ..oracle.config import SimConfig
 from ..oracle.machine import Machine
 from ..oracle.stats import SimResult
+from ..scenario import Scenario
 from ..topology import Topology
-from ..topology import make as make_topology
 from ..workload import Program
-from ..workload import make as make_workload
 
 __all__ = ["build_machine", "simulate"]
 
@@ -37,28 +40,23 @@ def build_machine(
 ) -> Machine:
     """Construct (but do not run) a fully wired machine.
 
-    Spec strings are resolved here; a strategy given as a bare name
-    (``"cwn"``, ``"gm"``) picks up the paper's Table 1 parameters for the
-    topology's family.  ``queries`` > 1 (with the arrival knobs) builds
-    an open-system machine — see :class:`~repro.oracle.machine.Machine`.
+    Spec strings are resolved through the registries; a strategy given
+    as a bare name (``"cwn"``, ``"gm"``) picks up the paper's Table 1
+    parameters for the topology's family.  ``queries`` > 1 (with the
+    arrival knobs) builds an open-system machine — see
+    :class:`~repro.oracle.machine.Machine`.
     """
-    if isinstance(workload, str):
-        workload = make_workload(workload)
-    if isinstance(topology, str):
-        topology = make_topology(topology)
-    if isinstance(strategy, str):
-        strategy = make_strategy(strategy, family=topology.family)
-    return Machine(
-        topology,
+    return Scenario.of(
         workload,
+        topology,
         strategy,
-        config,
-        start_pe,
+        config=config,
+        start_pe=start_pe,
         queries=queries,
         arrival_spacing=arrival_spacing,
-        arrival_pes=None if arrival_pes is None else list(arrival_pes),
-        arrival_times=None if arrival_times is None else list(arrival_times),
-    )
+        arrival_pes=arrival_pes,
+        arrival_times=arrival_times,
+    ).build()
 
 
 def simulate(
@@ -80,17 +78,15 @@ def simulate(
     open-system mode through the same narrow waist, so query-stream runs
     are ordinary specs to the plan/farm pipeline.
     """
-    if seed is not None:
-        config = (config or SimConfig()).replace(seed=seed)
-    machine = build_machine(
+    return Scenario.of(
         workload,
         topology,
         strategy,
-        config,
-        start_pe,
+        config=config,
+        seed=seed,
+        start_pe=start_pe,
         queries=queries,
         arrival_spacing=arrival_spacing,
         arrival_pes=arrival_pes,
         arrival_times=arrival_times,
-    )
-    return machine.run()
+    ).run()

@@ -14,10 +14,56 @@ the conclusion calls for.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field, replace
-from typing import Literal
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Literal, Mapping
 
 __all__ = ["CostModel", "SimConfig"]
+
+
+def _coerce_bool(raw: str) -> bool:
+    low = raw.strip().lower()
+    if low in ("1", "true", "yes", "on"):
+        return True
+    if low in ("0", "false", "no", "off"):
+        return False
+    raise ValueError(f"expected a boolean, got {raw!r}")
+
+
+def _coerce_opt_int(raw: str) -> int | None:
+    low = raw.strip().lower()
+    if low in ("none", "null"):
+        return None
+    return int(raw)
+
+
+def _spell_value(value: object) -> str:
+    """The spec-string spelling of a config value (inverse of coercion)."""
+    if value is None:
+        return "none"
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if isinstance(value, float):
+        from .._spec_util import fmt_num
+
+        return fmt_num(value)
+    return str(value)
+
+
+#: spec-override coercers for every SimConfig field the grammar can
+#: express (everything but the nested costs and the pe_speeds tuple)
+_CFG_COERCE: dict[str, object] = {
+    "seed": int,
+    "load_info": str,
+    "load_info_delay": float,
+    "load_info_interval": float,
+    "sample_interval": float,
+    "sample_per_pe": _coerce_bool,
+    "max_events": _coerce_opt_int,
+    "trace_hops": _coerce_bool,
+    "queue_discipline": str,
+}
 
 LoadInfoMode = Literal["instant", "on_change", "periodic", "channel", "piggyback"]
 
@@ -242,3 +288,57 @@ class SimConfig:
         if speeds is not None:
             kwargs["pe_speeds"] = tuple(float(s) for s in speeds)
         return cls(**kwargs)
+
+    # -- the scenario spec grammar's ``cfg.`` / ``cost.`` overrides --------------
+
+    def with_spec_overrides(self, overrides: "Mapping[str, str]") -> "SimConfig":
+        """Apply ``cfg.<field>=value`` / ``cost.<field>=value`` overrides.
+
+        The string values come from a
+        :class:`~repro.scenario.Scenario` spec's ``?key=value`` block
+        and are coerced to the field's type (``max_events`` accepts
+        ``none``).  Unknown fields raise :class:`ValueError` naming the
+        expressible ones.
+        """
+        if not overrides:
+            return self
+        cfg_changes: dict[str, object] = {}
+        cost_changes: dict[str, float] = {}
+        cost_fields = {f.name for f in fields(CostModel)}
+        for key, raw in overrides.items():
+            prefix, _, name = key.partition(".")
+            if prefix == "cfg" and name in _CFG_COERCE:
+                cfg_changes[name] = _CFG_COERCE[name](raw)  # type: ignore[operator]
+            elif prefix == "cost" and name in cost_fields:
+                cost_changes[name] = float(raw)
+            else:
+                known = ", ".join(
+                    [f"cfg.{n}" for n in _CFG_COERCE] + [f"cost.{n}" for n in sorted(cost_fields)]
+                )
+                raise ValueError(f"unknown config override {key!r}; known: {known}")
+        if cost_changes:
+            cfg_changes["costs"] = replace(self.costs, **cost_changes)
+        return replace(self, **cfg_changes)  # type: ignore[arg-type]
+
+    def spec_overrides(self) -> dict[str, str]:
+        """The override mapping that rebuilds ``self`` from the default.
+
+        Exact inverse of :meth:`with_spec_overrides` — every non-default
+        scalar field is emitted as ``cfg.<field>`` / ``cost.<field>``
+        with a spelling that coerces back to the identical value.
+        ``pe_speeds`` (a tuple) has no spec-string syntax and raises.
+        """
+        if self.pe_speeds is not None:
+            raise ValueError("pe_speeds has no spec-string syntax")
+        base = SimConfig()
+        out: dict[str, str] = {}
+        for name in _CFG_COERCE:
+            value = getattr(self, name)
+            if value != getattr(base, name):
+                out[f"cfg.{name}"] = _spell_value(value)
+        base_costs = CostModel()
+        for f in fields(CostModel):
+            value = getattr(self.costs, f.name)
+            if value != getattr(base_costs, f.name):
+                out[f"cost.{f.name}"] = _spell_value(value)
+        return out

@@ -38,6 +38,7 @@ from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 import numpy as np
 
+from ..scenario.arrivals import Arrivals
 from ..topology.base import Topology
 from ..workload.base import Goal, Program
 from .channel import Channel
@@ -70,8 +71,10 @@ class Machine:
         start_pe: int = 0,
         queries: int = 1,
         arrival_spacing: float = 0.0,
-        arrival_pes: list[int] | None = None,
-        arrival_times: list[float] | None = None,
+        arrival_pes: "Sequence[int] | None" = None,
+        arrival_times: "Sequence[float] | None" = None,
+        *,
+        arrivals: "Arrivals | None" = None,
     ) -> None:
         """``queries`` > 1 turns the machine into an open system: that
         many instances of ``program`` arrive ``arrival_spacing`` apart
@@ -84,6 +87,11 @@ class Machine:
         magnitude — e.g. a pre-drawn Poisson process for open-system
         studies).  Mutually exclusive with a nonzero
         ``arrival_spacing``.
+
+        The four arrival knobs are the legacy spelling of one
+        :class:`~repro.scenario.arrivals.Arrivals` value, which may be
+        passed directly as ``arrivals=`` instead (not both); all
+        arrival validation lives on that class.
         """
         self.topology = topology
         self.program = program
@@ -91,29 +99,16 @@ class Machine:
         self.config = config or SimConfig()
         if not 0 <= start_pe < topology.n:
             raise ValueError(f"start_pe {start_pe} outside 0..{topology.n - 1}")
-        if queries < 1:
-            raise ValueError("queries must be >= 1")
-        if arrival_spacing < 0:
-            raise ValueError("arrival_spacing must be >= 0")
-        if arrival_pes is not None:
-            if len(arrival_pes) != queries:
-                raise ValueError(f"arrival_pes has {len(arrival_pes)} entries for {queries} queries")
-            if not all(0 <= pe < topology.n for pe in arrival_pes):
-                raise ValueError("arrival_pes entries must be valid PE indices")
-        if arrival_times is not None:
-            if arrival_spacing != 0.0:
-                raise ValueError("pass arrival_times or arrival_spacing, not both")
-            if len(arrival_times) != queries:
-                raise ValueError(
-                    f"arrival_times has {len(arrival_times)} entries for {queries} queries"
-                )
-            if any(t < 0 for t in arrival_times):
-                raise ValueError("arrival_times must be non-negative")
+        arrivals = Arrivals.resolve(
+            arrivals, queries, arrival_spacing, arrival_pes, arrival_times
+        )
+        arrivals.check_pes(topology.n)
         self.start_pe = start_pe
-        self.queries = queries
-        self.arrival_spacing = arrival_spacing
-        self.arrival_pes = arrival_pes
-        self._arrival_schedule = arrival_times
+        self.arrivals = arrivals
+        self.queries = arrivals.queries
+        self.arrival_spacing = arrivals.spacing
+        self.arrival_pes = None if arrivals.pes is None else list(arrivals.pes)
+        self._arrival_schedule = None if arrivals.times is None else list(arrivals.times)
 
         self.engine = Engine()
         self.engine.max_events = self.config.max_events
@@ -185,9 +180,9 @@ class Machine:
         self.completion_time: float = float("nan")
         self.result_value: Any = None
         #: (completion time, value) per query, indexed by query number
-        self.query_results: list[tuple[float, Any] | None] = [None] * queries
+        self.query_results: list[tuple[float, Any] | None] = [None] * self.queries
         #: injection time per query, indexed by query number
-        self.arrival_times: list[float] = [0.0] * queries
+        self.arrival_times: list[float] = [0.0] * self.queries
         self._queries_done = 0
 
         strategy.bind(self)

@@ -14,32 +14,34 @@ seed.  Because a spec is pure data it can be
   grid, ``"FIB:9"`` vs ``"fib:9"``) address the same cache entry;
 * **stored** — :meth:`to_json` / :meth:`from_json` round-trip exactly.
 
-The canonicalization contract is owned by the factories themselves
+The canonicalization contract is owned by the registries themselves
 (``spec_of`` / ``canonical_spec`` in each package), so a new workload
-kind only has to teach its own factory how to spell itself.
+kind only has to register how to spell itself.  Since the
+:class:`~repro.scenario.Scenario` redesign, ``RunSpec`` is the farm's
+string-only view of a scenario: :meth:`RunSpec.from_scenario` /
+:meth:`RunSpec.scenario` translate, and the canonical form and content
+hash are *defined* as the scenario's (``SPEC_SCHEMA`` lives there), so
+a spec, its scenario, and every spelling in between share one cache
+address.
 """
 
 from __future__ import annotations
 
-import hashlib
 import json
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Sequence
 
-from ..core import Strategy, canonical_spec as canonical_strategy, spec_of as strategy_spec
+from ..core import Strategy
 from ..oracle.config import SimConfig
-from ..topology import Topology, canonical_spec as canonical_topology, make as make_topology, spec_of as topology_spec
-from ..workload import Program, canonical_spec as canonical_workload, spec_of as workload_spec
+from ..scenario.arrivals import Arrivals
+from ..scenario.scenario import SPEC_SCHEMA, Scenario
+from ..topology import Topology
+from ..workload import Program
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..oracle.stats import SimResult
 
 __all__ = ["SPEC_SCHEMA", "RunSpec"]
-
-#: Version tag baked into every canonical dict (and hence every hash and
-#: cache path).  Bump it whenever simulation semantics change in a way
-#: that invalidates previously computed results.
-SPEC_SCHEMA = 1
 
 
 @dataclass(frozen=True)
@@ -84,28 +86,69 @@ class RunSpec:
         """Make a spec from objects or spec strings (mirrors ``simulate``).
 
         Objects are spelled back into canonical spec strings via the
-        factories' ``spec_of``; objects whose parameters the spec grammar
-        cannot express raise ``ValueError`` (callers fall back to
-        in-process execution for those).
+        registries' ``spec_of``; objects whose parameters the spec
+        grammar cannot express raise ``ValueError`` (callers fall back
+        to in-process execution for those).
         """
-        if not isinstance(workload, str):
-            workload = workload_spec(workload)
-        if not isinstance(topology, str):
-            topology = topology_spec(topology)
-        if not isinstance(strategy, str):
-            strategy = strategy_spec(strategy)
-        return cls(
-            workload,
-            topology,
-            strategy,
-            config or SimConfig(),
-            seed,
-            start_pe,
-            queries,
-            arrival_spacing,
-            None if arrival_pes is None else tuple(int(p) for p in arrival_pes),
-            None if arrival_times is None else tuple(float(t) for t in arrival_times),
+        return cls.from_scenario(
+            Scenario.of(
+                workload,
+                topology,
+                strategy,
+                config=config,
+                seed=seed,
+                start_pe=start_pe,
+                queries=queries,
+                arrival_spacing=arrival_spacing,
+                arrival_pes=arrival_pes,
+                arrival_times=arrival_times,
+            )
         )
+
+    # -- the Scenario currency ---------------------------------------------------
+
+    @classmethod
+    def from_scenario(cls, scenario: Scenario) -> "RunSpec":
+        """The farm's picklable, string-only view of ``scenario``.
+
+        Raises :class:`ValueError` when the scenario holds objects the
+        spec grammar cannot express (those run in-process instead).
+        """
+        spelled = scenario.spelled()
+        arrivals = spelled.arrivals
+        return cls(
+            spelled.workload,
+            spelled.topology,
+            spelled.strategy,
+            spelled.config,
+            spelled.seed,
+            spelled.start_pe,
+            arrivals.queries,
+            arrivals.spacing,
+            arrivals.pes,
+            arrivals.times,
+        )
+
+    def scenario(self) -> Scenario:
+        """This spec as a :class:`~repro.scenario.Scenario` value."""
+        cached = self.__dict__.get("_scenario")
+        if cached is None:
+            cached = Scenario(
+                self.workload,
+                self.topology,
+                self.strategy,
+                self.config,
+                self.seed,
+                self.start_pe,
+                Arrivals(
+                    self.queries,
+                    self.arrival_spacing,
+                    self.arrival_pes,
+                    self.arrival_times,
+                ),
+            )
+            object.__setattr__(self, "_scenario", cached)
+        return cached
 
     # -- execution ---------------------------------------------------------------
 
@@ -118,105 +161,39 @@ class RunSpec:
 
     def run(self) -> "SimResult":
         """Execute this spec in the current process."""
-        from ..experiments.runner import simulate
-
-        return simulate(
-            self.workload,
-            self.topology,
-            self.strategy,
-            config=self.config,
-            start_pe=self.start_pe,
-            seed=self.seed,
-            queries=self.queries,
-            arrival_spacing=self.arrival_spacing,
-            arrival_pes=self.arrival_pes,
-            arrival_times=self.arrival_times,
-        )
+        return self.scenario().run()
 
     # -- canonical form and hashing ---------------------------------------------
 
     def canonical(self) -> "RunSpec":
         """The unique representative of this spec's equivalence class.
 
-        Spec strings are normalized through the factories (the strategy
+        Spec strings are normalized through the registries (the strategy
         against the topology's family, so bare ``"cwn"`` resolves to the
         same explicit parameters :func:`~repro.experiments.runner.build_machine`
         would give it) and the seed override is folded into the config.
         """
-        topology = canonical_topology(self.topology)
-        family = make_topology(topology).family
-        return replace(
-            self,
-            workload=canonical_workload(self.workload),
-            topology=topology,
-            strategy=canonical_strategy(self.strategy, family=family),
-            config=self.effective_config,
-            seed=None,
-            # With one query and no explicit times, the spacing is never
-            # read (query 0 arrives at 0 regardless) — zero it so it
-            # cannot split keys.  arrival_pes stays: the machine injects
-            # the single query at arrival_pes[0].
-            arrival_spacing=self.arrival_spacing
-            if self.queries != 1 or self.arrival_times is not None
-            else 0.0,
-        )
+        return RunSpec.from_scenario(self.scenario().canonical())
 
     def canonical_dict(self) -> dict[str, Any]:
         """Canonical JSON-able form — the preimage of :meth:`key`.
 
-        Canonicalization re-parses every spec string (it even builds the
-        topology to resolve the strategy family), so the result is
-        memoized on the instance — the cache consults it several times
-        per spec, and the fields it derives from are frozen.
+        Defined as (and delegated to) the scenario's
+        :meth:`~repro.scenario.Scenario.canonical_dict`: default arrival
+        blocks are omitted entirely, so every pre-Scenario single-query
+        key — and the cache entries addressed by it — stays valid.
         """
-        cached = self.__dict__.get("_canonical_dict")
-        if cached is None:
-            spec = self.canonical()
-            cached = {
-                "schema": SPEC_SCHEMA,
-                "workload": spec.workload,
-                "topology": spec.topology,
-                "strategy": spec.strategy,
-                "config": spec.config.to_dict(),
-                "start_pe": spec.start_pe,
-            }
-            # Open-system runs extend the canonical form; default runs
-            # (one query, default arrival point and times) omit the
-            # block entirely, so every pre-existing single-query key —
-            # and the cache entries addressed by it — stays valid.  The
-            # block appears whenever any arrival knob the machine
-            # actually reads is set: queries, explicit times, or
-            # arrival_pes (which places even a single query).
-            if (
-                spec.queries != 1
-                or spec.arrival_times is not None
-                or spec.arrival_pes is not None
-            ):
-                cached["arrivals"] = {
-                    "queries": spec.queries,
-                    "spacing": spec.arrival_spacing,
-                    "pes": None if spec.arrival_pes is None else list(spec.arrival_pes),
-                    "times": None
-                    if spec.arrival_times is None
-                    else list(spec.arrival_times),
-                }
-            object.__setattr__(self, "_canonical_dict", cached)
-        return cached
+        return self.scenario().canonical_dict()
 
     def key(self) -> str:
         """Content-address: SHA-256 of the canonical form (memoized).
 
         Stable across processes and sessions (no hash randomization is
-        involved), and identical for every spelling of the same run.
+        involved), and identical for every spelling of the same run —
+        this is :meth:`Scenario.content_hash` verbatim, so warm caches
+        written before the Scenario redesign keep hitting.
         """
-        cached = self.__dict__.get("_key")
-        if cached is None:
-            payload = json.dumps(
-                self.canonical_dict(), sort_keys=True, separators=(",", ":")
-            )
-            cached = hashlib.sha256(payload.encode("utf-8")).hexdigest()
-            object.__setattr__(self, "_key", cached)
-        return cached
+        return self.scenario().content_hash()
 
     # -- plain serialization (non-canonicalizing) --------------------------------
 

@@ -1,0 +1,60 @@
+"""``repro.scenario`` — the run-description currency and its registries.
+
+* :class:`Scenario` — one simulation run as a frozen value (workload +
+  topology + strategy + config + seed/start + arrival block), with a
+  compact spec grammar (``"fib:15 @ grid:8x8 / cwn?seed=3"``), stable
+  content hashing, and ``build()`` / ``run()`` execution;
+* :class:`Arrivals` — the open-system arrival block as one value;
+* :class:`Registry` — the string-keyed plugin registry behind the three
+  ``make`` factories; the live instances are re-exported here as
+  :data:`STRATEGIES`, :data:`TOPOLOGIES` and :data:`WORKLOADS`.
+
+This package sits *below* :mod:`repro.core` / :mod:`repro.topology` /
+:mod:`repro.workload` (they import the registry machinery) and *above*
+them (``Scenario`` resolves spec strings through their registries), so
+the heavyweight names are exported lazily (:pep:`562`) to keep the
+import graph acyclic.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .arrivals import Arrivals
+from .registry import Entry, Registry
+
+__all__ = [
+    "Arrivals",
+    "Entry",
+    "Registry",
+    "SPEC_SCHEMA",
+    "STRATEGIES",
+    "Scenario",
+    "TOPOLOGIES",
+    "WORKLOADS",
+]
+
+#: lazy exports (PEP 562): "name" -> (module, attribute)
+_LAZY = {
+    "Scenario": (".scenario", "Scenario"),
+    "SPEC_SCHEMA": (".scenario", "SPEC_SCHEMA"),
+    "STRATEGIES": ("..core", "STRATEGIES"),
+    "TOPOLOGIES": ("..topology", "TOPOLOGIES"),
+    "WORKLOADS": ("..workload", "WORKLOADS"),
+}
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module, attribute = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    from importlib import import_module
+
+    value = getattr(import_module(module, __name__), attribute)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY))

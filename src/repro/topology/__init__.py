@@ -8,6 +8,7 @@ triples from its plot captions).
 
 from __future__ import annotations
 
+from ..scenario.registry import Registry
 from .base import Topology
 from .ccc import CubeConnectedCycles
 from .chordal import ChordalRing
@@ -29,6 +30,7 @@ __all__ = [
     "KaryTree",
     "Ring",
     "Star",
+    "TOPOLOGIES",
     "Topology",
     "Torus3D",
     "canonical_spec",
@@ -80,47 +82,141 @@ def paper_dlm(n_pes: int) -> DoubleLatticeMesh:
     return DoubleLatticeMesh(span, rows, cols)
 
 
+#: The open topology vocabulary: :func:`make` / :func:`spec_of` / the
+#: Scenario spec grammar / ``repro list topologies`` all read this one
+#: table.  Third parties extend it with ``@TOPOLOGIES.register`` or a
+#: ``repro.topologies`` entry point.
+TOPOLOGIES = Registry("topology", entry_point_group="repro.topologies")
+
+
+def _spell_grid(topology: Grid) -> str:
+    if not topology.wraparound:
+        raise ValueError("no spec-string syntax for a non-wraparound Grid")
+    return f"grid:{topology.rows}x{topology.cols}"
+
+
+@TOPOLOGIES.register(
+    "grid",
+    cls=Grid,
+    spell=_spell_grid,
+    metadata={"summary": "wrap-around 2-D grid (torus), the paper's main family",
+              "example": "grid:8x8"},
+)
+def _build_grid(rest: str) -> Grid:
+    rows, cols = (int(x) for x in rest.split("x"))
+    return Grid(rows, cols)
+
+
+@TOPOLOGIES.register(
+    "dlm",
+    cls=DoubleLatticeMesh,
+    spell=lambda t: f"dlm:{t.span}x{t.rows}x{t.cols}",
+    metadata={"summary": "double lattice mesh (span x rows x cols)",
+              "example": "dlm:5x5x5"},
+)
+def _build_dlm(rest: str) -> DoubleLatticeMesh:
+    span, rows, cols = (int(x) for x in rest.split("x"))
+    return DoubleLatticeMesh(span, rows, cols)
+
+
+@TOPOLOGIES.register(
+    "hypercube",
+    cls=Hypercube,
+    spell=lambda t: f"hypercube:{t.dim}",
+    metadata={"summary": "binary d-cube (the appendix's family)",
+              "example": "hypercube:6"},
+)
+def _build_hypercube(rest: str) -> Hypercube:
+    return Hypercube(int(rest))
+
+
+@TOPOLOGIES.register(
+    "ring",
+    cls=Ring,
+    spell=lambda t: f"ring:{t.n}",
+    metadata={"summary": "bidirectional ring", "example": "ring:16"},
+)
+def _build_ring(rest: str) -> Ring:
+    return Ring(int(rest))
+
+
+@TOPOLOGIES.register(
+    "complete",
+    cls=Complete,
+    spell=lambda t: f"complete:{t.n}",
+    metadata={"summary": "complete graph (every PE adjacent)", "example": "complete:8"},
+)
+def _build_complete(rest: str) -> Complete:
+    return Complete(int(rest))
+
+
+@TOPOLOGIES.register(
+    "tree",
+    cls=KaryTree,
+    spell=lambda t: f"tree:{t.arity}x{t.levels}",
+    metadata={"summary": "k-ary tree (arity x levels)", "example": "tree:2x5"},
+)
+def _build_tree(rest: str) -> KaryTree:
+    arity, levels = (int(x) for x in rest.split("x"))
+    return KaryTree(arity, levels)
+
+
+@TOPOLOGIES.register(
+    "torus3d",
+    cls=Torus3D,
+    spell=lambda t: f"torus3d:{t.x}x{t.y}x{t.z}",
+    metadata={"summary": "3-D torus", "example": "torus3d:4x4x4"},
+)
+def _build_torus3d(rest: str) -> Torus3D:
+    x, y, z = (int(v) for v in rest.split("x"))
+    return Torus3D(x, y, z)
+
+
+@TOPOLOGIES.register(
+    "chordal",
+    cls=ChordalRing,
+    spell=lambda t: f"chordal:{t.n}x{t.chord}",
+    metadata={"summary": "ring with chords every `chord` steps",
+              "example": "chordal:25x5"},
+)
+def _build_chordal(rest: str) -> ChordalRing:
+    parts = [int(v) for v in rest.split("x")]
+    if len(parts) == 1:
+        return ChordalRing(parts[0])
+    return ChordalRing(parts[0], parts[1])
+
+
+@TOPOLOGIES.register(
+    "ccc",
+    cls=CubeConnectedCycles,
+    spell=lambda t: f"ccc:{t.d}",
+    metadata={"summary": "cube-connected cycles of dimension d", "example": "ccc:3"},
+)
+def _build_ccc(rest: str) -> CubeConnectedCycles:
+    return CubeConnectedCycles(int(rest))
+
+
+@TOPOLOGIES.register(
+    "star",
+    cls=Star,
+    spell=lambda t: f"star:{t.n}",
+    metadata={"summary": "hub-and-spoke star", "example": "star:16"},
+)
+def _build_star(rest: str) -> Star:
+    return Star(int(rest))
+
+
 def make(spec: str) -> Topology:
-    """Build a topology from a compact spec string.
+    """Build a topology from a compact spec string (via :data:`TOPOLOGIES`).
 
     Examples: ``grid:10x10``, ``dlm:5x10x10`` (span x rows x cols),
     ``hypercube:7``, ``ring:16``, ``complete:8``, ``tree:2x5``
     (arity x levels), ``torus3d:4x4x4``, ``chordal:25`` or
-    ``chordal:25x5`` (n x chord), ``ccc:3``, ``star:16``.
+    ``chordal:25x5`` (n x chord), ``ccc:3``, ``star:16``.  Unknown
+    kinds raise :class:`ValueError` listing the registered vocabulary
+    and the nearest match.
     """
-    kind, _, rest = spec.partition(":")
-    kind = kind.strip().lower()
-    try:
-        if kind == "grid":
-            rows, cols = (int(x) for x in rest.split("x"))
-            return Grid(rows, cols)
-        if kind == "dlm":
-            span, rows, cols = (int(x) for x in rest.split("x"))
-            return DoubleLatticeMesh(span, rows, cols)
-        if kind == "hypercube":
-            return Hypercube(int(rest))
-        if kind == "ring":
-            return Ring(int(rest))
-        if kind == "complete":
-            return Complete(int(rest))
-        if kind == "tree":
-            arity, levels = (int(x) for x in rest.split("x"))
-            return KaryTree(arity, levels)
-        if kind == "torus3d":
-            x, y, z = (int(v) for v in rest.split("x"))
-            return Torus3D(x, y, z)
-        if kind == "chordal":
-            parts = [int(v) for v in rest.split("x")]
-            if len(parts) == 1:
-                return ChordalRing(parts[0])
-            return ChordalRing(parts[0], parts[1])
-        if kind == "ccc":
-            return CubeConnectedCycles(int(rest))
-        if kind == "star":
-            return Star(int(rest))
-    except ValueError as exc:
-        raise ValueError(f"malformed topology spec {spec!r}: {exc}") from exc
-    raise ValueError(f"unknown topology kind {kind!r} in spec {spec!r}")
+    return TOPOLOGIES.make(spec)
 
 
 def spec_of(topology: Topology) -> str:
@@ -129,29 +225,7 @@ def spec_of(topology: Topology) -> str:
     Inverse of :func:`make`; topologies with parameters ``make`` cannot
     express (e.g. a no-wraparound :class:`Grid`) raise ``ValueError``.
     """
-    if type(topology) is Grid:
-        if not topology.wraparound:
-            raise ValueError("no spec-string syntax for a non-wraparound Grid")
-        return f"grid:{topology.rows}x{topology.cols}"
-    if type(topology) is DoubleLatticeMesh:
-        return f"dlm:{topology.span}x{topology.rows}x{topology.cols}"
-    if type(topology) is Hypercube:
-        return f"hypercube:{topology.dim}"
-    if type(topology) is Ring:
-        return f"ring:{topology.n}"
-    if type(topology) is Complete:
-        return f"complete:{topology.n}"
-    if type(topology) is KaryTree:
-        return f"tree:{topology.arity}x{topology.levels}"
-    if type(topology) is Torus3D:
-        return f"torus3d:{topology.x}x{topology.y}x{topology.z}"
-    if type(topology) is ChordalRing:
-        return f"chordal:{topology.n}x{topology.chord}"
-    if type(topology) is CubeConnectedCycles:
-        return f"ccc:{topology.d}"
-    if type(topology) is Star:
-        return f"star:{topology.n}"
-    raise ValueError(f"no spec-string syntax for {type(topology).__name__}")
+    return TOPOLOGIES.spec_of(topology)
 
 
 def canonical_spec(spec: str | Topology) -> str:

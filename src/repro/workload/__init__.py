@@ -9,7 +9,8 @@ from __future__ import annotations
 
 from collections.abc import Iterator
 
-from .._spec_util import fmt_num, require_defaults
+from .._spec_util import fmt_num, parse_kv, require_defaults
+from ..scenario.registry import Registry
 from .base import Goal, Leaf, Program, Split
 from .binomial import BinomialCoefficient
 from .composite import ParallelMix
@@ -39,6 +40,7 @@ __all__ = [
     "SkewedTree",
     "Split",
     "UnbalancedTreeSearch",
+    "WORKLOADS",
     "fib_calls",
     "fib_value",
     "record",
@@ -64,58 +66,158 @@ def paper_workloads(kind: str = "both") -> Iterator[Program]:
             yield Fibonacci(n)
 
 
+#: The open workload vocabulary: :func:`make` / :func:`spec_of` / the
+#: Scenario spec grammar / ``repro list workloads`` all read this one
+#: table.  Third parties extend it with ``@WORKLOADS.register`` or a
+#: ``repro.workloads`` entry point.
+WORKLOADS = Registry("workload", entry_point_group="repro.workloads")
+
+
+@WORKLOADS.register(
+    "dc",
+    cls=DivideConquer,
+    spell=lambda p: f"dc:{p.lo}:{p.hi}",
+    metadata={"summary": "the paper's divide-and-conquer program (lo : hi)",
+              "example": "dc:1:987"},
+)
+def _build_dc(rest: str) -> DivideConquer:
+    lo, hi = (int(x) for x in rest.split(":"))
+    return DivideConquer(lo, hi)
+
+
+@WORKLOADS.register(
+    "fib",
+    cls=Fibonacci,
+    spell=lambda p: f"fib:{p.n}",
+    metadata={"summary": "the paper's naive Fibonacci program", "example": "fib:15"},
+)
+def _build_fib(rest: str) -> Fibonacci:
+    return Fibonacci(int(rest))
+
+
+@WORKLOADS.register(
+    "queens",
+    cls=NQueens,
+    spell=lambda p: f"queens:{p.n}",
+    metadata={"summary": "n-queens backtracking tree", "example": "queens:8"},
+)
+def _build_queens(rest: str) -> NQueens:
+    return NQueens(int(rest))
+
+
+def _spell_random(program: RandomTree) -> str:
+    require_defaults(program, work_spread=4.0, max_depth=24)
+    return (
+        f"random:seed={program.seed},depth={program.expected_depth},"
+        f"children={program.max_children}"
+    )
+
+
+@WORKLOADS.register(
+    "random",
+    cls=RandomTree,
+    spell=_spell_random,
+    metadata={"summary": "random tree generator (seed, depth, children)",
+              "example": "random:seed=3,depth=8"},
+)
+def _build_random(rest: str) -> RandomTree:
+    kwargs = parse_kv(rest, int)
+    mapping = {"seed": "seed", "depth": "expected_depth", "children": "max_children"}
+    return RandomTree(**{mapping[k]: v for k, v in kwargs.items()})
+
+
+def _spell_cyclic(program: CyclicTree) -> str:
+    require_defaults(program, expand_depth=4, chain_depth=4)
+    return f"cyclic:{program.cycles}"
+
+
+@WORKLOADS.register(
+    "cyclic",
+    cls=CyclicTree,
+    spell=_spell_cyclic,
+    metadata={"summary": "expand/contract phases (load comes in waves)",
+              "example": "cyclic:3"},
+)
+def _build_cyclic(rest: str) -> CyclicTree:
+    return CyclicTree(int(rest)) if rest else CyclicTree()
+
+
+@WORKLOADS.register(
+    "skewed",
+    cls=SkewedTree,
+    spell=lambda p: f"skewed:{p.size}:{fmt_num(p.skew)}",
+    metadata={"summary": "deliberately unbalanced tree (size : skew)",
+              "example": "skewed:500:0.8"},
+)
+def _build_skewed(rest: str) -> SkewedTree:
+    size_s, _, skew_s = rest.partition(":")
+    return SkewedTree(int(size_s), float(skew_s) if skew_s else 0.7)
+
+
+@WORKLOADS.register(
+    "binom",
+    cls=BinomialCoefficient,
+    spell=lambda p: f"binom:{p.n_param}:{p.k_param}",
+    metadata={"summary": "binomial coefficient C(n, k) recursion", "example": "binom:16:8"},
+)
+def _build_binom(rest: str) -> BinomialCoefficient:
+    n_s, _, k_s = rest.partition(":")
+    return BinomialCoefficient(int(n_s), int(k_s))
+
+
+def _spell_uts(program: UnbalancedTreeSearch) -> str:
+    require_defaults(program, max_depth=200)
+    return (
+        f"uts:seed={program.seed},b0={program.root_children},"
+        f"q={fmt_num(program.q)},m={program.m}"
+    )
+
+
+@WORKLOADS.register(
+    "uts",
+    cls=UnbalancedTreeSearch,
+    spell=_spell_uts,
+    metadata={"summary": "unbalanced tree search (geometric branching)",
+              "example": "uts:seed=1,b0=12,q=0.4,m=2"},
+)
+def _build_uts(rest: str) -> UnbalancedTreeSearch:
+    kwargs = parse_kv(rest)
+    return UnbalancedTreeSearch(
+        seed=int(kwargs.get("seed", 0)),
+        root_children=int(kwargs.get("b0", 12)),
+        q=kwargs.get("q", 0.45),
+        m=int(kwargs.get("m", 2)),
+    )
+
+
+def _spell_qsort(program: QuicksortTree) -> str:
+    require_defaults(program, seed=0, cutoff=4)
+    return f"qsort:{program.size}:{fmt_num(program.pivot_bias)}"
+
+
+@WORKLOADS.register(
+    "qsort",
+    cls=QuicksortTree,
+    spell=_spell_qsort,
+    metadata={"summary": "quicksort recursion tree (size : pivot_bias)",
+              "example": "qsort:2000:0.5"},
+)
+def _build_qsort(rest: str) -> QuicksortTree:
+    size_s, _, bias_s = rest.partition(":")
+    return QuicksortTree(int(size_s), pivot_bias=float(bias_s) if bias_s else 0.0)
+
+
 def make(spec: str) -> Program:
-    """Build a workload from a compact spec string.
+    """Build a workload from a compact spec string (via :data:`WORKLOADS`).
 
     Examples: ``dc:1:4181``, ``fib:18``, ``queens:8``,
     ``random:seed=3,depth=8``, ``cyclic:3``, ``skewed:500:0.8``,
     ``binom:16:8``, ``uts:seed=1,b0=12,q=0.4,m=2``, ``qsort:2000`` or
-    ``qsort:2000:0.5`` (size : pivot_bias).
+    ``qsort:2000:0.5`` (size : pivot_bias).  Unknown kinds raise
+    :class:`ValueError` listing the registered vocabulary and the
+    nearest match.
     """
-    kind, _, rest = spec.partition(":")
-    kind = kind.strip().lower()
-    try:
-        if kind == "dc":
-            lo, hi = (int(x) for x in rest.split(":"))
-            return DivideConquer(lo, hi)
-        if kind == "fib":
-            return Fibonacci(int(rest))
-        if kind == "queens":
-            return NQueens(int(rest))
-        if kind == "random":
-            kwargs: dict[str, int] = {}
-            if rest:
-                for item in rest.split(","):
-                    key, _, val = item.partition("=")
-                    kwargs[key.strip()] = int(val)
-            mapping = {"seed": "seed", "depth": "expected_depth", "children": "max_children"}
-            return RandomTree(**{mapping[k]: v for k, v in kwargs.items()})
-        if kind == "cyclic":
-            return CyclicTree(int(rest)) if rest else CyclicTree()
-        if kind == "skewed":
-            size_s, _, skew_s = rest.partition(":")
-            return SkewedTree(int(size_s), float(skew_s) if skew_s else 0.7)
-        if kind == "binom":
-            n_s, _, k_s = rest.partition(":")
-            return BinomialCoefficient(int(n_s), int(k_s))
-        if kind == "uts":
-            kwargs: dict[str, float] = {}
-            if rest:
-                for item in rest.split(","):
-                    key, _, val = item.partition("=")
-                    kwargs[key.strip()] = float(val)
-            return UnbalancedTreeSearch(
-                seed=int(kwargs.get("seed", 0)),
-                root_children=int(kwargs.get("b0", 12)),
-                q=kwargs.get("q", 0.45),
-                m=int(kwargs.get("m", 2)),
-            )
-        if kind == "qsort":
-            size_s, _, bias_s = rest.partition(":")
-            return QuicksortTree(int(size_s), pivot_bias=float(bias_s) if bias_s else 0.0)
-    except (ValueError, KeyError) as exc:
-        raise ValueError(f"malformed workload spec {spec!r}: {exc}") from exc
-    raise ValueError(f"unknown workload kind {kind!r} in spec {spec!r}")
+    return WORKLOADS.make(spec)
 
 
 def spec_of(program: Program) -> str:
@@ -129,35 +231,7 @@ def spec_of(program: Program) -> str:
     ``work_spread`` — raise ``ValueError``; the parallel farm falls back
     to in-process execution for those.
     """
-    if type(program) is DivideConquer:
-        return f"dc:{program.lo}:{program.hi}"
-    if type(program) is Fibonacci:
-        return f"fib:{program.n}"
-    if type(program) is NQueens:
-        return f"queens:{program.n}"
-    if type(program) is RandomTree:
-        require_defaults(program, work_spread=4.0, max_depth=24)
-        return (
-            f"random:seed={program.seed},depth={program.expected_depth},"
-            f"children={program.max_children}"
-        )
-    if type(program) is CyclicTree:
-        require_defaults(program, expand_depth=4, chain_depth=4)
-        return f"cyclic:{program.cycles}"
-    if type(program) is SkewedTree:
-        return f"skewed:{program.size}:{fmt_num(program.skew)}"
-    if type(program) is BinomialCoefficient:
-        return f"binom:{program.n_param}:{program.k_param}"
-    if type(program) is UnbalancedTreeSearch:
-        require_defaults(program, max_depth=200)
-        return (
-            f"uts:seed={program.seed},b0={program.root_children},"
-            f"q={fmt_num(program.q)},m={program.m}"
-        )
-    if type(program) is QuicksortTree:
-        require_defaults(program, seed=0, cutoff=4)
-        return f"qsort:{program.size}:{fmt_num(program.pivot_bias)}"
-    raise ValueError(f"no spec-string syntax for {type(program).__name__}")
+    return WORKLOADS.spec_of(program)
 
 
 def canonical_spec(spec: str | Program) -> str:

@@ -24,13 +24,77 @@ class TestRunCommand:
         for strat in ("cwn", "gm", "acwn", "local", "random", "roundrobin"):
             assert main(["run", "fib:7", "grid:4x4", strat]) == 0
 
-    def test_bad_workload_spec_raises(self):
-        with pytest.raises(ValueError):
+    def test_bad_workload_spec_exits(self, capsys):
+        with pytest.raises(SystemExit) as info:
             main(["run", "fib:x", "grid:4x4", "cwn"])
+        assert info.value.code == 2
+        assert "malformed workload spec" in capsys.readouterr().err
+
+    def test_unknown_strategy_lists_registry(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(["run", "fib:9 @ grid:4x4 / cwm"])
+        assert info.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown strategy" in err
+        assert "did you mean 'cwn'?" in err
 
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_run_scenario_spec(self, capsys):
+        assert main(["run", "fib:9 @ grid:4x4 / cwn?seed=3"]) == 0
+        out = capsys.readouterr().out
+        assert "cwn" in out and "fib(9)" in out
+
+    def test_scenario_and_legacy_forms_share_cache(self, capsys):
+        assert main(["run", "fib:8", "grid:4x4", "gm", "--seed", "5"]) == 0
+        capsys.readouterr()
+        assert main(["run", "fib:8 @ grid:4x4 / gm?seed=5"]) == 0
+        captured = capsys.readouterr()
+        assert "[farm] 1 cache hits, 0 simulated" in captured.err
+
+    def test_cfg_seed_override_not_clobbered_by_default(self, capsys):
+        # ?cfg.seed= and ?seed= are the same run (the canonical form
+        # folds the seed into the config), so the second invocation must
+        # hit the first one's cache entry instead of simulating under
+        # the --seed default.
+        assert main(["run", "fib:8 @ grid:4x4 / cwn?cfg.seed=7"]) == 0
+        capsys.readouterr()
+        assert main(["run", "fib:8 @ grid:4x4 / cwn?seed=7"]) == 0
+        assert "[farm] 1 cache hits, 0 simulated" in capsys.readouterr().err
+
+    def test_explicit_seed_flag_wins_over_spec(self, capsys):
+        assert main(["run", "fib:8 @ grid:4x4 / cwn?seed=7", "--seed", "2"]) == 0
+        capsys.readouterr()
+        assert main(["run", "fib:8 @ grid:4x4 / cwn?seed=2"]) == 0
+        assert "[farm] 1 cache hits, 0 simulated" in capsys.readouterr().err
+
+    def test_run_two_positionals_rejected(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(["run", "fib:9", "grid:4x4"])
+        assert info.value.code == 2
+        assert "three parts" in capsys.readouterr().err
+
+
+class TestListCommand:
+    def test_list_all_sections(self, capsys):
+        from repro.core import STRATEGIES
+        from repro.topology import TOPOLOGIES
+        from repro.workload import WORKLOADS
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for title in ("strategies:", "topologies:", "workloads:"):
+            assert title in out
+        for registry in (STRATEGIES, TOPOLOGIES, WORKLOADS):
+            for name in registry.names():
+                assert f"  {name}" in out
+
+    def test_list_one_section(self, capsys):
+        assert main(["list", "topologies"]) == 0
+        out = capsys.readouterr().out
+        assert "grid" in out and "strategies:" not in out
 
 
 class TestTable2Report:
