@@ -141,3 +141,23 @@ def test_end_to_end_floor():
         ).run()
 
     assert _events_per_second(run, lambda r: r.events_executed) > 25_000
+
+
+def test_disabled_telemetry_floor():
+    """The ISSUE-6 observability contract: with no telemetry sink
+    configured, a sampled end-to-end run pays only a handful of
+    ``sink() is None`` checks and must clear the same 25k evt/s floor —
+    the per-event hot path is untouched by instrumentation."""
+    from repro.obs import telemetry
+
+    assert telemetry.sink() is None, "floor must measure the disabled path"
+
+    def run():
+        return Machine(
+            Grid(8, 8),
+            Fibonacci(13),
+            CWN(radius=5, horizon=1),
+            SimConfig(seed=1, sample_interval=50.0, sample_per_pe=True),
+        ).run()
+
+    assert _events_per_second(run, lambda r: r.events_executed) > 25_000

@@ -1,0 +1,81 @@
+"""Telemetry overhead: the same run with the sink off, on, and sampling.
+
+The observability layer's contract is that *disabled* telemetry is free:
+the per-event kernel hot path carries no instrumentation at all, and the
+per-run / per-sample sites pay one ``sink() is None`` check each.  This
+bench pins that claim with numbers — the fib(13) @ Grid(8,8) / CWN
+flagship run measured three ways:
+
+* **off** — no sink configured (the default, and the bench_kernel floor);
+* **on** — a sink writing to an in-memory buffer: run.start/run.finish
+  only, so the delta is two ``emit`` calls per run;
+* **sampling** — sink plus ``SimConfig(sample_interval=50,
+  sample_per_pe=True)``: one ``sample`` event (with a 64-float frame)
+  per tick, the ``repro watch`` feed.
+
+The off/on ratio should be indistinguishable from 1.0; sampling adds
+work proportional to frames, not events.
+"""
+
+from __future__ import annotations
+
+import io
+import time
+
+from repro.core import CWN
+from repro.obs import telemetry
+from repro.oracle.config import SimConfig
+from repro.oracle.machine import Machine
+from repro.topology import Grid
+from repro.workload import Fibonacci
+
+
+def _flagship(sample: bool = False) -> SimConfig:
+    if sample:
+        return SimConfig(seed=1, sample_interval=50.0, sample_per_pe=True)
+    return SimConfig(seed=1)
+
+
+def _run(cfg: SimConfig):
+    return Machine(Grid(8, 8), Fibonacci(13), CWN(radius=5, horizon=1), cfg).run()
+
+
+def _best_seconds(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_telemetry_overhead(benchmark, save_artifact):
+    assert telemetry.sink() is None
+
+    off_s = _best_seconds(lambda: _run(_flagship()))
+
+    def run_instrumented():
+        with telemetry.capture():
+            return _run(_flagship())
+
+    benchmark.pedantic(run_instrumented, rounds=1)
+    on_s = _best_seconds(run_instrumented)
+
+    with telemetry.capture() as sink:
+        sampling_s = _best_seconds(lambda: _run(_flagship(sample=True)))
+        events = len(telemetry.read_events(sink._fh))
+
+    result = _run(_flagship())
+    lines = [
+        "telemetry overhead — fib(13) @ grid:8x8 / cwn "
+        f"({result.events_executed:,} events)",
+        f"  off      : {off_s * 1000:8.1f} ms",
+        f"  on       : {on_s * 1000:8.1f} ms  ({on_s / off_s:.2f}x off)",
+        f"  sampling : {sampling_s * 1000:8.1f} ms  "
+        f"({sampling_s / off_s:.2f}x off, {events} events emitted)",
+    ]
+    save_artifact("telemetry_overhead", "\n".join(lines))
+    # Cross-machine-safe bound: enabled-but-quiet telemetry (two emits
+    # per run) must never cost a multiple of the uninstrumented run.
+    assert on_s < off_s * 3.0
+    assert result.result_value == 233

@@ -14,3 +14,12 @@ python -m compileall -q src tests benchmarks
 
 echo "== pytest -m 'not slow' =="
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -q -m "not slow" "$@"
+
+echo "== repro bench --quick vs committed BENCH (tolerance 4x) =="
+# Write to a temp point so the committed baseline is never clobbered
+# locally; 4x is looser than the same-machine default (2x) but far
+# tighter than CI's cross-machine 10x.
+BENCH_TMP="$(mktemp -t repro-bench-XXXXXX.json)"
+trap 'rm -f "$BENCH_TMP"' EXIT
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro bench --quick \
+  --out "$BENCH_TMP" --compare BENCH_6.json --tolerance 4

@@ -20,7 +20,11 @@ Commands map one-to-one onto the experiment modules:
 * ``repro zoo`` — every implemented strategy on one scenario;
 * ``repro bounds fib:15 grid:10x10`` — analytic completion-time bounds;
 * ``repro monitor fib:13 grid:8x8 cwn`` — the red/blue load film;
-* ``repro cache stats|clear`` — the on-disk simulation result cache.
+* ``repro cache stats|clear`` — the on-disk simulation result cache
+  (``stats --json`` for machine consumption);
+* ``repro bench`` — the perf-trajectory harness: canonical benches into
+  a schema-versioned ``BENCH_<n>.json``, ``--compare`` as a CI gate;
+* ``repro watch`` — live dashboard over a ``REPRO_TELEMETRY`` stream.
 
 All experiment commands accept ``--full`` to run at paper scale
 (equivalently, set ``REPRO_FULL=1``), plus the global farm flags
@@ -75,6 +79,12 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="bypass the on-disk result cache (runs otherwise skip "
         "previously computed cells and persist fresh ones)",
+    )
+    farm.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the [farm] hit/miss summary line on stderr "
+        "(the structured farm.summary telemetry event still fires)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -170,6 +180,76 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="cache directory (default: REPRO_CACHE_DIR or ~/.cache/repro-kale88)",
     )
+    cachep.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable stats (entries, bytes, schema) on stdout",
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="perf-trajectory harness: run the canonical benches, "
+        "write BENCH_<n>.json, optionally gate against a baseline",
+        description="Run the canonical kernel/construction/farm benches "
+        "and write a schema-versioned BENCH_<n>.json trajectory point. "
+        "With --compare, exit nonzero when any metric is worse than the "
+        "baseline by more than the tolerance factor.",
+    )
+    bench.add_argument(
+        "--quick", action="store_true", help="fewer repeats (the CI setting)"
+    )
+    bench.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="where to write the trajectory point (default: ./BENCH_<n>.json)",
+    )
+    bench.add_argument(
+        "--compare",
+        default=None,
+        metavar="BASELINE",
+        help="previous BENCH_*.json to gate against (loaded before --out "
+        "is written, so both may name the same file)",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=2.0,
+        metavar="FACTOR",
+        help="allowed worsening factor per metric (default 2.0; CI uses "
+        "10.0 — the repo's cross-machine margin convention)",
+    )
+    bench.add_argument(
+        "--json", action="store_true", help="print the metrics as JSON on stdout"
+    )
+
+    watch = sub.add_parser(
+        "watch",
+        help="live dashboard over a telemetry stream (ORACLE's monitor, "
+        "rebuilt over REPRO_TELEMETRY)",
+        description="Tail a telemetry JSONL stream from a running farm or "
+        "sweep and render per-PE heat frames plus farm panels.  Keys in "
+        "the live TTY view: q quits.  Without a TTY, prints one status "
+        "line per refresh; --once renders a single snapshot and exits.",
+    )
+    watch.add_argument(
+        "--file",
+        default=None,
+        metavar="PATH",
+        help="telemetry stream to follow (default: $REPRO_TELEMETRY)",
+    )
+    watch.add_argument(
+        "--once",
+        action="store_true",
+        help="render one snapshot of the whole stream and exit",
+    )
+    watch.add_argument(
+        "--interval", type=float, default=0.5, help="refresh period in seconds"
+    )
+    watch.add_argument(
+        "--cols", type=int, default=None, help="heat-frame width override"
+    )
+    watch.add_argument("--color", action="store_true", help="ANSI 256-color frames")
     return parser
 
 
@@ -203,15 +283,22 @@ def _farmed(args: argparse.Namespace):
     Yields ``(jobs, cache)`` for the experiment call and, when the body
     completes, sums the telemetry of every plan executed inside it onto
     stderr (stdout stays diff-identical to a serial, uncached run).
+    The same summary is emitted as a structured ``farm.summary``
+    telemetry event; ``--quiet`` suppresses only the human line.
     """
     from .experiments.plan import collect_reports
+    from .obs import telemetry
 
     jobs, cache = _farm_args(args)
     with collect_reports() as reports:
         yield jobs, cache
     hits = sum(r.hits for r in reports)
     simulated = sum(r.executed for r in reports)
-    print(f"[farm] {hits} cache hits, {simulated} simulated", file=sys.stderr)
+    telemetry.emit(
+        "farm.summary", hits=hits, simulated=simulated, plans=len(reports)
+    )
+    if not getattr(args, "quiet", False):
+        print(f"[farm] {hits} cache hits, {simulated} simulated", file=sys.stderr)
 
 
 def _plan_one(
@@ -539,6 +626,21 @@ def _cmd_cache(args: argparse.Namespace) -> None:
     cache = ResultCache(args.dir)
     if args.action == "stats":
         stats = cache.stats()
+        if getattr(args, "json", False):
+            import json
+
+            print(
+                json.dumps(
+                    {
+                        "root": str(stats.root),
+                        "schema": stats.schema,
+                        "entries": stats.entries,
+                        "total_bytes": stats.total_bytes,
+                    },
+                    indent=2,
+                )
+            )
+            return
         print(f"cache dir    : {stats.root}")
         print(f"schema       : v{stats.schema}")
         print(f"entries      : {stats.entries}")
@@ -546,6 +648,35 @@ def _cmd_cache(args: argparse.Namespace) -> None:
     else:
         removed = cache.clear()
         print(f"removed {removed} cached result(s) from {cache.root}")
+
+
+def _cmd_bench(args: argparse.Namespace) -> None:
+    from .obs import bench
+
+    code = bench.main(
+        quick=args.quick,
+        out=args.out,
+        compare=args.compare,
+        tolerance=args.tolerance,
+        as_json=args.json,
+    )
+    if code:
+        raise SystemExit(code)
+
+
+def _cmd_watch(args: argparse.Namespace) -> None:
+    from .obs import watch
+
+    try:
+        if args.once:
+            print(watch.watch_once(args.file, color=args.color, cols=args.cols))
+        else:
+            watch.watch_live(
+                args.file, interval=args.interval, color=args.color, cols=args.cols
+            )
+    except ValueError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        raise SystemExit(2) from None
 
 
 _COMMANDS = {
@@ -565,11 +696,16 @@ _COMMANDS = {
     "monitor": _cmd_monitor,
     "cache": _cmd_cache,
     "list": _cmd_list,
+    "bench": _cmd_bench,
+    "watch": _cmd_watch,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    from .obs import telemetry
+
+    telemetry.init_from_env()
     args = _build_parser().parse_args(argv)
     if getattr(args, "full", False):
         import os

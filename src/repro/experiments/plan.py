@@ -36,6 +36,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Sequence
 
+from ..obs import telemetry as _telemetry
 from ..oracle.config import SimConfig
 from ..oracle.stats import SimResult
 from ..parallel import ResultCache, RunSpec, run_batch
@@ -330,5 +331,15 @@ def execute(
     )
     for sink in _collectors:
         sink.append(outcome)
+    _telemetry.emit(
+        "plan.report",
+        plan=outcome.plan,
+        runs=outcome.runs,
+        hits=outcome.hits,
+        simulated=outcome.simulated,
+        local=outcome.local,
+        retried=outcome.retried,
+        failures=len(outcome.failures),
+    )
 
     return plan.reduce(results, plan.labels)

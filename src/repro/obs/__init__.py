@@ -1,0 +1,45 @@
+"""Observability: telemetry events, the perf-trajectory bench, ``watch``.
+
+ORACLE shipped a graphics monitor alongside the simulator ("utilization
+of each PE is output at every sampling interval ... particularly useful
+for debugging the load balancing strategies").  This package is our
+production-shaped descendant of that facility, in three faces:
+
+* :mod:`repro.obs.telemetry` — an opt-in, near-zero-overhead sink the
+  engine sampler, the farm, and the result cache publish JSONL events
+  into (``REPRO_TELEMETRY=/path/to/stream.jsonl``);
+* :mod:`repro.obs.bench` — the ``repro bench`` perf-trajectory harness:
+  canonical kernel/construction/farm benches written to a
+  schema-versioned ``BENCH_<n>.json`` per PR, with ``--compare``
+  regression gating for CI;
+* :mod:`repro.obs.watch` — the ``repro watch`` live dashboard: tails a
+  telemetry stream and renders per-PE heat frames plus farm panels.
+"""
+
+from .telemetry import (
+    NULL_COUNTER,
+    TELEMETRY_SCHEMA,
+    Telemetry,
+    capture,
+    configure,
+    counter,
+    emit,
+    enabled,
+    init_from_env,
+    read_events,
+    sink,
+)
+
+__all__ = [
+    "NULL_COUNTER",
+    "TELEMETRY_SCHEMA",
+    "Telemetry",
+    "capture",
+    "configure",
+    "counter",
+    "emit",
+    "enabled",
+    "init_from_env",
+    "read_events",
+    "sink",
+]

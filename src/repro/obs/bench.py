@@ -1,0 +1,310 @@
+"""``repro bench``: the perf-trajectory harness.
+
+Every performance claim in this reproduction's history — the 1.78x
+callback-kernel win, the 6 s → 15 ms closed-form machine construction —
+used to live only in commit messages.  This harness makes the trajectory
+a first-class artifact: it runs the canonical benches and writes a
+schema-versioned ``BENCH_<n>.json`` at the repo root, one per PR, and
+``repro bench --compare BENCH_prev.json`` exits nonzero when a metric
+regresses beyond a tolerance factor — the CI perf gate.
+
+Canonical benches (quick mode shrinks repeats, not coverage):
+
+* **kernel** — raw calendar schedule-and-fire throughput, plus the
+  end-to-end fib(13) @ Grid(8,8) / CWN events/s that PR 3 optimized;
+* **construction** — wall-clock ms to wire a full Machine around
+  Grid(64,64) and Hypercube(12), the closed-form-routing win of PR 4;
+* **farm** — cold-cache batch throughput through
+  :func:`repro.parallel.run_batch` and the warm-rerun cache hit rate
+  (which must be 1.0: a warm rerun simulates nothing).
+
+All metrics carry a ``higher_is_better`` direction so the comparison is
+mechanical; timings use best-of-N to shed scheduler noise.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+from . import telemetry as _telemetry
+
+__all__ = [
+    "BENCH_NUMBER",
+    "BENCH_SCHEMA",
+    "Metric",
+    "compare_metrics",
+    "default_bench_path",
+    "load_bench",
+    "run_benches",
+    "write_bench",
+]
+
+#: Version of the BENCH_*.json payload layout.
+BENCH_SCHEMA = 1
+
+#: This PR's trajectory point: ``repro bench`` writes ``BENCH_6.json``.
+BENCH_NUMBER = 6
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One benchmark measurement with its comparison direction."""
+
+    value: float
+    unit: str
+    higher_is_better: bool = True
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "value": self.value,
+            "unit": self.unit,
+            "higher_is_better": self.higher_is_better,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Metric":
+        return cls(
+            value=float(data["value"]),
+            unit=str(data["unit"]),
+            higher_is_better=bool(data["higher_is_better"]),
+        )
+
+
+def _best_seconds(fn: Callable[[], Any], repeats: int) -> tuple[float, Any]:
+    """Minimum wall-clock over ``repeats`` calls, plus the last result."""
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+# -- the canonical benches -------------------------------------------------------
+
+def bench_kernel(quick: bool = False) -> dict[str, Metric]:
+    """Calendar and end-to-end simulator throughput (events/s)."""
+    from repro.core import CWN
+    from repro.oracle.config import SimConfig
+    from repro.oracle.engine import Engine
+    from repro.oracle.machine import Machine
+    from repro.topology import Grid
+    from repro.workload import Fibonacci
+
+    repeats = 2 if quick else 5
+
+    count = 20_000 if quick else 50_000
+
+    def calendar() -> Engine:
+        engine = Engine()
+        for i in range(count):
+            engine.schedule(float(i % 97), lambda _: None)
+        engine.run()
+        return engine
+
+    cal_s, engine = _best_seconds(calendar, repeats)
+
+    def end_to_end():
+        return Machine(
+            Grid(8, 8), Fibonacci(13), CWN(radius=5, horizon=1), SimConfig(seed=1)
+        ).run()
+
+    sim_s, result = _best_seconds(end_to_end, repeats)
+    assert result.result_value == 233, "kernel bench computed the wrong fib(13)"
+    return {
+        "calendar_events_per_s": Metric(engine.events_executed / cal_s, "events/s"),
+        "kernel_events_per_s": Metric(result.events_executed / sim_s, "events/s"),
+    }
+
+
+def bench_construction(quick: bool = False) -> dict[str, Metric]:
+    """Machine-construction latency on the PR-4 flagship shapes (ms)."""
+    from repro.core import paper_cwn
+    from repro.oracle.config import SimConfig
+    from repro.oracle.machine import Machine
+    from repro.topology import Grid, Hypercube
+    from repro.workload import Fibonacci
+
+    repeats = 2 if quick else 5
+    metrics: dict[str, Metric] = {}
+    for key, make in (
+        ("grid64x64_construct_ms", lambda: Grid(64, 64)),
+        ("hypercube12_construct_ms", lambda: Hypercube(12)),
+    ):
+        def build():
+            topology = make()
+            return Machine(
+                topology, Fibonacci(12), paper_cwn(topology.family), SimConfig(seed=1)
+            )
+
+        seconds, _machine = _best_seconds(build, repeats)
+        metrics[key] = Metric(seconds * 1000.0, "ms", higher_is_better=False)
+    return metrics
+
+
+def bench_farm(quick: bool = False) -> dict[str, Metric]:
+    """Batch throughput cold, and the warm-rerun hit rate (must be 1.0)."""
+    from repro.parallel import ResultCache, RunSpec, run_batch
+
+    n_specs = 4 if quick else 8
+    specs = [
+        RunSpec.build("fib:11", "grid:4x4", "cwn", seed=seed)
+        for seed in range(1, n_specs + 1)
+    ]
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as root:
+        cache = ResultCache(root)
+        start = time.perf_counter()
+        cold = run_batch(specs, jobs=2, cache=cache)
+        cold_s = time.perf_counter() - start
+        assert cold.simulated == n_specs, "cold batch should simulate everything"
+        # The warm rerun is all cache lookups (~ms), so unlike the cold
+        # pass it can and must repeat: best-of-N sheds the FS noise.
+        warm_s, warm = _best_seconds(
+            lambda: run_batch(specs, jobs=2, cache=cache), 3 if quick else 5
+        )
+    return {
+        "farm_runs_per_s": Metric(n_specs / cold_s, "runs/s"),
+        "warm_cache_hit_rate": Metric(warm.hits / n_specs, "fraction"),
+        "warm_batch_ms": Metric(warm_s * 1000.0, "ms", higher_is_better=False),
+    }
+
+
+def run_benches(quick: bool = False) -> dict[str, Metric]:
+    """All canonical benches, emitting one telemetry event per metric."""
+    metrics: dict[str, Metric] = {}
+    for group in (bench_kernel, bench_construction, bench_farm):
+        for name, metric in group(quick).items():
+            metrics[name] = metric
+            _telemetry.emit(
+                "bench.metric", name=name, value=metric.value, unit=metric.unit
+            )
+    return metrics
+
+
+# -- the BENCH_<n>.json artifact -------------------------------------------------
+
+def default_bench_path(root: str | Path = ".") -> Path:
+    """Where this PR's trajectory point lives: ``<root>/BENCH_6.json``."""
+    return Path(root) / f"BENCH_{BENCH_NUMBER}.json"
+
+
+def write_bench(
+    metrics: dict[str, Metric],
+    path: str | Path,
+    quick: bool = False,
+) -> Path:
+    """Write a schema-versioned trajectory point."""
+    path = Path(path)
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "bench": BENCH_NUMBER,
+        "quick": quick,
+        "meta": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "metrics": {name: metric.to_dict() for name, metric in metrics.items()},
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_bench(path: str | Path) -> dict[str, Metric]:
+    """Read a trajectory point's metrics back (schema checked)."""
+    payload = json.loads(Path(path).read_text())
+    schema = payload.get("schema")
+    if schema != BENCH_SCHEMA:
+        raise ValueError(
+            f"{path}: bench schema {schema!r} != supported {BENCH_SCHEMA}"
+        )
+    return {
+        name: Metric.from_dict(data) for name, data in payload["metrics"].items()
+    }
+
+
+def compare_metrics(
+    current: dict[str, Metric],
+    baseline: dict[str, Metric],
+    tolerance: float = 2.0,
+) -> list[str]:
+    """Regressions of ``current`` against ``baseline``, as report lines.
+
+    ``tolerance`` is the allowed worsening *factor*: with the default
+    2.0 a throughput metric fails below half the baseline and a latency
+    metric fails above twice it.  CI compares across unlike machines, so
+    it passes a larger factor (the repo convention is a 10x margin).
+    Metrics present on only one side are ignored — the trajectory may
+    gain benches over time.
+    """
+    if tolerance < 1.0:
+        raise ValueError(f"tolerance is a worsening factor >= 1.0 (got {tolerance})")
+    regressions: list[str] = []
+    for name, metric in sorted(current.items()):
+        base = baseline.get(name)
+        if base is None or base.value == 0:
+            continue
+        if metric.higher_is_better:
+            worse_by = base.value / metric.value if metric.value > 0 else float("inf")
+        else:
+            worse_by = metric.value / base.value
+        if worse_by > tolerance:
+            direction = "below" if metric.higher_is_better else "above"
+            regressions.append(
+                f"{name}: {metric.value:.4g} {metric.unit} is {worse_by:.2f}x "
+                f"{direction} baseline {base.value:.4g} "
+                f"(tolerance {tolerance:.2f}x)"
+            )
+    return regressions
+
+
+def render_metrics(metrics: dict[str, Metric]) -> str:
+    """Human-readable metric table (the command's stdout)."""
+    width = max(len(name) for name in metrics) if metrics else 0
+    lines = []
+    for name, metric in sorted(metrics.items()):
+        arrow = "^" if metric.higher_is_better else "v"
+        lines.append(f"  {name:<{width}}  {metric.value:>14,.2f} {metric.unit} ({arrow})")
+    return "\n".join(lines)
+
+
+def main(
+    quick: bool = False,
+    out: str | Path | None = None,
+    compare: str | Path | None = None,
+    tolerance: float = 2.0,
+    as_json: bool = False,
+) -> int:
+    """The ``repro bench`` command body; returns the process exit code.
+
+    Runs the benches, loads the baseline (if any) *before* writing —
+    so ``--out X --compare X`` refreshes the artifact and still gates
+    against the committed point — then reports regressions.
+    """
+    metrics = run_benches(quick=quick)
+    baseline = None
+    if compare is not None:
+        baseline = load_bench(compare)
+    path = write_bench(metrics, default_bench_path() if out is None else out, quick=quick)
+    if as_json:
+        print(json.dumps({n: m.to_dict() for n, m in sorted(metrics.items())}, indent=2))
+    else:
+        print(f"bench ({'quick' if quick else 'full'}) -> {path}")
+        print(render_metrics(metrics))
+    if baseline is None:
+        return 0
+    regressions = compare_metrics(metrics, baseline, tolerance=tolerance)
+    if regressions:
+        print(f"\nPERF REGRESSION vs {compare}:", file=sys.stderr)
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"\nno regressions vs {compare} (tolerance {tolerance:.2f}x)")
+    return 0

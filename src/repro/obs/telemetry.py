@@ -1,0 +1,319 @@
+"""Opt-in JSONL telemetry: counters, gauges, timers, structured events.
+
+The simulator's instrumented layers (the machine's tick sampler, the
+farm orchestrator, the result cache, the plan engine) all publish into
+one module-level sink.  The design constraint is the Engine/PE hot path:
+telemetry must cost *nothing* when nobody asked for it, so
+
+* the sink is a single module global, ``None`` when disabled;
+* every publishing site guards with ``if _sink is not None`` (or calls
+  the module-level :func:`emit`, which does the same one comparison);
+* :func:`counter` hands out the shared :data:`NULL_COUNTER` no-op
+  singleton when disabled, so a hot loop can hold a counter reference
+  unconditionally and still pay only a no-op method call.
+
+Enabled, the sink appends one JSON object per line (JSONL) to a file —
+append-only so concurrent farm workers (which inherit the destination
+via fork, or re-open it via ``REPRO_TELEMETRY`` under spawn) interleave
+whole lines rather than corrupt each other.  Every record carries the
+schema version and a wall-clock timestamp::
+
+    {"v": 1, "ev": "run.finish", "wall": 1754550000.1, "events": 7613, ...}
+
+Enable with ``REPRO_TELEMETRY=/path/to/stream.jsonl`` (the CLI and farm
+workers pick it up automatically) or programmatically via
+:func:`configure` / the :func:`capture` context manager.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import sys
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator, TextIO
+
+__all__ = [
+    "NULL_COUNTER",
+    "TELEMETRY_SCHEMA",
+    "Counter",
+    "NullCounter",
+    "Telemetry",
+    "capture",
+    "configure",
+    "counter",
+    "emit",
+    "enabled",
+    "init_from_env",
+    "read_events",
+    "sink",
+]
+
+#: Version stamped into every record ("v"); bump when field meanings
+#: change so ``repro watch`` and downstream consumers can discriminate.
+TELEMETRY_SCHEMA = 1
+
+#: Environment variable naming the JSONL destination ("-" = stderr).
+ENV_VAR = "REPRO_TELEMETRY"
+
+
+class NullCounter:
+    """The disabled counter: every operation is a no-op.
+
+    There is exactly one instance (:data:`NULL_COUNTER`); hot paths that
+    fetch a counter while telemetry is off all share it, so "telemetry
+    disabled" costs one identity-returning call at setup and a no-op
+    method per increment — nothing allocates, nothing branches on state.
+    """
+
+    __slots__ = ()
+
+    def add(self, n: int = 1) -> None:
+        pass
+
+    @property
+    def value(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "NullCounter()"
+
+
+#: the shared disabled counter (see :class:`NullCounter`)
+NULL_COUNTER = NullCounter()
+
+
+class Counter:
+    """A named monotone counter owned by a live :class:`Telemetry` sink.
+
+    Counters accumulate in memory and are flushed as one ``counters``
+    event when the sink closes (or on :meth:`Telemetry.flush_counters`),
+    so incrementing is a pure in-process add — no I/O per increment.
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, n: int = 1) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Telemetry:
+    """One JSONL event sink.
+
+    ``destination`` is a path (opened append, line-buffered) or any
+    object with a ``write`` method (a ``StringIO`` in tests, ``stderr``
+    for quick looks).  A write error permanently disables the sink
+    rather than crashing a long sweep half-way through.
+    """
+
+    def __init__(
+        self,
+        destination: str | Path | TextIO,
+        *,
+        clock: Any = time.time,
+    ) -> None:
+        self._clock = clock
+        self._counters: dict[str, Counter] = {}
+        self._broken = False
+        if hasattr(destination, "write"):
+            self._fh: TextIO = destination  # type: ignore[assignment]
+            self._owns_fh = False
+            self.path: Path | None = None
+        else:
+            self.path = Path(destination)
+            if self.path.parent != Path("."):
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a", buffering=1, encoding="utf-8")
+            self._owns_fh = True
+
+    # -- events ------------------------------------------------------------------
+
+    def emit(self, event: str, **fields: Any) -> None:
+        """Append one event record (whole line, schema + wall stamped)."""
+        if self._broken:
+            return
+        record: dict[str, Any] = {"v": TELEMETRY_SCHEMA, "ev": event, "wall": self._clock()}
+        record.update(fields)
+        try:
+            self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        except (OSError, ValueError):
+            # A full disk or closed pipe must not take the simulation
+            # down with it; telemetry degrades to silence.
+            self._broken = True
+
+    def gauge(self, name: str, value: float, **fields: Any) -> None:
+        """Emit one instantaneous measurement."""
+        self.emit("gauge", name=name, value=value, **fields)
+
+    @contextmanager
+    def timer(self, name: str, **fields: Any) -> Iterator[None]:
+        """Time a with-block and emit a ``timer`` event on exit."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.emit(
+                "timer", name=name, seconds=time.perf_counter() - start, **fields
+            )
+
+    # -- counters ----------------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """The named counter (created on first use, one per name)."""
+        found = self._counters.get(name)
+        if found is None:
+            found = self._counters[name] = Counter(name)
+        return found
+
+    def flush_counters(self) -> None:
+        """Emit accumulated counters as one ``counters`` event (if any)."""
+        if self._counters:
+            self.emit(
+                "counters", values={c.name: c.value for c in self._counters.values()}
+            )
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush counters and release the file handle (if owned)."""
+        self.flush_counters()
+        if self._owns_fh:
+            try:
+                self._fh.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+        self._broken = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = self.path if self.path is not None else self._fh
+        return f"Telemetry({where})"
+
+
+# ---------------------------------------------------------------------------
+# The module-level sink: the one switch every instrumented layer checks.
+# ---------------------------------------------------------------------------
+
+_sink: Telemetry | None = None
+
+
+def sink() -> Telemetry | None:
+    """The active sink, or ``None`` while telemetry is disabled.
+
+    Instrumented code holds this in a local and guards emissions with
+    ``if t is not None`` — the entire disabled-mode cost.
+    """
+    return _sink
+
+
+def enabled() -> bool:
+    """True when a sink is configured."""
+    return _sink is not None
+
+
+def emit(event: str, **fields: Any) -> None:
+    """Emit through the module sink; a no-op while disabled."""
+    t = _sink
+    if t is not None:
+        t.emit(event, **fields)
+
+
+def counter(name: str) -> Counter | NullCounter:
+    """The module sink's named counter, or :data:`NULL_COUNTER` when off."""
+    t = _sink
+    if t is None:
+        return NULL_COUNTER
+    return t.counter(name)
+
+
+def configure(destination: str | Path | TextIO | None) -> Telemetry | None:
+    """Install (or with ``None`` remove) the module-level sink.
+
+    Returns the new sink.  The previous sink, if any, is closed when the
+    module owned its file handle.
+    """
+    global _sink
+    if _sink is not None:
+        _sink.close()
+    _sink = None if destination is None else Telemetry(destination)
+    return _sink
+
+
+def init_from_env() -> Telemetry | None:
+    """Configure from ``$REPRO_TELEMETRY`` (idempotent; "-" = stderr).
+
+    Called by the CLI on startup and by farm workers at birth, so a
+    single environment variable lights up the whole process tree.  An
+    already-configured sink is left alone (re-entrant mains, forked
+    workers inheriting the parent's sink).
+    """
+    if _sink is not None:
+        return _sink
+    destination = os.environ.get(ENV_VAR)
+    if not destination:
+        return None
+    if destination == "-":
+        return configure(sys.stderr)
+    return configure(destination)
+
+
+@contextmanager
+def capture(
+    destination: str | Path | TextIO | None = None,
+) -> Iterator[Telemetry]:
+    """Enable telemetry for a with-block (tests, ad-hoc scripts).
+
+    With no destination an in-memory buffer is used; the yielded sink's
+    events are then retrievable via :func:`read_events` on the buffer.
+    """
+    global _sink
+    previous = _sink
+    target = io.StringIO() if destination is None else destination
+    _sink = Telemetry(target)
+    try:
+        yield _sink
+    finally:
+        # close() flushes counters; an unowned destination (the default
+        # in-memory buffer) stays open and readable afterwards.
+        _sink.close()
+        _sink = previous
+
+
+# ---------------------------------------------------------------------------
+# Reading streams back (watch, tests, ad-hoc analysis).
+# ---------------------------------------------------------------------------
+
+def read_events(source: str | Path | TextIO | io.StringIO) -> list[dict[str, Any]]:
+    """Parse a JSONL telemetry stream into event dicts.
+
+    Tolerates a trailing partial line (a writer mid-record) and skips
+    malformed lines rather than failing the whole read — a live tail
+    must survive whatever a crashed worker left behind.
+    """
+    if hasattr(source, "getvalue"):
+        text = source.getvalue()  # type: ignore[union-attr]
+    elif hasattr(source, "read"):
+        text = source.read()  # type: ignore[union-attr]
+    else:
+        text = Path(source).read_text(encoding="utf-8")
+    events: list[dict[str, Any]] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(record, dict):
+            events.append(record)
+    return events

@@ -33,11 +33,13 @@ deliberately.
 from __future__ import annotations
 
 import random
+import time
 from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 import numpy as np
 
+from ..obs import telemetry as _telemetry
 from ..scenario.arrivals import Arrivals
 from ..topology.base import Topology
 from ..workload.base import Goal, Program
@@ -217,6 +219,23 @@ class Machine:
                 )
         self.strategy.start()
 
+        # Telemetry (opt-in, see repro.obs.telemetry): one start/finish
+        # event per run; the per-event simulation loop itself is never
+        # instrumented, so the disabled cost is this one None check.
+        tele = _telemetry.sink()
+        if tele is not None:
+            tele.emit(
+                "run.start",
+                workload=getattr(self.program, "label", self.program.name),
+                topology=self.topology.name,
+                strategy=self.strategy.name,
+                n_pes=self.topology.n,
+                cols=getattr(self.topology, "cols", None),
+                seed=cfg.seed,
+                queries=self.queries,
+            )
+        wall_start = time.perf_counter()
+
         for k in range(self.queries):
             pe = self.arrival_pes[k] if self.arrival_pes is not None else self.start_pe
             if self._arrival_schedule is not None:
@@ -234,7 +253,22 @@ class Machine:
                 "simulation deadlocked: event calendar drained before the "
                 "root response (strategy lost a goal?)"
             )
-        return self._collect()
+        result = self._collect()
+        if tele is not None:
+            wall = time.perf_counter() - wall_start
+            tele.emit(
+                "run.finish",
+                workload=result.workload,
+                topology=result.topology,
+                strategy=result.strategy,
+                n_pes=result.n_pes,
+                completion_time=float(result.completion_time),
+                events=int(result.events_executed),
+                wall_s=wall,
+                events_per_s=(result.events_executed / wall) if wall > 0 else 0.0,
+                utilization=float(result.utilization),
+            )
+        return result
 
     def _inject(self, payload: tuple[int, int]) -> None:
         pe, query = payload
@@ -559,9 +593,20 @@ class Machine:
         delta = cur - self._sample_prev
         self._sample_prev = cur
         per_pe = tuple(delta / interval) if cfg.sample_per_pe else None
-        self.stats.samples.append(
-            UtilizationSample(now, float(delta.sum()) / (n * interval), per_pe)
-        )
+        utilization = float(delta.sum()) / (n * interval)
+        self.stats.samples.append(UtilizationSample(now, utilization, per_pe))
+        tele = _telemetry.sink()
+        if tele is not None:
+            tele.emit(
+                "sample",
+                sim_time=float(now),
+                utilization=utilization,
+                per_pe=None if per_pe is None else [float(v) for v in per_pe],
+                n_pes=n,
+                cols=getattr(self.topology, "cols", None),
+                queue_depth=sum(len(pe.queue) for pe in self.pes),
+                calendar=self.engine.pending,
+            )
 
     def _sampler(self):
         """Generator twin of :meth:`_sample` (process kernel)."""

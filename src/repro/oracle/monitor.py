@@ -34,10 +34,20 @@ def _bucket(util: float) -> int:
 
 
 def _grid_shape(n_pes: int, cols: int | None) -> tuple[int, int]:
+    """Canvas shape for ``n_pes`` cells: exact factors when square-ish.
+
+    With ``cols=None`` the largest factor <= sqrt(n) wins (the paper's
+    row x col machines render exactly).  When no such factor exists —
+    prime counts, whose only factorization is the useless 1 x N strip —
+    fall back to a near-square ``ceil(sqrt(n))``-wide grid whose last
+    row is simply left short (``render_frame`` pads by stopping early).
+    """
     if cols is None:
         cols = int(math.isqrt(n_pes))
         while cols > 1 and n_pes % cols:
             cols -= 1
+        if cols == 1 and n_pes > 3:
+            cols = math.ceil(math.sqrt(n_pes))
     rows = -(-n_pes // cols)
     return rows, cols
 

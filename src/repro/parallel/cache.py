@@ -33,6 +33,7 @@ from typing import Any
 
 import numpy as np
 
+from ..obs import telemetry as _telemetry
 from ..oracle.stats import SimResult, UtilizationSample
 from .spec import RunSpec
 
@@ -210,6 +211,7 @@ class ResultCache:
             result = result_from_dict(payload["result"])
         except FileNotFoundError:
             self.misses += 1
+            _telemetry.emit("cache.miss", key=path.stem[:12])
             return None
         except Exception:
             # Corrupt entry: recover by dropping it (best-effort — on a
@@ -220,8 +222,10 @@ class ResultCache:
             except OSError:
                 pass
             self.misses += 1
+            _telemetry.emit("cache.miss", key=path.stem[:12], corrupt=True)
             return None
         self.hits += 1
+        _telemetry.emit("cache.hit", key=path.stem[:12])
         return result
 
     def __contains__(self, spec: RunSpec) -> bool:

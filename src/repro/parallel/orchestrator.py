@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from ..obs import telemetry as _telemetry
 from ..oracle.stats import SimResult
 from .cache import ResultCache
 from .pool import FarmError, RunFailure, run_many
@@ -96,12 +97,23 @@ def run_batch(
     total = len(specs)
     results: list[SimResult | None] = [None] * total
     done = 0
+    tele = _telemetry.sink()
+    if tele is not None:
+        tele.emit("batch.start", total=total, jobs=jobs)
 
     def advance(source: str) -> None:
         nonlocal done
         done += 1
         if progress is not None:
             progress(done, total, source)
+        if tele is not None:
+            tele.emit(
+                "batch.progress",
+                done=done,
+                total=total,
+                source=source,
+                queue_depth=total - done,
+            )
 
     reading = cache is not None and use_cache
     pending: list[int] = []
@@ -180,10 +192,20 @@ def run_batch(
         attempt += 1
         pending = still_failing
 
-    return BatchReport(
+    report = BatchReport(
         results=results,
         hits=hits,
         simulated=simulated,
         retried=retried,
         failures=failures,
     )
+    if tele is not None:
+        tele.emit(
+            "batch.finish",
+            total=total,
+            hits=hits,
+            simulated=simulated,
+            retried=retried,
+            failures=len(failures),
+        )
+    return report

@@ -37,6 +37,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from ..obs import telemetry as _telemetry
 from ..oracle.engine import SimulationError
 from ..oracle.stats import SimResult
 from .spec import RunSpec
@@ -88,8 +89,15 @@ def resolve_jobs(jobs: int | None) -> int:
 
 
 def _worker_init() -> None:
-    """Warm a worker: import the whole simulator stack exactly once."""
+    """Warm a worker: import the whole simulator stack exactly once.
+
+    Also lights up telemetry from ``REPRO_TELEMETRY`` — under fork the
+    worker inherits the parent's sink, but under spawn this is where a
+    worker joins the append-only stream.
+    """
     from ..experiments import runner  # noqa: F401  (import for side effect)
+
+    _telemetry.init_from_env()
 
 
 def _run_one(item: tuple[int, RunSpec]) -> tuple[int, bool, object]:
@@ -178,6 +186,7 @@ def run_many(
     methods = multiprocessing.get_all_start_methods()
     ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
     chunksize = chunksize or _default_chunksize(len(specs), jobs)
+    _telemetry.emit("farm.pool", jobs=jobs, specs=len(specs), chunksize=chunksize)
     indexed = list(enumerate(specs))
     chunks = [indexed[i : i + chunksize] for i in range(0, len(indexed), chunksize)]
 

@@ -24,6 +24,20 @@ def _isolated_result_cache(tmp_path_factory):
         os.environ.pop("REPRO_CACHE_DIR", None)
     else:
         os.environ["REPRO_CACHE_DIR"] = previous
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _no_ambient_telemetry():
+    """Keep a developer's REPRO_TELEMETRY out of the suite.
+
+    CLI tests call ``main()`` directly, which initializes telemetry from
+    the environment; without this the suite would append events to the
+    user's live stream (and watch/bench assertions could see them).
+    """
+    previous = os.environ.pop("REPRO_TELEMETRY", None)
+    yield
+    if previous is not None:
+        os.environ["REPRO_TELEMETRY"] = previous
 from repro.topology import Complete, DoubleLatticeMesh, Grid, Hypercube, Ring
 from repro.workload import DivideConquer, Fibonacci
 

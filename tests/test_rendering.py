@@ -7,7 +7,7 @@ import pytest
 
 from repro.experiments.plots import ascii_plot
 from repro.experiments.tables import format_kv, format_table
-from repro.oracle.monitor import render_film, render_frame
+from repro.oracle.monitor import _grid_shape, render_film, render_frame
 from repro.oracle.stats import UtilizationSample
 
 
@@ -90,6 +90,45 @@ class TestMonitor:
 
     def test_color_mode_emits_ansi(self):
         assert "\x1b[48;5;" in render_frame([1.0], cols=1, color=True)
+
+
+class TestGridShape:
+    """Canvas-shape selection, including the prime-count fallback."""
+
+    def test_exact_factors_preferred(self):
+        assert _grid_shape(64, None) == (8, 8)
+        assert _grid_shape(12, None) == (4, 3)
+        assert _grid_shape(6, None) == (3, 2)
+
+    def test_explicit_cols_win(self):
+        assert _grid_shape(12, 6) == (2, 6)
+        assert _grid_shape(7, 4) == (2, 4)
+
+    def test_prime_counts_go_near_square(self):
+        # Primes used to collapse to a useless 1xN strip; they now get a
+        # ceil(sqrt) canvas with a short last row.
+        assert _grid_shape(7, None) == (3, 3)
+        assert _grid_shape(13, None) == (4, 4)
+        assert _grid_shape(31, None) == (6, 6)
+        assert _grid_shape(127, None) == (11, 12)
+
+    def test_tiny_counts_stay_strips(self):
+        # 1-3 PEs: a strip reads fine and a 2x2 canvas would be half
+        # padding, so the fallback leaves them alone.
+        assert _grid_shape(1, None) == (1, 1)
+        assert _grid_shape(2, None) == (2, 1)
+        assert _grid_shape(3, None) == (3, 1)
+
+    def test_shape_always_covers_all_pes(self):
+        for n in range(1, 150):
+            rows, cols = _grid_shape(n, None)
+            assert rows * cols >= n
+            assert (rows - 1) * cols < n  # no fully blank row
+
+    def test_prime_frame_pads_last_row(self):
+        lines = render_frame([0.5] * 7).splitlines()
+        assert len(lines) == 3
+        assert [len(l) for l in lines] == [6, 6, 2]  # 3+3+1 PEs x 2 chars
 
     def test_film_requires_per_pe_samples(self):
         from tests.test_stats import make_result
