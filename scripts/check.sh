@@ -22,4 +22,4 @@ echo "== repro bench --quick vs committed BENCH (tolerance 4x) =="
 BENCH_TMP="$(mktemp -t repro-bench-XXXXXX.json)"
 trap 'rm -f "$BENCH_TMP"' EXIT
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro bench --quick \
-  --out "$BENCH_TMP" --compare BENCH_6.json --tolerance 4
+  --out "$BENCH_TMP" --compare BENCH_7.json --tolerance 4

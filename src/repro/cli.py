@@ -111,6 +111,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="seed override; when omitted, the spec's seed=/cfg.seed= "
         "override applies, else 1",
     )
+    run.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run the one machine across N worker processes with the "
+        "conservative parallel engine (bit-identical result; the "
+        "scenario must be shardable — see docs/pdes.md)",
+    )
     run.add_argument("--verbose", action="store_true", help="print per-PE stats")
 
     lst = sub.add_parser(
@@ -375,8 +384,21 @@ def _cmd_run(args: argparse.Namespace) -> None:
     except ValueError as exc:
         print(f"repro: error: {exc}", file=sys.stderr)
         raise SystemExit(2) from None
-    with _farmed(args) as (jobs, cache):
-        res = _plan_scenario(scenario, jobs, cache)
+    if args.shards != 1:
+        # The conservative parallel engine is a runtime choice, not part
+        # of the scenario's identity: it bypasses the plan/cache layer
+        # (a cache hit would defeat the point of running sharded) and
+        # returns the bit-identical SimResult directly.
+        from .pdes import NotShardable, run_sharded
+
+        try:
+            res = run_sharded(scenario, args.shards)
+        except (NotShardable, ValueError) as exc:
+            print(f"repro: error: {exc}", file=sys.stderr)
+            raise SystemExit(2) from None
+    else:
+        with _farmed(args) as (jobs, cache):
+            res = _plan_scenario(scenario, jobs, cache)
     print(res.summary())
     if args.verbose:
         import numpy as np

@@ -133,7 +133,7 @@ class AdaptiveCWN(CWN):
         # tie-breaking of argmin_load.
         if max(loads) < self.pull_threshold:
             return
-        donor = argmin_load(nbrs, [-ld for ld in loads], machine.rng, self.tie_break)
+        donor = argmin_load(nbrs, [-ld for ld in loads], machine.rngs[pe], self.tie_break)
         machine.post_word(pe, donor, "workreq", float(pe))
 
     def on_word(self, dst: int, src: int, kind: str, value: float) -> None:

@@ -62,6 +62,13 @@ class Strategy:
     #: short name used in result tables ("cwn", "gm", ...)
     name = "abstract"
 
+    #: whether hooks only touch the acting PE's state and schedule only
+    #: at the acting PE's event site — the contract the conservative
+    #: parallel engine (repro.pdes) needs to replicate control words on
+    #: remote shards.  Strategies that synchronously mutate *another*
+    #: PE's state from a hook must set this False.
+    shardable = True
+
     def __init__(self) -> None:
         self.machine: "Machine" | None = None
 

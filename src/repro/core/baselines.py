@@ -73,7 +73,7 @@ class RandomPlacement(_TargetedPlacement):
     name = "random"
 
     def _pick_target(self, pe: int) -> int:
-        return self.machine.rng.randrange(self.machine.topology.n)
+        return self.machine.rngs[pe].randrange(self.machine.topology.n)
 
 
 class RoundRobin(_TargetedPlacement):

@@ -119,7 +119,7 @@ class Bidding(Strategy):
             machine.post_word(pe, nb, "bidreq", float(auction_id))
         if self.guard_interval > 0:
             machine.engine.schedule(
-                self.guard_interval, self._guard, (pe, auction_id)
+                self.guard_interval, self._guard, (pe, auction_id), site=1 + pe
             )
 
     def on_goal_message(self, pe: int, msg: GoalMessage) -> None:

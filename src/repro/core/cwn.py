@@ -110,7 +110,7 @@ class CWN(Strategy):
                 # Local minimum past the horizon: keep the goal here.
                 self._accept(pe, msg)
                 return
-        target = argmin_load(nbrs, loads, machine.rng, self.tie_break)
+        target = argmin_load(nbrs, loads, machine.rngs[pe], self.tie_break)
         msg.hops += 1
         machine.send_goal(pe, target, msg)
 

@@ -61,18 +61,21 @@ class Diffusion(Strategy):
     def start(self) -> None:
         machine = self.machine
         engine = machine.engine
-        rng = machine.rng
+        rngs = machine.rngs
         legacy = machine.process_kernel
         for pe in range(machine.topology.n):
-            offset = rng.random() * self.interval if self.stagger else 0.0
+            offset = rngs[pe].random() * self.interval if self.stagger else 0.0
             if legacy:
-                engine.process(self._diffuser(pe), name=f"diff{pe}", delay=offset)
+                engine.process(
+                    self._diffuser(pe), name=f"diff{pe}", delay=offset, site=1 + pe
+                )
             else:
                 engine.tick(
                     self.interval,
                     lambda pe=pe: self._diffuse_cycle(pe),
                     offset,
                     name=f"diff{pe}",
+                    site=1 + pe,
                 )
 
     def _diffuse_cycle(self, pe: int) -> None:

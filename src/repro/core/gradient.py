@@ -113,23 +113,29 @@ class GradientModel(Strategy):
 
         On the callback kernel each is an engine tick (one recycled heap
         entry per PE); the process kernel spawns the seed's generators.
-        Both draw the stagger offsets from the run RNG in PE order, so
+        Both draw the stagger offsets from each PE's own RNG stream, so
         the wakeup schedule — and everything downstream — is identical.
         """
         machine = self.machine
         engine = machine.engine
-        rng = machine.rng
+        rngs = machine.rngs
         legacy = machine.process_kernel
         for pe in range(machine.topology.n):
-            offset = rng.random() * self.interval if self.stagger else 0.0
+            offset = rngs[pe].random() * self.interval if self.stagger else 0.0
             if legacy:
-                engine.process(self._gradient_process(pe), name=f"gm{pe}", delay=offset)
+                engine.process(
+                    self._gradient_process(pe),
+                    name=f"gm{pe}",
+                    delay=offset,
+                    site=1 + pe,
+                )
             else:
                 engine.tick(
                     self.interval,
                     lambda pe=pe: self._gradient_cycle(pe),
                     offset,
                     name=f"gm{pe}",
+                    site=1 + pe,
                 )
 
     # -- the asynchronous gradient process ---------------------------------------
@@ -176,7 +182,7 @@ class GradientModel(Strategy):
         nbrs = machine.neighbors(pe)
         table = self.neighbor_proximity[pe]
         proxes = [table[nb] for nb in nbrs]
-        target = argmin_load(nbrs, proxes, machine.rng, self.tie_break)
+        target = argmin_load(nbrs, proxes, machine.rngs[pe], self.tie_break)
         goal.hops += 1
         machine.send_goal(pe, target, GoalMessage(pe, target, goal, hops=goal.hops))
 

@@ -69,13 +69,14 @@ class RandomWalk(Strategy):
 
     def _place(self, pe: int, msg: GoalMessage) -> None:
         machine = self.machine
+        rng = machine.rngs[pe]
         if msg.hops >= self.radius or (
-            msg.hops >= self.horizon and machine.rng.random() < self.keep_prob
+            msg.hops >= self.horizon and rng.random() < self.keep_prob
         ):
             msg.goal.hops = msg.hops
             machine.enqueue(pe, msg.goal)
             return
         nbrs = machine.neighbors(pe)
-        target = nbrs[machine.rng.randrange(len(nbrs))]
+        target = nbrs[rng.randrange(len(nbrs))]
         msg.hops += 1
         machine.send_goal(pe, target, msg)

@@ -46,6 +46,9 @@ class WorkStealing(Strategy):
     """
 
     name = "stealing"
+    # A failed probe mutates the *requester's* state (and schedules its
+    # retry) from the victim's event — a synchronous cross-PE write.
+    shardable = False
 
     def __init__(
         self,
@@ -121,7 +124,9 @@ class WorkStealing(Strategy):
             self._probe_failed(requester)
             return
         loads = machine.known_loads_of(at, candidates)
-        victim = argmin_load(candidates, [-ld for ld in loads], machine.rng, self.tie_break)
+        victim = argmin_load(
+            candidates, [-ld for ld in loads], machine.rngs[at], self.tie_break
+        )
         # Encode requester and remaining budget in the word's value.
         machine.post_word(at, victim, "steal", requester * 100 + (budget - 1))
 
@@ -159,4 +164,4 @@ class WorkStealing(Strategy):
             if machine.pes[pe].idle and not self._probing[pe]:
                 self.on_idle(pe)
 
-        machine.engine.schedule(self.retry_interval, retry)
+        machine.engine.schedule(self.retry_interval, retry, site=1 + pe)

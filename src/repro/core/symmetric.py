@@ -54,6 +54,9 @@ class Symmetric(Strategy):
     """
 
     name = "symmetric"
+    # Shares WorkStealing's probe-failure path: the victim's event
+    # synchronously writes the requester's state.
+    shardable = False
 
     def __init__(
         self,
@@ -133,7 +136,7 @@ class Symmetric(Strategy):
         machine = self.machine
         nbrs = machine.neighbors(pe)
         loads = machine.known_loads_of(pe, nbrs)
-        target = argmin_load(nbrs, loads, machine.rng, self.tie_break)
+        target = argmin_load(nbrs, loads, machine.rngs[pe], self.tie_break)
         msg.hops += 1
         machine.send_goal(pe, target, msg)
 
@@ -156,7 +159,7 @@ class Symmetric(Strategy):
             return
         loads = machine.known_loads_of(at, candidates)
         victim = argmin_load(
-            candidates, [-ld for ld in loads], machine.rng, self.tie_break
+            candidates, [-ld for ld in loads], machine.rngs[at], self.tie_break
         )
         machine.post_word(at, victim, "steal", requester * 100 + (budget - 1))
 
@@ -171,7 +174,7 @@ class Symmetric(Strategy):
             if machine.pes[requester].idle and not self._probing[requester]:
                 self.on_idle(requester)
 
-        machine.engine.schedule(self.retry_interval, retry)
+        machine.engine.schedule(self.retry_interval, retry, site=1 + requester)
 
     def on_word(self, dst: int, src: int, kind: str, value: float) -> None:
         if kind != "steal":

@@ -60,7 +60,7 @@ class ThresholdRandom(Strategy):
             machine.enqueue(pe, msg.goal)
             return
         nbrs = machine.neighbors(pe)
-        target = nbrs[machine.rng.randrange(len(nbrs))]
+        target = nbrs[machine.rngs[pe].randrange(len(nbrs))]
         msg.hops += 1
         machine.send_goal(pe, target, msg)
 

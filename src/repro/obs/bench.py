@@ -16,7 +16,13 @@ Canonical benches (quick mode shrinks repeats, not coverage):
   Grid(64,64) and Hypercube(12), the closed-form-routing win of PR 4;
 * **farm** — cold-cache batch throughput through
   :func:`repro.parallel.run_batch` and the warm-rerun cache hit rate
-  (which must be 1.0: a warm rerun simulates nothing).
+  (which must be 1.0: a warm rerun simulates nothing);
+* **pdes** — one large machine through the conservative parallel
+  engine (:func:`repro.pdes.run_sharded`, 4 shards) against the same
+  scenario serial, plus the speedup ratio.  On a single-core host the
+  ratio is honest and < 1 — four workers time-slice one CPU and pay
+  the window-barrier IPC on top; the metric exists to track the
+  trajectory on real multi-core hardware.
 
 All metrics carry a ``higher_is_better`` direction so the comparison is
 mechanical; timings use best-of-N to shed scheduler noise.
@@ -49,8 +55,8 @@ __all__ = [
 #: Version of the BENCH_*.json payload layout.
 BENCH_SCHEMA = 1
 
-#: This PR's trajectory point: ``repro bench`` writes ``BENCH_6.json``.
-BENCH_NUMBER = 6
+#: This PR's trajectory point: ``repro bench`` writes ``BENCH_7.json``.
+BENCH_NUMBER = 7
 
 
 @dataclass(frozen=True)
@@ -147,6 +153,16 @@ def bench_construction(quick: bool = False) -> dict[str, Metric]:
 
         seconds, _machine = _best_seconds(build, repeats)
         metrics[key] = Metric(seconds * 1000.0, "ms", higher_is_better=False)
+    # The floor for the PR 7 constructor trim: Hypercube(12) wires 3x
+    # the channels of a same-PE-count grid, so parity is not expected —
+    # but the ratio must stay bounded, machine-independently (both
+    # sides run on this host, so the ratio cancels CPU speed).
+    metrics["hypercube12_over_grid64_construct_ratio"] = Metric(
+        metrics["hypercube12_construct_ms"].value
+        / metrics["grid64x64_construct_ms"].value,
+        "ratio",
+        higher_is_better=False,
+    )
     return metrics
 
 
@@ -177,10 +193,44 @@ def bench_farm(quick: bool = False) -> dict[str, Metric]:
     }
 
 
+def bench_pdes(quick: bool = False) -> dict[str, Metric]:
+    """One large machine, serial vs 4-shard conservative-parallel (events/s).
+
+    Both sides run the same scenario, and the sharded result is
+    asserted bit-equal on its most fragile witness before timing counts
+    for anything — a bench that measured a wrong simulation fast would
+    be worse than no bench.
+    """
+    from repro.pdes import run_sharded
+    from repro.scenario import Scenario
+
+    # Same spec in quick and full mode: the per-window barrier cost is a
+    # fixed tax, so a smaller quick workload would report a throughput
+    # incomparable with the committed full-mode point and flake the
+    # trajectory gate.  Quick mode only drops the repeat.
+    spec = "fib:16@grid:32x32/cwn?seed=1"
+    shards = 4
+    scenario = Scenario.from_spec(spec)
+    repeats = 1 if quick else 2
+    serial_s, serial = _best_seconds(scenario.run, repeats)
+    sharded_s, sharded = _best_seconds(lambda: run_sharded(scenario, shards), repeats)
+    assert serial.events_executed == sharded.events_executed, (
+        "sharded run diverged from serial"
+    )
+    assert serial.completion_time == sharded.completion_time, (
+        "sharded run diverged from serial"
+    )
+    return {
+        "pdes_events_per_s": Metric(sharded.events_executed / sharded_s, "events/s"),
+        "pdes_serial_events_per_s": Metric(serial.events_executed / serial_s, "events/s"),
+        "pdes_speedup_4_shards": Metric(serial_s / sharded_s, "x"),
+    }
+
+
 def run_benches(quick: bool = False) -> dict[str, Metric]:
     """All canonical benches, emitting one telemetry event per metric."""
     metrics: dict[str, Metric] = {}
-    for group in (bench_kernel, bench_construction, bench_farm):
+    for group in (bench_kernel, bench_construction, bench_farm, bench_pdes):
         for name, metric in group(quick).items():
             metrics[name] = metric
             _telemetry.emit(
@@ -192,7 +242,7 @@ def run_benches(quick: bool = False) -> dict[str, Metric]:
 # -- the BENCH_<n>.json artifact -------------------------------------------------
 
 def default_bench_path(root: str | Path = ".") -> Path:
-    """Where this PR's trajectory point lives: ``<root>/BENCH_6.json``."""
+    """Where this PR's trajectory point lives: ``<root>/BENCH_7.json``."""
     return Path(root) / f"BENCH_{BENCH_NUMBER}.json"
 
 

@@ -50,6 +50,13 @@ class WatchState:
         self.last_finish: dict[str, Any] | None = None
         self.last_sample: dict[str, Any] | None = None
         self.last_plan: dict[str, Any] | None = None
+        #: conservative-parallel progress (repro run --shards N)
+        self.shard_run: dict[str, Any] | None = None
+        self.shard_window: dict[str, Any] | None = None
+        self.shard_events = 0
+        self.shard_sync_ms = 0.0
+        self.shard_windows = 0
+        self.shard_finish: dict[str, Any] | None = None
         self.events_seen = 0
 
     # -- ingestion ---------------------------------------------------------------
@@ -81,6 +88,21 @@ class WatchState:
             self.last_sample = event
         elif kind == "plan.report":
             self.last_plan = event
+        elif kind == "shard.start":
+            self.shard_run = event
+            self.shard_window = None
+            self.shard_events = 0
+            self.shard_sync_ms = 0.0
+            self.shard_windows = 0
+            self.shard_finish = None
+        elif kind == "shard.window":
+            self.shard_window = event
+            self.shard_windows = int(event.get("window", self.shard_windows + 1))
+            self.shard_events += int(event.get("events", 0))
+        elif kind == "shard.sync":
+            self.shard_sync_ms += float(event.get("wall_ms", 0.0))
+        elif kind == "shard.finish":
+            self.shard_finish = event
 
     def feed_line(self, line: str) -> None:
         for event in _telemetry.read_events(_StringSource(line)):
@@ -129,6 +151,32 @@ class WatchState:
                 f"last plan  : {plan.get('plan')} — {plan.get('runs')} runs, "
                 f"{plan.get('hits')} hits, {plan.get('simulated')} simulated"
             )
+        if self.shard_run is not None:
+            run = self.shard_run
+            head = (
+                f"shards     : {run.get('shards')} x "
+                f"{run.get('workload')} @ {run.get('topology')} "
+                f"/ {run.get('strategy')} "
+                f"(lookahead {run.get('lookahead')}, "
+                f"{run.get('boundary_channels')} boundary channels)"
+            )
+            lines.append(head)
+            if self.shard_finish is not None:
+                fin = self.shard_finish
+                lines.append(
+                    f"  done     : {fin.get('windows')} windows, "
+                    f"{fin.get('events'):,} events, "
+                    f"{float(fin.get('events_per_s', 0.0)):,.0f} events/s"
+                )
+            elif self.shard_window is not None:
+                win = self.shard_window
+                lines.append(
+                    f"  window {self.shard_windows}: "
+                    f"horizon {float(win.get('horizon', 0.0)):.1f}, "
+                    f"{win.get('shards_active')} shard(s) active, "
+                    f"{self.shard_events:,} events, "
+                    f"sync {self.shard_sync_ms:.0f} ms"
+                )
         sample = self.last_sample
         if sample is not None:
             per_pe = sample.get("per_pe")

@@ -44,15 +44,24 @@ class Channel:
         "messages_carried",
         "words_carried",
         "_busy_until",
+        "_site",
     )
 
     def __init__(
-        self, engine: Engine, cid: int, members: tuple[int, ...], costs: CostModel
+        self,
+        engine: Engine,
+        cid: int,
+        members: tuple[int, ...],
+        costs: CostModel,
+        site: int = 0,
     ) -> None:
         self.engine = engine
         self.cid = cid
         self.members = members
         self.costs = costs
+        #: ordering site for this channel's transfer-complete events (the
+        #: Machine passes ``1 + n_pes + cid``; a bare channel uses site 0)
+        self._site = site
         self.queue: deque[tuple[Message, Deliver]] = deque()
         self.busy = False
         # -- statistics ORACLE reports: per-channel utilization ---------------
@@ -99,8 +108,11 @@ class Channel:
         engine = self.engine
         end = engine.now + duration
         self._busy_until = end
-        engine._seq += 1
-        heappush(engine._heap, [end, 10, engine._seq, self._complete, (msg, deliver)])
+        site = self._site
+        seqs = engine._site_seq
+        k = seqs[site] + 1
+        seqs[site] = k
+        heappush(engine._heap, [end, 10, site, k, self._complete, (msg, deliver)])
 
     def _complete(self, payload: tuple[Message, Deliver]) -> None:
         msg, deliver = payload

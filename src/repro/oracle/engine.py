@@ -6,8 +6,16 @@ abstraction; ORACLE used one simulated process per PE user process and one
 per communication channel.  This module provides the equivalent kernel in
 pure Python:
 
-* an event heap keyed by ``(time, priority, sequence)`` so that
-  simultaneous events fire in a deterministic order,
+* an event heap keyed by ``(time, priority, site, sseq)`` so that
+  simultaneous events fire in a deterministic order.  A **site** is the
+  model entity an event acts for (a PE, a channel, or the machine
+  itself, as an integer index) and ``sseq`` is that site's private push
+  counter — so an event's full sort key is computable from *local*
+  information alone.  That locality is what lets the conservative
+  parallel kernel (:mod:`repro.pdes`) reproduce the serial total order
+  bit for bit: a shard owning a site draws exactly the sequence numbers
+  the serial run would, and events that cross shard boundaries travel
+  with their serial key attached,
 * direct **event callbacks** — the hot path: any callable can be put on
   the calendar with :meth:`Engine.schedule` (validating) or
   :meth:`Engine.after` (trusted, no validation),
@@ -154,15 +162,20 @@ class Process:
     and whatever ``activate(payload=...)`` passed for ``passivate``).
     """
 
-    __slots__ = ("engine", "gen", "name", "alive", "_asleep")
+    __slots__ = ("engine", "gen", "name", "alive", "_asleep", "site")
 
-    def __init__(self, engine: "Engine", gen: Generator, name: str = "") -> None:
+    def __init__(
+        self, engine: "Engine", gen: Generator, name: str = "", site: int = 0
+    ) -> None:
         self.engine = engine
         self.gen = gen
         self.name = name or getattr(gen, "__name__", "process")
         self.alive = True
         #: True while passivated / waiting (i.e. not on the event heap).
         self._asleep = False
+        #: ordering site this process's resumptions are keyed on (the
+        #: PE it models, or 0 for machine-level processes)
+        self.site = site
 
     # -- kernel-side plumbing ------------------------------------------------
 
@@ -238,11 +251,14 @@ class Tick:
 
     The sequence number is (re)drawn **after** ``fn()`` returns, exactly
     where a generator process would schedule its next ``hold`` — so among
-    simultaneous events a tick's next firing sorts after everything its
-    body scheduled, bit-for-bit matching the process it replaced.
+    simultaneous events at its site a tick's next firing sorts after
+    everything its body scheduled there, bit-for-bit matching the
+    process it replaced.
     """
 
-    __slots__ = ("engine", "interval", "fn", "name", "_entry", "_skip", "_stopped")
+    __slots__ = (
+        "engine", "interval", "fn", "name", "site", "_entry", "_skip", "_stopped"
+    )
 
     def __init__(
         self,
@@ -251,11 +267,13 @@ class Tick:
         fn: Callable[[], Any],
         name: str = "",
         skip_first: bool = False,
+        site: int = 0,
     ) -> None:
         self.engine = engine
         self.interval = interval
         self.fn = fn
         self.name = name or getattr(fn, "__name__", "tick")
+        self.site = site
         #: emulate a hold-first process body: the first firing only
         #: reschedules (same event count as the generator's priming step)
         self._skip = skip_first
@@ -272,9 +290,12 @@ class Tick:
             self.fn()
         engine = self.engine
         entry = self._entry
-        engine._seq += 1
+        site = self.site
+        seqs = engine._site_seq
+        k = seqs[site] + 1
+        seqs[site] = k
         entry[0] = engine.now + self.interval
-        entry[2] = engine._seq
+        entry[3] = k
         heapq.heappush(engine._heap, entry)
 
     def stop(self) -> None:
@@ -289,22 +310,37 @@ class Tick:
 class Engine:
     """The event calendar and simulation clock.
 
-    Events are ``(time, priority, seq, action, payload)`` heap entries.
-    ``priority`` orders simultaneous events (lower fires first); ``seq`` is
-    a monotone tiebreaker guaranteeing FIFO order among equal
-    (time, priority) events, which makes every run bit-for-bit
-    deterministic for a fixed seed.
+    Events are ``(time, priority, site, sseq, action, payload)`` heap
+    entries.  ``priority`` orders simultaneous events (lower fires
+    first); ``site`` is the integer index of the model entity the event
+    acts for (``0`` = the machine itself; the
+    :class:`~repro.oracle.machine.Machine` assigns ``1 + pe`` to each PE
+    and ``1 + n_pes + cid`` to each channel) and ``sseq`` is that site's
+    private monotone push counter.  Together they guarantee FIFO order
+    among equal ``(time, priority)`` events at one site and a fixed
+    deterministic interleave across sites, which makes every run
+    bit-for-bit reproducible for a fixed seed — and, because a site's
+    counter only ever advances from events the site's owner executes,
+    lets the sharded kernel reproduce the identical total order.
     """
 
     def __init__(self) -> None:
         self.now: float = 0.0
         self._heap: list[list] = []
-        self._seq: int = 0
+        #: per-site push counters, indexed by site id (grown by
+        #: :meth:`ensure_sites`; a bare engine has only the global site 0)
+        self._site_seq: list[int] = [0]
         self._running = False
         self._stopped = False
         self.events_executed: int = 0
         #: Optional hard event-count limit, a guard against runaway models.
         self.max_events: int | None = None
+
+    def ensure_sites(self, count: int) -> None:
+        """Grow the per-site counter table to at least ``count`` sites."""
+        seqs = self._site_seq
+        if count > len(seqs):
+            seqs.extend([0] * (count - len(seqs)))
 
     # -- scheduling ----------------------------------------------------------
 
@@ -314,13 +350,16 @@ class Engine:
         action: Callable[..., Any],
         payload: Any = None,
         priority: int = 10,
+        site: int = 0,
     ) -> None:
         """Schedule ``action(payload)`` to run ``delay`` units from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
-        self._seq += 1
+        seqs = self._site_seq
+        k = seqs[site] + 1
+        seqs[site] = k
         heapq.heappush(
-            self._heap, [self.now + delay, priority, self._seq, action, payload]
+            self._heap, [self.now + delay, priority, site, k, action, payload]
         )
 
     def after(
@@ -329,6 +368,7 @@ class Engine:
         action: Callable[..., Any],
         payload: Any = None,
         priority: int = 10,
+        site: int = 0,
     ) -> None:
         """:meth:`schedule` minus the negative-delay guard.
 
@@ -338,9 +378,11 @@ class Engine:
         the calendar silently — external/model code must use
         :meth:`schedule`.
         """
-        self._seq += 1
+        seqs = self._site_seq
+        k = seqs[site] + 1
+        seqs[site] = k
         heapq.heappush(
-            self._heap, [self.now + delay, priority, self._seq, action, payload]
+            self._heap, [self.now + delay, priority, site, k, action, payload]
         )
 
     def tick(
@@ -352,6 +394,7 @@ class Engine:
         name: str = "",
         skip_first: bool = False,
         priority: int = 10,
+        site: int = 0,
     ) -> Tick:
         """Run ``fn()`` every ``interval`` units, first at ``now + offset``.
 
@@ -365,24 +408,34 @@ class Engine:
             raise SimulationError(f"tick interval must be positive (got {interval!r})")
         if offset < 0:
             raise SimulationError(f"cannot tick into the past (offset={offset!r})")
-        tick = Tick(self, interval, fn, name, skip_first)
-        self._seq += 1
-        entry = [self.now + offset, priority, self._seq, tick._fire, None]
+        tick = Tick(self, interval, fn, name, skip_first, site)
+        seqs = self._site_seq
+        k = seqs[site] + 1
+        seqs[site] = k
+        entry = [self.now + offset, priority, site, k, tick._fire, None]
         tick._entry = entry
         heapq.heappush(self._heap, entry)
         return tick
 
     def _schedule_process(self, delay: float, proc: Process) -> None:
-        self._seq += 1
-        heapq.heappush(self._heap, [self.now + delay, 10, self._seq, proc, None])
+        site = proc.site
+        seqs = self._site_seq
+        k = seqs[site] + 1
+        seqs[site] = k
+        heapq.heappush(self._heap, [self.now + delay, 10, site, k, proc, None])
 
     def _schedule_resume(self, proc: Process, payload: Any) -> None:
-        self._seq += 1
-        heapq.heappush(self._heap, [self.now, 10, self._seq, proc, payload])
+        site = proc.site
+        seqs = self._site_seq
+        k = seqs[site] + 1
+        seqs[site] = k
+        heapq.heappush(self._heap, [self.now, 10, site, k, proc, payload])
 
-    def process(self, gen: Generator, name: str = "", delay: float = 0.0) -> Process:
+    def process(
+        self, gen: Generator, name: str = "", delay: float = 0.0, site: int = 0
+    ) -> Process:
         """Register a generator as a process; it first runs ``delay`` from now."""
-        proc = Process(self, gen, name)
+        proc = Process(self, gen, name, site)
         self._schedule_process(delay, proc)
         return proc
 
@@ -420,12 +473,12 @@ class Engine:
                             f"event limit exceeded ({self.max_events}); "
                             "likely a runaway model"
                         )
-                    action = entry[3]
+                    action = entry[4]
                     if type(action) is proc_cls:
                         if action.alive:
-                            action._step(entry[4])
+                            action._step(entry[5])
                     else:
-                        action(entry[4])
+                        action(entry[5])
             else:
                 while heap and not self._stopped:
                     entry = pop(heap)
@@ -442,12 +495,12 @@ class Engine:
                             f"event limit exceeded ({self.max_events}); "
                             "likely a runaway model"
                         )
-                    action = entry[3]
+                    action = entry[4]
                     if type(action) is proc_cls:
                         if action.alive:
-                            action._step(entry[4])
+                            action._step(entry[5])
                     else:
-                        action(entry[4])
+                        action(entry[5])
         finally:
             self.events_executed = executed
             self._running = False
@@ -469,12 +522,12 @@ class Engine:
             raise SimulationError(
                 f"event limit exceeded ({self.max_events}); likely a runaway model"
             )
-        action = entry[3]
+        action = entry[4]
         if type(action) is Process:
             if action.alive:
-                action._step(entry[4])
+                action._step(entry[5])
         else:
-            action(entry[4])
+            action(entry[5])
         return True
 
     def peek(self) -> float | None:

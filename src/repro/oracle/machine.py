@@ -44,7 +44,7 @@ from ..scenario.arrivals import Arrivals
 from ..topology.base import Topology
 from ..workload.base import Goal, Program
 from .channel import Channel
-from .config import SimConfig
+from .config import CostModel, SimConfig
 from .engine import Engine, SimulationError, hold, process_kernel_active
 from .message import ControlWord, GoalMessage, LoadUpdate, Message, ResponseMessage
 from .pe import PE
@@ -114,13 +114,24 @@ class Machine:
 
         self.engine = Engine()
         self.engine.max_events = self.config.max_events
+        # Ordering-site layout (see Engine): site 0 is the machine, then
+        # one site per PE (1 + pe), then one per channel (1 + N + cid).
+        self.engine.ensure_sites(1 + topology.n + len(topology.channels))
         #: kernel choice, captured once at construction: PEs, periodic
         #: machinery, and strategy processes all key off this machine
         #: attribute so a machine keeps one kernel for its whole life
         #: even if the use_process_kernel() context has since exited.
         self.process_kernel = process_kernel_active()
         self.rng = random.Random(self.config.seed)
-        self.stats = StatsCollector(topology.n, self.config.trace_hops)
+        #: one independent stream per PE, seeded from (seed, index) — all
+        #: randomized strategy decisions draw from the *acting* PE's
+        #: stream, so a PE's draw sequence is a function of its own event
+        #: history alone (what makes randomized strategies shardable; the
+        #: string seed hashes through the Mersenne init, not PYTHONHASHSEED).
+        self.rngs = [
+            random.Random(f"{self.config.seed}:{i}") for i in range(topology.n)
+        ]
+        self.stats = self._make_stats(topology.n, self.config.trace_hops)
         self.stats._clock = lambda: self.engine.now
 
         speeds = self.config.pe_speeds
@@ -129,12 +140,13 @@ class Machine:
                 f"pe_speeds has {len(speeds)} entries for {topology.n} PEs"
             )
         self.pes = [
-            PE(i, self, speeds[i] if speeds is not None else 1.0)
+            self._make_pe(i, speeds[i] if speeds is not None else 1.0)
             for i in range(topology.n)
         ]
         costs = self.config.costs
+        n = topology.n
         self.channels = [
-            Channel(self.engine, cid, members, costs)
+            self._make_channel(cid, members, costs, 1 + n + cid)
             for cid, members in enumerate(topology.channels)
         ]
         #: channels each PE sits on (used for broadcast in "channel" mode)
@@ -188,6 +200,26 @@ class Machine:
         self._queries_done = 0
 
         strategy.bind(self)
+
+    # ------------------------------------------------------------------
+    # Component factories
+    # ------------------------------------------------------------------
+    # Subclasses (the sharded machine in repro.pdes) substitute
+    # instrumented components here.  The base methods construct exactly
+    # what __init__ used to construct inline; overrides may consult any
+    # attribute set before the corresponding construction point (stats
+    # is built before pes, pes before channels).
+
+    def _make_stats(self, n: int, trace_hops: bool) -> StatsCollector:
+        return StatsCollector(n, trace_hops)
+
+    def _make_pe(self, index: int, speed: float) -> PE:
+        return PE(index, self, speed)
+
+    def _make_channel(
+        self, cid: int, members: tuple[int, ...], costs: CostModel, site: int
+    ) -> Channel:
+        return Channel(self.engine, cid, members, costs, site=site)
 
     # ------------------------------------------------------------------
     # Run control
@@ -245,7 +277,7 @@ class Machine:
             if when == 0.0:
                 self._inject((pe, k))
             else:
-                self.engine.schedule(when, self._inject, (pe, k))
+                self.engine.schedule(when, self._inject, (pe, k), site=1 + pe)
 
         self.engine.run()
         if not self._finished:
@@ -411,7 +443,7 @@ class Machine:
         channel = self._pick_channel(src, dst)
         decision = self.config.costs.route_decision
         if decision > 0:
-            self.engine.after(decision, self._launch_goal, (channel, msg))
+            self.engine.after(decision, self._launch_goal, (channel, msg), site=1 + src)
         else:
             channel.send(msg, self._goal_arrived)
 
@@ -458,13 +490,17 @@ class Machine:
             # Inlined Engine.after: one belief-update event per queue
             # change is the second most common heap entry in a run.
             engine = self.engine
-            engine._seq += 1
+            site = 1 + pe
+            seqs = engine._site_seq
+            k = seqs[site] + 1
+            seqs[site] = k
             heappush(
                 engine._heap,
                 [
                     engine.now + self.config.load_info_delay,
                     10,
-                    engine._seq,
+                    site,
+                    k,
                     self._apply_load_word,
                     (pe, value),
                 ],
@@ -487,7 +523,7 @@ class Machine:
             if value != self._last_posted[pe]:
                 self._last_posted[pe] = value
                 self.stats.control_words_sent += 1
-                engine.after(delay, self._apply_load_word, (pe, value))
+                engine.after(delay, self._apply_load_word, (pe, value), site=1 + pe)
 
     def _periodic_load_broadcaster(self):
         """Generator twin of :meth:`_broadcast_loads` (process kernel)."""
@@ -519,7 +555,7 @@ class Machine:
         self.stats.control_words_sent += len(targets)
         delay = 0.0 if mode == "instant" else self.config.load_info_delay
         if delay > 0:
-            self.engine.after(delay, self._apply_word, (targets, src, kind, value))
+            self.engine.after(delay, self._apply_word, (targets, src, kind, value), site=1 + src)
         else:
             self._apply_word((targets, src, kind, value))
 

@@ -130,11 +130,15 @@ class PE:
         "_program",
         "_stats",
         "_fifo",
+        "_site",
     )
 
     def __init__(self, index: int, machine: "Machine", speed: float = 1.0) -> None:
         self.index = index
         self.machine = machine
+        #: ordering site for events this PE's executor schedules
+        #: (machine site layout: 0 = machine, 1+pe, 1+n_pes+cid)
+        self._site = 1 + index
         #: execution-rate factor (1.0 nominal; 2.0 finishes work in half
         #: the time).  Heterogeneous machines set this via
         #: ``SimConfig.pe_speeds``.
@@ -166,11 +170,13 @@ class PE:
         self._item: Goal | CombineItem | None = None
         self._expansion: Any = None
         if machine.process_kernel:
-            self.proc = machine.engine.process(self._executor(), name=f"pe{index}")
+            self.proc = machine.engine.process(
+                self._executor(), name=f"pe{index}", site=self._site
+            )
         else:
             #: legacy generator process, or None on the callback kernel
             self.proc = None
-            machine.engine.after(0.0, self._dispatch)
+            machine.engine.after(0.0, self._dispatch, site=self._site)
 
     def effective_busy(self, now: float) -> float:
         """Busy time accrued up to ``now`` (mid-burst work counts pro rata)."""
@@ -196,7 +202,7 @@ class PE:
                 # startup event fires) it will find the queue on its own.
                 if self._parked:
                     self._parked = False
-                    self._engine.after(0.0, self._dispatch)
+                    self._engine.after(0.0, self._dispatch, site=self._site)
             elif self.proc.asleep:
                 self.proc.activate()
         self.machine.load_changed(self.index)
@@ -269,8 +275,11 @@ class PE:
         engine = self._engine
         end = engine.now + duration
         self._hold_end = end
-        engine._seq += 1
-        heappush(engine._heap, [end, 10, engine._seq, self._burst_done, None])
+        site = self._site
+        seqs = engine._site_seq
+        k = seqs[site] + 1
+        seqs[site] = k
+        heappush(engine._heap, [end, 10, site, k, self._burst_done, None])
 
     def _burst_done(self, _payload: Any = None) -> None:
         """The burst's charged time elapsed: complete the item, chain on."""

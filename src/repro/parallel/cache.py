@@ -50,7 +50,16 @@ __all__ = [
 #: that cannot be defaulted on read).  v2: channel_busy_time became
 #: accrual-corrected (effective_busy at stop), so v1 entries hold
 #: overcounted channel statistics the current simulator never produces.
-CACHE_SCHEMA = 2
+#: v3: the event calendar moved to per-site sequence keys and randomized
+#: strategies to per-PE RNG streams (the sharding groundwork), changing
+#: simultaneous-event tie-breaks — v2 entries record runs the current
+#: kernel can no longer reproduce.
+CACHE_SCHEMA = 3
+
+#: In-process memo capacity (entries), measured in parsed payload dicts.
+#: 256 SimResult payloads of typical Table-2 size are a few MB — small
+#: against the interpreter, large against any one run_batch working set.
+_MEMO_CAPACITY = 256
 
 
 def default_cache_dir() -> Path:
@@ -182,6 +191,13 @@ class ResultCache:
         self.root = Path(root) if root is not None else default_cache_dir()
         self.hits = 0
         self.misses = 0
+        #: in-process LRU memo: key -> parsed payload["result"] dict.  A
+        #: warm ``run_batch`` re-reads the same entries every call; the
+        #: memo skips the disk read *and* the JSON parse, leaving only
+        #: the (cheap) SimResult revival.  Deliberately per-instance:
+        #: sharing across caches rooted differently would serve results
+        #: across isolation boundaries the roots exist to draw.
+        self._memo: dict[str, dict[str, Any]] = {}
 
     @property
     def _version_dir(self) -> Path:
@@ -202,11 +218,22 @@ class ResultCache:
         miss; the cache never propagates corruption.
         """
         path = self.path_for(spec)
+        key = path.stem
+        memo = self._memo
+        data = memo.get(key)
+        if data is not None:
+            # Refresh LRU position (dicts iterate in insertion order, so
+            # pop + reinsert is move-to-end; eviction pops the front).
+            del memo[key]
+            memo[key] = data
+            self.hits += 1
+            _telemetry.emit("cache.hit", key=key[:12], memo=True)
+            return result_from_dict(data)
         try:
             payload = json.loads(path.read_text())
             if payload["schema"] != CACHE_SCHEMA:
                 raise ValueError(f"schema {payload['schema']} != {CACHE_SCHEMA}")
-            if payload["key"] != path.stem:
+            if payload["key"] != key:
                 raise ValueError("stored key does not match its address")
             result = result_from_dict(payload["result"])
         except FileNotFoundError:
@@ -224,9 +251,22 @@ class ResultCache:
             self.misses += 1
             _telemetry.emit("cache.miss", key=path.stem[:12], corrupt=True)
             return None
+        self._memoize(key, payload["result"])
         self.hits += 1
-        _telemetry.emit("cache.hit", key=path.stem[:12])
+        _telemetry.emit("cache.hit", key=key[:12])
         return result
+
+    def _memoize(self, key: str, data: dict[str, Any]) -> None:
+        # The memo shares the payload dict across get() calls; revival
+        # copies every numeric field into fresh arrays/dicts, but list
+        # fields stored as-is (params, result_value, query_completions)
+        # are shared — SimResults are read-only by convention and nothing
+        # in the repo mutates them.
+        memo = self._memo
+        memo.pop(key, None)
+        memo[key] = data
+        if len(memo) > _MEMO_CAPACITY:
+            memo.pop(next(iter(memo)))
 
     def __contains__(self, spec: RunSpec) -> bool:
         return self.path_for(spec).exists()
@@ -256,6 +296,10 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        # Not memoized here: the first get() must read the entry back
+        # from disk (validating what was actually persisted — the
+        # corruption-recovery tests rely on disk staying authoritative);
+        # it populates the memo for every lookup after.
         return path
 
     # -- maintenance -------------------------------------------------------------
@@ -289,6 +333,7 @@ class ResultCache:
         accumulate forever).
         """
         paths = self._entry_paths()
+        self._memo.clear()
         for path in paths:
             path.unlink(missing_ok=True)
         # Tidy orphaned temp files and now-empty shard directories

@@ -129,6 +129,7 @@ def run_many(
     return_errors: bool = False,
     on_result: ResultFn | None = None,
     isolate: bool = False,
+    start_method: str | None = None,
 ) -> list[SimResult | RunFailure]:
     """Run every spec, farmed across ``jobs`` worker processes.
 
@@ -149,6 +150,12 @@ def run_many(
     ``isolate`` forces worker subprocesses even when ``jobs`` resolves
     to 1 — the orchestrator's retry mode, where a spec that killed its
     worker must not get the chance to kill this process instead.
+
+    ``start_method`` pins the multiprocessing start method (``"fork"``,
+    ``"spawn"``, ``"forkserver"``); ``None`` keeps the platform default
+    (fork where available).  Results are bit-identical either way —
+    the knob exists for platforms without fork and for tests exercising
+    the spawn path's ``_worker_init`` re-initialization.
     """
     specs = list(specs)
     if not specs:
@@ -184,7 +191,14 @@ def run_many(
     # fork shares the already-imported stack with workers for free;
     # spawn (the only option on some platforms) relies on _worker_init.
     methods = multiprocessing.get_all_start_methods()
-    ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+    if start_method is not None and start_method not in methods:
+        raise ValueError(
+            f"start_method {start_method!r} not available here "
+            f"(supported: {', '.join(methods)})"
+        )
+    ctx = multiprocessing.get_context(
+        start_method or ("fork" if "fork" in methods else "spawn")
+    )
     chunksize = chunksize or _default_chunksize(len(specs), jobs)
     _telemetry.emit("farm.pool", jobs=jobs, specs=len(specs), chunksize=chunksize)
     indexed = list(enumerate(specs))

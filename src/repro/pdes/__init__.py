@@ -1,0 +1,29 @@
+"""Conservative parallel discrete-event execution of one machine.
+
+``repro.parallel`` runs *many* scenarios at once (a farm of independent
+serial simulations); this package runs *one* scenario across several
+worker processes, partitioned by PE block, and returns a
+:class:`~repro.oracle.stats.SimResult` **bit-identical** to the serial
+run.  Entry points:
+
+- :func:`run_sharded` — execute a scenario across N shards;
+- :func:`check_shardable` — validate up front (raises
+  :class:`NotShardable` with the reason);
+- :func:`lookahead_of` — the scenario's conservative lookahead;
+- :class:`~repro.topology.partition.Partition` — the PE block map
+  (lives in ``repro.topology``; re-exported here for convenience).
+
+See ``docs/pdes.md`` for the window protocol and the determinism
+argument.
+"""
+
+from ..topology.partition import Partition
+from .coordinator import NotShardable, check_shardable, lookahead_of, run_sharded
+
+__all__ = [
+    "NotShardable",
+    "Partition",
+    "check_shardable",
+    "lookahead_of",
+    "run_sharded",
+]

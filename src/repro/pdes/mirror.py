@@ -1,0 +1,138 @@
+"""Coordinator-side replay of boundary channels.
+
+A channel whose members span shards cannot live on any one shard: its
+busy/queue state machine is driven by sends from several shards, and
+the serial engine orders those sends by full event key.  The
+:class:`BoundaryMirror` is the authoritative copy — it merges the send
+records every shard drains at each window barrier with its own
+transfer-complete actions, replays the exact serial state machine in
+extended-key order, draws the channel sites' sequence numbers, and
+emits each delivery as an injection for the destination shard.
+
+Extended keys: a send is ordered by ``event_key + (sub,)`` where
+``sub >= 0`` is the within-event submission index synchronized across
+shards (:class:`~repro.pdes.shard.BoundaryChannel`); a transfer
+complete is ordered by its own event key ``+ (-1,)`` — *before* any
+boundary send made from the same event, matching the serial engine
+where ``_complete`` frees the channel and pops the queue before the
+delivery callback runs strategy code that could send again.
+
+Conservative correctness: a send recorded during window *j* has
+``time < H_j``, so :meth:`replay` called with horizon ``H_j`` at the
+barrier after window *j* has every action it needs, in final order —
+nothing replayed is ever rolled back.  Deliveries complete at
+``time + duration >= H_j`` (duration is at least the lookahead), so the
+injections always land in a later window.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+__all__ = ["BoundaryMirror"]
+
+
+class _ChannelState:
+    __slots__ = ("cid", "site", "busy", "queue", "seq", "transfers")
+
+    def __init__(self, cid: int, site: int) -> None:
+        self.cid = cid
+        self.site = site
+        self.busy = False
+        self.queue: list[tuple] = []
+        #: authoritative sequence counter for the channel's event site
+        self.seq = 0
+        #: (init_ext_key, duration, words, end) per started transfer
+        self.transfers: list[tuple] = []
+
+
+class BoundaryMirror:
+    def __init__(self, partition, costs) -> None:
+        n = partition.topology.n
+        self.partition = partition
+        self.costs = costs
+        self.channels = {
+            cid: _ChannelState(cid, 1 + n + cid) for cid in partition.boundary_channels
+        }
+        #: min-heap of pending actions, ordered by extended key:
+        #: (ext_key, time, tag, cid, kind, msg) — ext keys are unique so
+        #: later fields never compare.
+        self._actions: list[tuple] = []
+        #: (dest_shard, injection_entry) produced since the last drain
+        self._injections: list[tuple] = []
+
+    def add_sends(self, records: list) -> None:
+        """Queue shard send records: ("send", ext_key, cid, time, kind, msg)."""
+        for _tag, ext_key, cid, time, kind, msg in records:
+            heapq.heappush(self._actions, (ext_key, time, "s", cid, kind, msg))
+
+    def replay(self, horizon: float) -> None:
+        """Advance every boundary channel through actions before ``horizon``.
+
+        Action times are non-decreasing in extended-key order (a key's
+        first component is its event time, and preamble sends carry the
+        sentinel key that sorts first of all), so stopping at the first
+        head with ``time >= horizon`` is exact.
+        """
+        acts = self._actions
+        while acts and acts[0][1] < horizon:
+            ext_key, time, tag, cid, kind, msg = heapq.heappop(acts)
+            ch = self.channels[cid]
+            if tag == "s":
+                if ch.busy:
+                    ch.queue.append((kind, msg))
+                else:
+                    self._start(ch, ext_key, time, kind, msg)
+            else:
+                ch.busy = False
+                if ch.queue:
+                    # The serial _complete pops and restarts inside its
+                    # own event: the new transfer is charged to the
+                    # complete's key, at the complete's time.
+                    qkind, qmsg = ch.queue.pop(0)
+                    self._start(ch, ext_key, time, qkind, qmsg)
+
+    def _start(self, ch: _ChannelState, init_ext: tuple, time: float, kind: str, msg) -> None:
+        costs = self.costs
+        duration = costs.hop_overhead + costs.word_time * msg.size_words
+        end = time + duration
+        ch.busy = True
+        ch.seq += 1
+        ch.transfers.append((init_ext, duration, msg.size_words, end))
+        dest = self.partition.shard_of(msg.dst)
+        self._injections.append((dest, (end, 10, ch.site, ch.seq, kind, msg)))
+        heapq.heappush(
+            self._actions, ((end, 10, ch.site, ch.seq, -1), end, "c", ch.cid, None, None)
+        )
+
+    def drain_injections(self) -> list:
+        out, self._injections = self._injections, []
+        return out
+
+    def finalize(self, kstar: tuple, tstar: float) -> dict:
+        """Per-channel (effective_busy, messages_carried, words_carried).
+
+        A transfer counts iff the event that *started* it (the send's
+        event for an idle channel, the completing event for a queued
+        send) has key <= K* — exactly the serial accounting, which
+        charges busy time and counters in ``_start``.  The overhang of
+        a transfer still in flight at T* is subtracted the same way
+        ``Channel.effective_busy`` does.
+        """
+        out = {}
+        for cid, ch in self.channels.items():
+            busy = 0.0
+            msgs = 0
+            words = 0
+            until = 0.0
+            for init_ext, duration, size_words, end in ch.transfers:
+                if init_ext[:4] <= kstar:
+                    busy += duration
+                    msgs += 1
+                    words += size_words
+                    until = end
+            over = until - tstar
+            if over > 0.0:
+                busy -= over
+            out[cid] = (busy, msgs, words)
+        return out

@@ -15,6 +15,7 @@ from .chordal import ChordalRing
 from .dlm import DoubleLatticeMesh
 from .grid import Grid
 from .hypercube import Hypercube
+from .partition import Partition
 from .ring import Complete, Ring
 from .star import Star
 from .torus3d import Torus3D
@@ -28,6 +29,7 @@ __all__ = [
     "Grid",
     "Hypercube",
     "KaryTree",
+    "Partition",
     "Ring",
     "Star",
     "TOPOLOGIES",

@@ -140,19 +140,44 @@ class Topology:
         self._neighbors: list[tuple[int, ...]] = [
             tuple(sorted(s)) for s in neighbor_sets
         ]
-        #: immutable channel inventory: tuple of sorted member tuples
-        self.channels: tuple[tuple[int, ...], ...] = tuple(
-            tuple(sorted(set(ch))) for ch in channels
-        )
-        self._validate()
-        # channel ids shared by each PE pair, for hop channel selection
-        pair_channels: dict[tuple[int, int], list[int]] = {}
+        #: immutable channel inventory: tuple of sorted member tuples.
+        #: The overwhelmingly common entry is a point-to-point link the
+        #: family already spelled (lo, hi); two comparisons canonicalize
+        #: it without the set + sort the general form pays (that per-
+        #:  channel churn dominated Hypercube(12) construction, whose
+        #: channel count is 3x a same-PE-count grid's).
+        canon: list[tuple[int, ...]] = []
+        _append = canon.append
+        for ch in channels:
+            if len(ch) == 2:
+                a, b = ch
+                if a != b:
+                    _append((a, b) if a < b else (b, a))
+                    continue
+            _append(tuple(sorted(set(ch))))
+        self.channels: tuple[tuple[int, ...], ...] = tuple(canon)
+        self._validate(neighbor_sets)
+        # channel ids shared by each PE pair, for hop channel selection.
+        # Entries are built as tuples directly — parallel channels over
+        # one pair are rare enough that extending by tuple concat beats
+        # a list-of-lists pass plus a converting dict comprehension.
+        pair_channels: dict[tuple[int, int], tuple[int, ...]] = {}
+        get = pair_channels.get
         for cid, members in enumerate(self.channels):
-            for i, a in enumerate(members):
-                for b in members[i + 1 :]:
-                    pair_channels.setdefault((a, b), []).append(cid)
-                    pair_channels.setdefault((b, a), []).append(cid)
-        self._pair_channels = {k: tuple(v) for k, v in pair_channels.items()}
+            if len(members) == 2:
+                a, b = members
+                prev = get((a, b))
+                entry = (cid,) if prev is None else prev + (cid,)
+                pair_channels[(a, b)] = entry
+                pair_channels[(b, a)] = entry
+            else:
+                for i, a in enumerate(members):
+                    for b in members[i + 1 :]:
+                        prev = get((a, b))
+                        entry = (cid,) if prev is None else prev + (cid,)
+                        pair_channels[(a, b)] = entry
+                        pair_channels[(b, a)] = entry
+        self._pair_channels = pair_channels
 
     # -- subclass API ---------------------------------------------------------
 
@@ -161,17 +186,27 @@ class Topology:
 
     # -- validation -----------------------------------------------------------
 
-    def _validate(self) -> None:
+    def _validate(self, neighbor_sets: list[set[int]] | None = None) -> None:
+        n = self.n
         for cid, members in enumerate(self.channels):
             if len(members) < 2:
                 raise ValueError(f"channel {cid} has fewer than 2 members")
-            if not all(0 <= m < self.n for m in members):
-                raise ValueError(f"channel {cid} references unknown PE")
+            for m in members:
+                if not 0 <= m < n:
+                    raise ValueError(f"channel {cid} references unknown PE")
+        # Symmetry probes go against the *set* form (O(1) membership);
+        # probing the sorted tuples was O(degree) per probe, O(N*deg^2)
+        # overall — the other half of the hypercube construction cost.
+        sets = (
+            neighbor_sets
+            if neighbor_sets is not None
+            else [set(nbrs) for nbrs in self._neighbors]
+        )
         for pe, nbrs in enumerate(self._neighbors):
-            if pe in nbrs:
+            if pe in sets[pe]:
                 raise ValueError(f"PE {pe} is its own neighbor")
             for nb in nbrs:
-                if pe not in self._neighbors[nb]:
+                if pe not in sets[nb]:
                     raise ValueError(f"asymmetric neighbor relation {pe}<->{nb}")
 
     # -- queries ---------------------------------------------------------------

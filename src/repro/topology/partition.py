@@ -1,0 +1,103 @@
+"""Partition a topology's PEs into contiguous shard blocks.
+
+The conservative parallel engine (:mod:`repro.pdes`) runs one machine
+across several OS processes.  A :class:`Partition` is the static map it
+needs: which shard owns each PE, which channels live entirely inside
+one shard, and which PEs have neighbors on foreign shards (so their
+load/control words must be replicated).
+
+Blocks are contiguous by PE index — ``shard s`` owns
+``range(bounds[s], bounds[s + 1])`` with the same rounding NumPy's
+``array_split`` uses, so shard sizes differ by at most one.  Contiguous
+blocks are the right default for the row-major grids and hypercubes
+this repo simulates: most channels join index-adjacent PEs, so the
+boundary (the set of cross-shard channels that force synchronization)
+stays small.
+
+The class is pure topology bookkeeping: it validates shapes
+(``ValueError``), never simulation semantics — whether a *scenario* can
+legally run sharded is decided by :func:`repro.pdes.check_shardable`.
+"""
+
+from __future__ import annotations
+
+from .base import Topology
+
+__all__ = ["Partition"]
+
+
+class Partition:
+    """Contiguous block assignment of ``topology``'s PEs to ``shards``.
+
+    Attributes
+    ----------
+    bounds:
+        ``shards + 1`` fenceposts; shard ``s`` owns PEs
+        ``bounds[s] <= pe < bounds[s + 1]``.
+    channel_shard:
+        Per channel id, the shard owning *all* its members, or ``-1``
+        for a boundary channel whose members span shards.
+    boundary_channels:
+        Sorted tuple of boundary channel ids.
+    word_fanout:
+        Per PE, a sorted tuple of *foreign* shards owning at least one
+        of its neighbors (empty for interior PEs).
+    """
+
+    __slots__ = (
+        "topology",
+        "shards",
+        "bounds",
+        "channel_shard",
+        "boundary_channels",
+        "word_fanout",
+    )
+
+    def __init__(self, topology: Topology, shards: int) -> None:
+        n = topology.n
+        if not 1 <= shards <= n:
+            raise ValueError(
+                f"shards must be in 1..{n} (one PE per shard at most), got {shards}"
+            )
+        self.topology = topology
+        self.shards = shards
+        self.bounds = tuple(n * s // shards for s in range(shards + 1))
+
+        shard_of = self.shard_of
+        channel_shard: list[int] = []
+        boundary: list[int] = []
+        for cid, members in enumerate(topology.channels):
+            owners = {shard_of(pe) for pe in members}
+            if len(owners) == 1:
+                channel_shard.append(next(iter(owners)))
+            else:
+                channel_shard.append(-1)
+                boundary.append(cid)
+        self.channel_shard = tuple(channel_shard)
+        self.boundary_channels = tuple(boundary)
+
+        fanout: list[tuple[int, ...]] = []
+        for pe in range(n):
+            home = shard_of(pe)
+            foreign = {shard_of(nb) for nb in topology.neighbors(pe)}
+            foreign.discard(home)
+            fanout.append(tuple(sorted(foreign)))
+        self.word_fanout = tuple(fanout)
+
+    def shard_of(self, pe: int) -> int:
+        """Shard owning ``pe`` (closed form — no search)."""
+        # Inverse of bounds[s] = n*s // shards: the owning shard is the
+        # largest s with n*s // shards <= pe, i.e. s <= (pe+1)*shards-1 / n.
+        return ((pe + 1) * self.shards - 1) // self.topology.n
+
+    def owned(self, shard: int) -> range:
+        """The contiguous PE range owned by ``shard``."""
+        if not 0 <= shard < self.shards:
+            raise ValueError(f"shard must be in 0..{self.shards - 1}, got {shard}")
+        return range(self.bounds[shard], self.bounds[shard + 1])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Partition({self.topology.name}, shards={self.shards}, "
+            f"boundary_channels={len(self.boundary_channels)})"
+        )

@@ -64,7 +64,10 @@ class TestSaturationControl:
 
 class TestIdlePull:
     def test_pull_moves_goals(self):
-        cfg = SimConfig(seed=3)
+        # Seed chosen so at least one idle pull actually fires under the
+        # per-PE RNG streams (seed-sensitive: some seeds never go idle
+        # with work left to pull).
+        cfg = SimConfig(seed=0)
         strat = AdaptiveCWN(radius=2, horizon=1, saturation=None, pull=True)
         res = run(Fibonacci(13), Grid(4, 4), strat, cfg)
         assert strat._pulled > 0

@@ -5,6 +5,7 @@ and the determinism guarantee (parallel == serial, bit for bit).
 from __future__ import annotations
 
 import json
+import multiprocessing
 
 import numpy as np
 import pytest
@@ -156,6 +157,22 @@ class TestResultCache:
         path.write_text(json.dumps(payload))
         assert cache.get(spec) is None
 
+    def test_memo_serves_repeat_gets_without_disk(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = RunSpec("fib:9", "grid:5x5", "cwn", seed=1)
+        cache.put(spec, spec.run())
+        first = cache.get(spec)  # disk read populates the in-process memo
+        cache.path_for(spec).unlink()  # memo is now the only copy
+        second = cache.get(spec)
+        assert second is not None
+        assert_results_equal(first, second)
+        assert cache.hits == 2
+        # Revival builds fresh arrays each time: results never alias.
+        assert first.busy_time is not second.busy_time
+        # clear() drops the memo along with the entries.
+        cache.clear()
+        assert cache.get(spec) is None
+
     def test_stats_and_clear(self, tmp_path):
         cache = ResultCache(tmp_path)
         for seed in (1, 2, 3):
@@ -203,6 +220,31 @@ class TestRunMany:
 
     def test_jobs_one_is_in_process_and_identical(self):
         assert_results_equal(run_many(SPECS[:1], jobs=1)[0], SPECS[0].run())
+
+    @pytest.mark.parametrize("start_method", ["fork", "spawn", "forkserver"])
+    def test_start_methods_identical_and_workers_join_telemetry(
+        self, start_method, tmp_path, monkeypatch
+    ):
+        """Every start method gives bit-identical results, and workers
+        join the telemetry stream — trivially under fork (the sink rides
+        the fork), via ``_worker_init``'s ``init_from_env`` under
+        spawn/forkserver (a spawned worker starts from a blank module).
+        """
+        if start_method not in multiprocessing.get_all_start_methods():
+            pytest.skip(f"{start_method} unavailable on this platform")
+        stream = tmp_path / "farm-telemetry.jsonl"
+        monkeypatch.setenv("REPRO_TELEMETRY", str(stream))
+        serial = [spec.run() for spec in SPECS[:2]]  # no parent sink: silent
+        farmed = run_many(SPECS[:2], jobs=2, start_method=start_method)
+        for a, b in zip(farmed, serial):
+            assert_results_equal(a, b)
+        events = [json.loads(line) for line in stream.read_text().splitlines()]
+        finishes = [e for e in events if e["ev"] == "run.finish"]
+        assert len(finishes) == 2, "one run.finish per spec, from the workers"
+
+    def test_unknown_start_method_is_rejected(self):
+        with pytest.raises(ValueError, match="not available"):
+            run_many(SPECS[:2], jobs=2, start_method="bogus")
 
     def test_order_is_preserved(self):
         farmed = run_many(SPECS, jobs=2)
