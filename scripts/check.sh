@@ -12,6 +12,23 @@ cd "$(dirname "$0")/.."
 echo "== compileall (src, tests, benchmarks) =="
 python -m compileall -q src tests benchmarks
 
+echo "== repro lint =="
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro lint
+
+if command -v ruff >/dev/null 2>&1; then
+  echo "== ruff check src tests =="
+  ruff check src tests
+else
+  echo "== ruff not installed; skipping (pip install ruff) =="
+fi
+
+if command -v mypy >/dev/null 2>&1; then
+  echo "== mypy (pdes + scenario islands) =="
+  mypy --config-file pyproject.toml
+else
+  echo "== mypy not installed; skipping (pip install mypy) =="
+fi
+
 echo "== pytest -m 'not slow' =="
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -q -m "not slow" "$@"
 

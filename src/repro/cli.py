@@ -24,7 +24,10 @@ Commands map one-to-one onto the experiment modules:
   (``stats --json`` for machine consumption);
 * ``repro bench`` — the perf-trajectory harness: canonical benches into
   a schema-versioned ``BENCH_<n>.json``, ``--compare`` as a CI gate;
-* ``repro watch`` — live dashboard over a ``REPRO_TELEMETRY`` stream.
+* ``repro watch`` — live dashboard over a ``REPRO_TELEMETRY`` stream;
+* ``repro lint`` — the determinism & invariant linter
+  (:mod:`repro.lint`): machine-checks the code shape the repo's
+  guarantees rest on (exit 0 clean / 1 findings / 2 usage error).
 
 All experiment commands accept ``--full`` to run at paper scale
 (equivalently, set ``REPRO_FULL=1``), plus the global farm flags
@@ -259,6 +262,56 @@ def _build_parser() -> argparse.ArgumentParser:
         "--cols", type=int, default=None, help="heat-frame width override"
     )
     watch.add_argument("--color", action="store_true", help="ANSI 256-color frames")
+
+    lint = sub.add_parser(
+        "lint",
+        help="determinism & invariant linter over the repro package",
+        description="Run the AST-based rule engine (repro.lint) over the "
+        "given paths (default: the installed repro package).  Exit codes: "
+        "0 = clean (every finding fixed, waived inline, or baselined), "
+        "1 = findings remain, 2 = usage/environment error.",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files or directories to lint (default: the repro package)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="baseline file of grandfathered findings "
+        "(default: ./lint-baseline.json or the repo's copy, if present)",
+    )
+    lint.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file (report grandfathered findings too)",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline to cover the current findings "
+        "(reasons left as TODO placeholders to fill in) and exit 0",
+    )
+    lint.add_argument(
+        "--rules",
+        default=None,
+        metavar="IDS",
+        help="comma-separated subset of rule ids to run",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules with their one-line summaries",
+    )
     return parser
 
 
@@ -303,9 +356,11 @@ def _farmed(args: argparse.Namespace):
         yield jobs, cache
     hits = sum(r.hits for r in reports)
     simulated = sum(r.executed for r in reports)
-    telemetry.emit(
-        "farm.summary", hits=hits, simulated=simulated, plans=len(reports)
-    )
+    tele = telemetry.sink()
+    if tele is not None:
+        tele.emit(
+            "farm.summary", hits=hits, simulated=simulated, plans=len(reports)
+        )
     if not getattr(args, "quiet", False):
         print(f"[farm] {hits} cache hits, {simulated} simulated", file=sys.stderr)
 
@@ -701,6 +756,91 @@ def _cmd_watch(args: argparse.Namespace) -> None:
         raise SystemExit(2) from None
 
 
+def _default_baseline() -> "str | None":
+    """The baseline file ``repro lint`` uses when ``--baseline`` is absent.
+
+    Checked in order: ``lint-baseline.json`` in the current directory,
+    then next to the source checkout (two levels above the package, the
+    repo root when running from ``src/``).
+    """
+    from pathlib import Path
+
+    from .lint import default_root
+
+    for candidate in (
+        Path.cwd() / "lint-baseline.json",
+        default_root().parent.parent / "lint-baseline.json",
+    ):
+        if candidate.is_file():
+            return str(candidate)
+    return None
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint import Baseline, run_lint
+    from .lint.engine import anchors_for
+    from .lint.rules import RULES
+
+    if args.list_rules:
+        for name in RULES.names():
+            entry = RULES.entry(name)
+            summary = entry.metadata.get("summary", "")
+            print(f"{name}: {summary}" if summary else name)
+        return 0
+
+    rules = None
+    if args.rules:
+        rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+        unknown = sorted(set(rules) - set(RULES.names()))
+        if unknown:
+            print(
+                f"repro: error: unknown lint rule(s): {', '.join(unknown)} "
+                f"(see `repro lint --list-rules`)",
+                file=sys.stderr,
+            )
+            return 2
+
+    from pathlib import Path
+
+    baseline_path = args.baseline if args.baseline else _default_baseline()
+    baseline = None
+    if (
+        not args.no_baseline
+        and baseline_path is not None
+        # --write-baseline may target a file that does not exist yet
+        and not (args.write_baseline and not Path(baseline_path).is_file())
+    ):
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (OSError, ValueError) as exc:
+            print(f"repro: error: {exc}", file=sys.stderr)
+            return 2
+
+    paths = args.paths or None
+    try:
+        result = run_lint(paths, baseline=baseline, rules=rules)
+    except FileNotFoundError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        target = baseline_path or "lint-baseline.json"
+        anchors = anchors_for(result, paths)
+        fresh = Baseline.from_findings(result.findings, anchors)
+        kept = baseline.entries if baseline is not None else ()
+        kept = tuple(e for e in kept if e in baseline.used) if baseline else ()
+        Baseline(entries=kept + fresh.entries).save(target)
+        print(
+            f"[lint] wrote {len(kept) + len(fresh.entries)} entries to "
+            f"{target} — fill in the TODO reasons",
+            file=sys.stderr,
+        )
+        return 0
+
+    print(result.render_json() if args.format == "json" else result.render_text())
+    return 0 if result.clean else 1
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "table1": _cmd_table1,
@@ -720,6 +860,7 @@ _COMMANDS = {
     "list": _cmd_list,
     "bench": _cmd_bench,
     "watch": _cmd_watch,
+    "lint": _cmd_lint,
 }
 
 
@@ -733,8 +874,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         import os
 
         os.environ["REPRO_FULL"] = "1"
-    _COMMANDS[args.command](args)
-    return 0
+    code = _COMMANDS[args.command](args)
+    return 0 if code is None else int(code)
 
 
 if __name__ == "__main__":  # pragma: no cover

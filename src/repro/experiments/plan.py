@@ -331,15 +331,17 @@ def execute(
     )
     for sink in _collectors:
         sink.append(outcome)
-    _telemetry.emit(
-        "plan.report",
-        plan=outcome.plan,
-        runs=outcome.runs,
-        hits=outcome.hits,
-        simulated=outcome.simulated,
-        local=outcome.local,
-        retried=outcome.retried,
-        failures=len(outcome.failures),
-    )
+    tele = _telemetry.sink()
+    if tele is not None:
+        tele.emit(
+            "plan.report",
+            plan=outcome.plan,
+            runs=outcome.runs,
+            hits=outcome.hits,
+            simulated=outcome.simulated,
+            local=outcome.local,
+            retried=outcome.retried,
+            failures=len(outcome.failures),
+        )
 
     return plan.reduce(results, plan.labels)

@@ -1,0 +1,41 @@
+"""repro.lint — a determinism & invariant linter for this codebase.
+
+The repo's guarantees (bit-identical replays, sharded-PDES equality,
+content-addressed caching, zero-cost disabled telemetry) are invariants
+*about the code*, not about any single run — the test suites catch a
+violation only when some input happens to exercise it.  This package
+machine-checks the code shape those guarantees rest on: no raw set
+iteration in kernel event paths, no global RNG state, no wall clock in
+the kernel, undo-log coverage for every stats counter, guarded
+telemetry call sites, complete registry contracts, no fork-hostile
+module state, and canonical-form coverage for every scenario field.
+
+Entry points:
+
+* ``repro lint`` — the CLI (see :mod:`repro.cli`);
+* :func:`repro.lint.run_lint` — the library API the CLI and the
+  self-lint test share;
+* :data:`repro.lint.rules.RULES` — the open rule registry (the same
+  :class:`~repro.scenario.registry.Registry` machinery as the
+  strategy/topology/workload vocabularies; third-party rules plug in
+  via the ``repro.lint_rules`` entry-point group).
+
+See ``docs/lint.md`` for the rule catalogue, the waiver syntax and the
+baseline workflow.
+"""
+
+from .engine import LintResult, collect_files, default_root, run_lint
+from .findings import Baseline, BaselineEntry, Finding
+from .rules import RULES, Rule
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "Finding",
+    "LintResult",
+    "RULES",
+    "Rule",
+    "collect_files",
+    "default_root",
+    "run_lint",
+]

@@ -1,0 +1,180 @@
+"""The lint driver: walk files, run rules, filter waivers + baseline.
+
+``run_lint`` is the library entry point (the CLI and the self-lint test
+both call it): collect ``*.py`` files under the given paths, parse each
+once into a :class:`~repro.lint.context.FileContext`, aggregate the
+:class:`~repro.lint.context.ProjectIndex`, then give every registered
+rule one pass per file (:meth:`Rule.check_file`) plus one pass over the
+whole project (:meth:`Rule.check_project`).  Findings are filtered
+through inline waivers (``# lint: ok[rule]``) and the committed
+baseline, then sorted.
+
+Exit-code contract (the CLI maps :class:`LintResult` onto it):
+
+* ``0`` — clean (every finding fixed, waived, or baselined);
+* ``1`` — findings remain;
+* ``2`` — usage or environment error (bad path, malformed baseline).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .context import FileContext, ProjectIndex
+from .findings import Baseline, Finding
+from .rules import RULES, Rule
+
+__all__ = ["LintResult", "collect_files", "default_root", "run_lint"]
+
+#: directories never walked (caches, VCS internals)
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", "node_modules"}
+
+
+def default_root() -> Path:
+    """The installed ``repro`` package directory — what ``repro lint`` lints."""
+    return Path(__file__).resolve().parents[1]
+
+
+def collect_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Every ``*.py`` under ``paths`` (files pass through), sorted."""
+    out: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        if path.is_file():
+            if path.suffix == ".py":
+                out.add(path.resolve())
+            continue
+        for sub in path.rglob("*.py"):
+            if not any(part in _SKIP_DIRS for part in sub.parts):
+                out.add(sub.resolve())
+    return sorted(out)
+
+
+@dataclass
+class LintResult:
+    """Everything one lint pass produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    #: findings suppressed by the baseline (reported, never failing)
+    baselined: list[Finding] = field(default_factory=list)
+    #: findings suppressed by inline waivers
+    waived: list[Finding] = field(default_factory=list)
+    #: stale baseline entries that matched nothing this pass
+    stale_baseline: list = field(default_factory=list)
+    files: int = 0
+    #: files that failed to parse: (path, error)
+    errors: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.errors
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": 1,
+            "clean": self.clean,
+            "files": self.files,
+            "findings": [f.to_dict() for f in self.findings],
+            "baselined": [f.to_dict() for f in self.baselined],
+            "waived": [f.to_dict() for f in self.waived],
+            "stale_baseline": [e.to_dict() for e in self.stale_baseline],
+            "errors": [{"path": p, "error": e} for p, e in self.errors],
+        }
+
+    def render_text(self) -> str:
+        """The human report (one line per finding, summary trailer)."""
+        lines = [f.render() for f in self.findings]
+        for path, error in self.errors:
+            lines.append(f"{path}:0:0: [parse-error] {error}")
+        for entry in self.stale_baseline:
+            lines.append(
+                f"{entry.path}:0:0: [stale-baseline] baseline entry for "
+                f"{entry.rule!r} matched nothing — delete it "
+                f"(reason was: {entry.reason})"
+            )
+        counts = f"{len(self.findings)} finding(s) in {self.files} file(s)"
+        if self.baselined:
+            counts += f", {len(self.baselined)} baselined"
+        if self.waived:
+            counts += f", {len(self.waived)} waived"
+        lines.append(counts)
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+
+def make_rules(only: Iterable[str] | None = None) -> list[Rule]:
+    """Instantiate every registered rule (or the ``only`` subset)."""
+    names = RULES.names() if only is None else tuple(only)
+    return [RULES.make(name) for name in names]
+
+
+def run_lint(
+    paths: Sequence[str | Path] | None = None,
+    *,
+    baseline: Baseline | None = None,
+    rules: Iterable[str] | None = None,
+) -> LintResult:
+    """Lint ``paths`` (default: the installed ``repro`` package)."""
+    targets = collect_files([default_root()] if paths is None else paths)
+    result = LintResult()
+    index = ProjectIndex()
+    contexts: list[FileContext] = []
+    for path in targets:
+        try:
+            ctx = FileContext.parse(path)
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            result.errors.append((str(path), str(exc)))
+            continue
+        contexts.append(ctx)
+        index.add(ctx)
+    result.files = len(contexts)
+
+    active = make_rules(rules)
+    raw: list[Finding] = []
+    for rule in active:
+        for ctx in contexts:
+            raw.extend(rule.check_file(ctx, index))
+        raw.extend(rule.check_project(index))
+
+    # Stable ordering, then waiver and baseline filtering.  Anchors come
+    # from the parsed contexts so baseline matching sees exactly the
+    # source text the finding points at.
+    by_rel = {ctx.rel: ctx for ctx in contexts}
+    for finding in sorted(set(raw)):
+        ctx = by_rel.get(finding.path)
+        if ctx is not None and ctx.waived(finding.line, finding.rule):
+            result.waived.append(finding)
+            continue
+        anchor = ctx.line_text(finding.line) if ctx is not None else ""
+        if baseline is not None and baseline.suppresses(finding, anchor):
+            result.baselined.append(finding)
+            continue
+        result.findings.append(finding)
+    if baseline is not None:
+        result.stale_baseline = list(baseline.unused())
+    return result
+
+
+def anchors_for(result: LintResult, paths: Sequence[str | Path] | None = None) -> dict:
+    """(path, line) -> source anchor for every finding (baseline writing)."""
+    targets = collect_files([default_root()] if paths is None else paths)
+    by_rel: dict[str, FileContext] = {}
+    for path in targets:
+        try:
+            ctx = FileContext.parse(path)
+        except (SyntaxError, UnicodeDecodeError, OSError):
+            continue
+        by_rel[ctx.rel] = ctx
+    out = {}
+    for finding in result.findings:
+        ctx = by_rel.get(finding.path)
+        if ctx is not None:
+            out[(finding.path, finding.line)] = ctx.line_text(finding.line)
+    return out

@@ -1,0 +1,159 @@
+"""The linter's currency: one :class:`Finding` per violation.
+
+A finding pins a rule violation to a file and line, carries the rule's
+one-line explanation of *this* occurrence, and a fix hint.  Findings
+order by location so reports are stable across runs and platforms —
+the self-lint test and the CI gate diff them textually.
+
+Grandfathered findings live in a committed **baseline** file
+(:class:`Baseline`).  Baseline entries match on ``(rule, path, anchor)``
+where the anchor is the stripped source text of the offending line —
+*not* the line number, so unrelated edits above a grandfathered site do
+not invalidate the baseline.  Every entry must carry a non-empty
+``reason``: the baseline is a list of justified debts, not a mute
+button.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+__all__ = ["BASELINE_SCHEMA", "Baseline", "BaselineEntry", "Finding"]
+
+#: Version tag of the baseline file format.
+BASELINE_SCHEMA = 1
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, pinned to ``path:line:col``."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    hint: str = ""
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def render(self) -> str:
+        """The one-line text-format rendering."""
+        text = f"{self.location()}: [{self.rule}] {self.message}"
+        if self.hint:
+            text += f" (fix: {self.hint})"
+        return text
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding: rule + file + source-line anchor."""
+
+    rule: str
+    path: str
+    #: stripped source text of the offending line (line numbers drift;
+    #: code text identifies the site)
+    anchor: str
+    #: one-line justification — required, the whole point of a baseline
+    reason: str
+
+    def to_dict(self) -> dict[str, str]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "anchor": self.anchor,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class Baseline:
+    """The committed set of grandfathered findings."""
+
+    entries: tuple[BaselineEntry, ...] = ()
+    #: entries that matched at least one finding in the last filter pass
+    used: set[BaselineEntry] = field(default_factory=set)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Read a baseline file; malformed files raise :class:`ValueError`."""
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"malformed baseline {path}: {exc}") from exc
+        if not isinstance(payload, Mapping) or payload.get("schema") != BASELINE_SCHEMA:
+            raise ValueError(
+                f"baseline {path} has unknown schema "
+                f"(expected {{'schema': {BASELINE_SCHEMA}, 'entries': [...]}})"
+            )
+        entries = []
+        for raw in payload.get("entries", ()):
+            entry = BaselineEntry(
+                rule=str(raw["rule"]),
+                path=str(raw["path"]),
+                anchor=str(raw["anchor"]),
+                reason=str(raw.get("reason", "")).strip(),
+            )
+            if not entry.reason:
+                raise ValueError(
+                    f"baseline {path}: entry for {entry.rule} at {entry.path} "
+                    f"has no reason — every grandfathered finding needs a "
+                    f"one-line justification"
+                )
+            entries.append(entry)
+        return cls(entries=tuple(entries))
+
+    def save(self, path: str | Path) -> None:
+        payload = {
+            "schema": BASELINE_SCHEMA,
+            "entries": [e.to_dict() for e in self.entries],
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    @classmethod
+    def from_findings(
+        cls, findings: Iterable[Finding], anchors: Mapping[tuple[str, int], str]
+    ) -> "Baseline":
+        """A baseline skeleton covering ``findings`` (reasons left TODO)."""
+        entries = []
+        seen: set[tuple[str, str, str]] = set()
+        for f in sorted(findings):
+            anchor = anchors.get((f.path, f.line), "")
+            key = (f.rule, f.path, anchor)
+            if key in seen:
+                continue
+            seen.add(key)
+            entries.append(
+                BaselineEntry(f.rule, f.path, anchor, "TODO: justify or fix")
+            )
+        return cls(entries=tuple(entries))
+
+    def suppresses(self, finding: Finding, anchor: str) -> bool:
+        """True (and mark used) when an entry matches this finding."""
+        for entry in self.entries:
+            if (
+                entry.rule == finding.rule
+                and entry.path == finding.path
+                and entry.anchor == anchor
+            ):
+                self.used.add(entry)
+                return True
+        return False
+
+    def unused(self) -> tuple[BaselineEntry, ...]:
+        """Entries that matched nothing — stale debt to delete."""
+        return tuple(e for e in self.entries if e not in self.used)

@@ -1,0 +1,210 @@
+"""registry-contract — every registration carries its full contract.
+
+The strategy/topology/workload vocabularies (and this linter's own rule
+registry) are the repo's plugin surface: ``repro scenarios``, ``repro
+explain`` and the docs all render straight from registration metadata,
+and the farm shards work based on class attributes.  A registration
+that compiles but ships half a contract fails *later*, in whatever
+command first reads the missing piece.  This rule moves those failures
+to lint time:
+
+* the registered name is a string literal (greppable, stable);
+* ``metadata`` is a dict literal with a non-empty ``summary``;
+* user-facing vocabularies (STRATEGIES / TOPOLOGIES / WORKLOADS) also
+  need an ``example`` spell — ``repro scenarios`` prints it;
+* a registered Strategy overrides ``name`` (not ``"abstract"``) and
+  pins ``shardable`` to a bool literal — the farm reads it to decide
+  process sharding;
+* a registered Topology overrides ``family``; a registered Program
+  overrides ``name``;
+* ``table1`` reference tables only mention topology families that
+  actually exist.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..findings import Finding
+from . import RULES, Rule
+from ._ast_util import resolve_module_dict
+
+#: registries whose entries are user-facing spells (need an example)
+_NEEDS_EXAMPLE = {"STRATEGIES", "TOPOLOGIES", "WORKLOADS"}
+#: registry name -> (root class, attr that must be overridden)
+_CLS_CONTRACT = {
+    "STRATEGIES": ("Strategy", "name"),
+    "TOPOLOGIES": ("Topology", "family"),
+    "WORKLOADS": ("Program", "name"),
+}
+
+
+def _registration(call: ast.Call) -> tuple[str, str] | None:
+    """(registry, name) when this is ``<REGISTRY>.register("name", ...)``."""
+    func = call.func
+    if not (isinstance(func, ast.Attribute) and func.attr == "register"):
+        return None
+    if not (isinstance(func.value, ast.Name) and func.value.id.isupper()):
+        return None
+    if not call.args:
+        return None
+    first = call.args[0]
+    if isinstance(first, ast.Constant) and isinstance(first.value, str):
+        return func.value.id, first.value
+    return func.value.id, ""
+
+
+def _meta_value(metadata: ast.Dict, key: str) -> ast.expr | None:
+    for k, v in zip(metadata.keys, metadata.values):
+        if isinstance(k, ast.Constant) and k.value == key:
+            return v
+    return None
+
+
+class RegistryContract(Rule):
+    id = "registry-contract"
+    hint = (
+        "register with a literal name and metadata={'summary': ..., "
+        "'example': ...}; override name/family on the registered class"
+    )
+
+    def check_file(self, ctx, index) -> Iterable[Finding]:
+        out: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            reg = _registration(node)
+            if reg is None:
+                continue
+            registry, name = reg
+            line, col = node.lineno, node.col_offset
+
+            if not name:
+                out.append(
+                    self.finding(
+                        ctx,
+                        line,
+                        col,
+                        f"{registry}.register name must be a string literal",
+                        hint="use a literal so the vocabulary is greppable",
+                    )
+                )
+            kwargs = {kw.arg: kw.value for kw in node.keywords if kw.arg}
+
+            metadata = kwargs.get("metadata")
+            if not isinstance(metadata, ast.Dict):
+                out.append(
+                    self.finding(
+                        ctx,
+                        line,
+                        col,
+                        f"{registry}.register({name!r}) has no metadata dict "
+                        f"literal — `repro scenarios` renders from it",
+                    )
+                )
+            else:
+                summary = _meta_value(metadata, "summary")
+                if not (
+                    isinstance(summary, ast.Constant)
+                    and isinstance(summary.value, str)
+                    and summary.value.strip()
+                ):
+                    out.append(
+                        self.finding(
+                            ctx,
+                            line,
+                            col,
+                            f"{registry}.register({name!r}) metadata lacks a "
+                            f"non-empty 'summary' string",
+                        )
+                    )
+                if registry in _NEEDS_EXAMPLE:
+                    example = _meta_value(metadata, "example")
+                    if not (
+                        isinstance(example, ast.Constant)
+                        and isinstance(example.value, str)
+                        and example.value.strip()
+                    ):
+                        out.append(
+                            self.finding(
+                                ctx,
+                                line,
+                                col,
+                                f"{registry}.register({name!r}) metadata "
+                                f"lacks an 'example' spell — user-facing "
+                                f"vocabularies must show one",
+                            )
+                        )
+                table1 = _meta_value(metadata, "table1")
+                if isinstance(table1, ast.Name):
+                    table1 = resolve_module_dict(ctx.tree, table1.id)
+                if isinstance(table1, ast.Dict):
+                    families = index.topology_families()
+                    for key in table1.keys:
+                        if (
+                            isinstance(key, ast.Constant)
+                            and isinstance(key.value, str)
+                            and families
+                            and key.value not in families
+                        ):
+                            out.append(
+                                self.finding(
+                                    ctx,
+                                    line,
+                                    col,
+                                    f"table1 entry {key.value!r} on "
+                                    f"{name!r} names no known topology "
+                                    f"family",
+                                    hint="table1 keys must match a "
+                                    "registered Topology.family",
+                                )
+                            )
+
+            cls = kwargs.get("cls")
+            contract = _CLS_CONTRACT.get(registry)
+            if isinstance(cls, ast.Name) and contract is not None:
+                root, attr = contract
+                if index.is_subclass(cls.id, root):
+                    value = index.mro_attr(cls.id, attr)
+                    if (
+                        isinstance(value, ast.Constant)
+                        and value.value == "abstract"
+                    ) or value is None:
+                        out.append(
+                            self.finding(
+                                ctx,
+                                line,
+                                col,
+                                f"{cls.id} is registered as {name!r} but "
+                                f"never overrides {root}.{attr}",
+                            )
+                        )
+                    if registry == "STRATEGIES":
+                        shardable = index.mro_attr(cls.id, "shardable")
+                        if not (
+                            isinstance(shardable, ast.Constant)
+                            and isinstance(shardable.value, bool)
+                        ):
+                            out.append(
+                                self.finding(
+                                    ctx,
+                                    line,
+                                    col,
+                                    f"{cls.id} ({name!r}) must pin "
+                                    f"`shardable` to a bool literal — the "
+                                    f"farm reads it to shard processes",
+                                )
+                            )
+        return out
+
+
+@RULES.register(
+    "registry-contract",
+    metadata={
+        "summary": "registrations carry literal names, summary/example "
+        "metadata, overridden name/family, and a bool shardable flag",
+    },
+)
+def _build(rest: str = "") -> RegistryContract:
+    return RegistryContract()

@@ -1,0 +1,117 @@
+"""global-rng — only seeded RNG instances, never global RNG state.
+
+Every randomized decision in the simulator must replay bit-for-bit from
+a :class:`~repro.scenario.Scenario`'s seed: strategies draw from the
+machine's per-PE streams (``machine.rngs[pe]``), analysis code builds
+``random.Random(seed)``.  The module-level ``random.*`` functions and
+``numpy.random``'s global state are process-wide and invisible to the
+content hash — a single ``random.shuffle`` in a kernel path silently
+splits the result cache and breaks the sharded-PDES equality.
+
+Allowed: constructing ``random.Random(seed)`` and
+``numpy.random.default_rng(seed)`` / ``Generator`` / ``SeedSequence``
+with an explicit seed.  Flagged: every other ``random.*`` /
+``np.random.*`` call, unseeded ``default_rng()``, and importing the
+module-level helpers (``from random import choice``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..findings import Finding
+from . import RULES, Rule
+from ._ast_util import import_aliases
+
+#: stdlib ``random`` attributes that are fine to touch
+_STDLIB_OK = {"Random"}
+#: ``numpy.random`` attributes that are fine when given an explicit seed
+_NUMPY_OK = {"default_rng", "Generator", "SeedSequence", "PCG64", "Philox"}
+
+
+class GlobalRng(Rule):
+    id = "global-rng"
+    hint = (
+        "draw from the machine's seeded per-PE streams (machine.rngs[pe]) "
+        "or a local random.Random(seed)"
+    )
+
+    def check_file(self, ctx, index) -> Iterable[Finding]:
+        out: list[Finding] = []
+        random_names = import_aliases(ctx.tree, "random")
+        numpy_names = import_aliases(ctx.tree, "numpy")
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                for alias in node.names:
+                    if alias.name not in _STDLIB_OK:
+                        out.append(
+                            self.finding(
+                                ctx,
+                                node.lineno,
+                                node.col_offset,
+                                f"importing random.{alias.name} binds the "
+                                f"process-global RNG stream",
+                            )
+                        )
+            elif isinstance(node, ast.Attribute):
+                value = node.value
+                # random.<fn> on the stdlib module
+                if isinstance(value, ast.Name) and value.id in random_names:
+                    if node.attr not in _STDLIB_OK:
+                        out.append(
+                            self.finding(
+                                ctx,
+                                node.lineno,
+                                node.col_offset,
+                                f"random.{node.attr} uses process-global RNG "
+                                f"state (unseeded, shared across the run)",
+                            )
+                        )
+                # np.random.<fn> on the numpy global-state API
+                elif (
+                    isinstance(value, ast.Attribute)
+                    and value.attr == "random"
+                    and isinstance(value.value, ast.Name)
+                    and value.value.id in numpy_names
+                ):
+                    if node.attr not in _NUMPY_OK:
+                        out.append(
+                            self.finding(
+                                ctx,
+                                node.lineno,
+                                node.col_offset,
+                                f"numpy.random.{node.attr} mutates numpy's "
+                                f"process-global RNG state",
+                            )
+                        )
+            elif isinstance(node, ast.Call):
+                # default_rng() with no arguments seeds from the OS
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "default_rng"
+                    and not node.args
+                    and not node.keywords
+                ):
+                    out.append(
+                        self.finding(
+                            ctx,
+                            node.lineno,
+                            node.col_offset,
+                            "default_rng() without a seed draws OS entropy — "
+                            "results cannot replay from the scenario seed",
+                        )
+                    )
+        return out
+
+
+@RULES.register(
+    "global-rng",
+    metadata={
+        "summary": "no random.* / np.random global-state calls anywhere in "
+        "repro — every draw must come from a seeded instance",
+    },
+)
+def _build(rest: str = "") -> GlobalRng:
+    return GlobalRng()

@@ -1,0 +1,203 @@
+"""telemetry-guard — the disabled telemetry path must stay free.
+
+The telemetry contract (:mod:`repro.obs.telemetry`) is that a run with
+no sink configured pays *nothing*.  The module-level ``emit()`` does
+check the sink internally — but Python evaluates the call's keyword
+arguments first, so an unguarded ``telemetry.emit("ev", key=k[:12])``
+allocates and formats on every call even when telemetry is off.  And a
+sink obtained via ``sink()`` can be ``None``, so calling methods on it
+unguarded is an outright crash in the disabled (default!) mode.
+
+The blessed shape, everywhere outside :mod:`repro.obs.telemetry`
+itself::
+
+    tele = _telemetry.sink()
+    if tele is not None:
+        tele.emit("cache.hit", key=key[:12])
+
+Early-return guards (``if tele is None: return``) are recognized too.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from ..findings import Finding
+from . import RULES, Rule
+from ._ast_util import enclosing_function, import_aliases
+
+_SELF = "repro/obs/telemetry.py"
+
+
+def _statements(body: list[ast.stmt]) -> Iterator[ast.stmt]:
+    """Every statement in document order, descending into blocks."""
+    for stmt in body:
+        yield stmt
+        for field in ("body", "orelse", "finalbody"):
+            sub = getattr(stmt, field, None)
+            if isinstance(sub, list):
+                yield from _statements(sub)
+        for handler in getattr(stmt, "handlers", ()):
+            yield from _statements(handler.body)
+
+
+def _is_none_compare(test: ast.expr, var: str, negated: bool) -> bool:
+    """``var is not None`` (negated=False) or ``var is None`` (negated=True)."""
+    if not isinstance(test, ast.Compare) or len(test.ops) != 1:
+        return False
+    left, op, right = test.left, test.ops[0], test.comparators[0]
+    if not (isinstance(left, ast.Name) and left.id == var):
+        return False
+    if not (isinstance(right, ast.Constant) and right.value is None):
+        return False
+    return isinstance(op, ast.Is if negated else ast.IsNot)
+
+
+def _test_guards(test: ast.expr, var: str | None, aliases: set[str]) -> bool:
+    """Does this if-test establish that telemetry is live?"""
+    for node in ast.walk(test):
+        if var is not None and _is_none_compare(node, var, negated=False):
+            return True
+        if var is not None and isinstance(node, ast.Name) and node.id == var and node is test:
+            return True  # bare `if tele:` truthiness guard
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            value = node.func.value
+            if (
+                isinstance(value, ast.Name)
+                and value.id in aliases
+                and node.func.attr in ("enabled", "sink")
+            ):
+                return True
+    return False
+
+
+def _guarded(call: ast.Call, var: str | None, aliases: set[str]) -> bool:
+    # 1. an enclosing `if <guard>:` with the call in the *body* branch
+    prev: ast.AST = call
+    cur = getattr(call, "_lint_parent", None)
+    while cur is not None:
+        if isinstance(cur, ast.If) and prev in cur.body:
+            if _test_guards(cur.test, var, aliases):
+                return True
+        if isinstance(cur, ast.IfExp) and prev is cur.body:
+            if _test_guards(cur.test, var, aliases):
+                return True
+        prev, cur = cur, getattr(cur, "_lint_parent", None)
+    # 2. an earlier early-return guard in the same function
+    if var is not None:
+        fn = enclosing_function(call)
+        if isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for stmt in _statements(fn.body):
+                if stmt.lineno >= call.lineno:
+                    break
+                if (
+                    isinstance(stmt, ast.If)
+                    and _is_none_compare(stmt.test, var, negated=True)
+                    and stmt.body
+                    and isinstance(
+                        stmt.body[-1], (ast.Return, ast.Raise, ast.Continue, ast.Break)
+                    )
+                ):
+                    return True
+    return False
+
+
+class TelemetryGuard(Rule):
+    id = "telemetry-guard"
+    hint = (
+        "hoist `tele = telemetry.sink()` and guard the call with "
+        "`if tele is not None:` so the disabled path evaluates nothing"
+    )
+
+    def check_file(self, ctx, index) -> Iterable[Finding]:
+        if ctx.rel == _SELF:
+            return []
+        out: list[Finding] = []
+        aliases = import_aliases(ctx.tree, "telemetry")
+        emit_aliases: set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                if node.module.endswith("telemetry"):
+                    for alias in node.names:
+                        if alias.name == "emit":
+                            emit_aliases.add(alias.asname or alias.name)
+        if not aliases and not emit_aliases:
+            return []
+        # names assigned from <telemetry>.sink()
+        sink_vars: set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+                if (
+                    isinstance(target, ast.Name)
+                    and isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Attribute)
+                    and value.func.attr == "sink"
+                    and isinstance(value.func.value, ast.Name)
+                    and value.func.value.id in aliases
+                ):
+                    sink_vars.add(target.id)
+
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            # telemetry.emit(...) — module-level helper, eager arguments
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "emit"
+                and isinstance(func.value, ast.Name)
+                and func.value.id in aliases
+            ):
+                if not _guarded(node, None, aliases):
+                    out.append(
+                        self.finding(
+                            ctx,
+                            node.lineno,
+                            node.col_offset,
+                            "unguarded telemetry.emit: arguments are built "
+                            "eagerly even while telemetry is disabled",
+                        )
+                    )
+            elif isinstance(func, ast.Name) and func.id in emit_aliases:
+                if not _guarded(node, None, aliases):
+                    out.append(
+                        self.finding(
+                            ctx,
+                            node.lineno,
+                            node.col_offset,
+                            "unguarded emit(): arguments are built eagerly "
+                            "even while telemetry is disabled",
+                        )
+                    )
+            # tele.emit(...) / tele.gauge(...) on a sink()-derived name
+            elif (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in sink_vars
+            ):
+                var = func.value.id
+                if not _guarded(node, var, aliases):
+                    out.append(
+                        self.finding(
+                            ctx,
+                            node.lineno,
+                            node.col_offset,
+                            f"{var}.{func.attr}() on a sink()-derived value "
+                            f"without a None guard — crashes when telemetry "
+                            f"is disabled",
+                        )
+                    )
+        return out
+
+
+@RULES.register(
+    "telemetry-guard",
+    metadata={
+        "summary": "every telemetry.emit call site lexically guarded by a "
+        "sink()-is-not-None check, so disabled telemetry costs nothing",
+    },
+)
+def _build(rest: str = "") -> TelemetryGuard:
+    return TelemetryGuard()

@@ -1,0 +1,101 @@
+"""wall-clock-in-kernel — simulated time only in determinism-critical code.
+
+Simulation behavior must be a pure function of the scenario: the event
+calendar runs on ``engine.now``, never on the host's clock.  A
+``time.time()`` / ``perf_counter()`` that leaks into an event path,
+cache key, or iteration bound makes runs irreproducible in the way the
+golden suites cannot catch (it still *completes*, just differently).
+
+The observability layers (``repro/obs``, ``benchmarks``, the CLI) are
+outside this rule's scope — measuring wall time is their job.  Inside
+the kernel packages, legitimate wall-clock reads (telemetry throughput
+metrics that never feed simulation state) carry an inline waiver::
+
+    wall = time.perf_counter()  # lint: ok[wall-clock-in-kernel] telemetry only
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..findings import Finding
+from . import RULES, Rule
+from ._ast_util import call_name, import_aliases, in_scope
+
+_SCOPE = (
+    "repro/oracle/",
+    "repro/core/",
+    "repro/pdes/",
+    "repro/topology/",
+    "repro/workload/",
+    "repro/scenario/",
+    "repro/parallel/",
+)
+
+#: wall-clock reading functions on the ``time`` module
+_TIME_FNS = {
+    "time",
+    "time_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "monotonic",
+    "monotonic_ns",
+    "process_time",
+    "process_time_ns",
+}
+_DATETIME_FNS = {"now", "utcnow", "today"}
+
+
+class WallClockInKernel(Rule):
+    id = "wall-clock-in-kernel"
+    hint = (
+        "use the simulated clock (engine.now); if this read only feeds "
+        "telemetry, waive it inline with `# lint: ok[wall-clock-in-kernel] ...`"
+    )
+
+    def check_file(self, ctx, index) -> Iterable[Finding]:
+        if not in_scope(ctx.rel, _SCOPE):
+            return []
+        out: list[Finding] = []
+        time_names = import_aliases(ctx.tree, "time")
+        from_time: set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in _TIME_FNS:
+                        from_time.add(alias.asname or alias.name)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name is None:
+                continue
+            head, _, tail = name.partition(".")
+            flagged = (
+                (head in time_names and tail in _TIME_FNS)
+                or (not tail and head in from_time)
+                or (tail.split(".")[-1] in _DATETIME_FNS and "datetime" in name)
+            )
+            if flagged:
+                out.append(
+                    self.finding(
+                        ctx,
+                        node.lineno,
+                        node.col_offset,
+                        f"{name}() reads the host wall clock inside a "
+                        f"determinism-critical package",
+                    )
+                )
+        return out
+
+
+@RULES.register(
+    "wall-clock-in-kernel",
+    metadata={
+        "summary": "no time.time()/perf_counter() in kernel packages — "
+        "wall clock is for obs/benchmarks; waive telemetry-only reads inline",
+    },
+)
+def _build(rest: str = "") -> WallClockInKernel:
+    return WallClockInKernel()

@@ -230,12 +230,14 @@ def bench_pdes(quick: bool = False) -> dict[str, Metric]:
 def run_benches(quick: bool = False) -> dict[str, Metric]:
     """All canonical benches, emitting one telemetry event per metric."""
     metrics: dict[str, Metric] = {}
+    tele = _telemetry.sink()
     for group in (bench_kernel, bench_construction, bench_farm, bench_pdes):
         for name, metric in group(quick).items():
             metrics[name] = metric
-            _telemetry.emit(
-                "bench.metric", name=name, value=metric.value, unit=metric.unit
-            )
+            if tele is not None:
+                tele.emit(
+                    "bench.metric", name=name, value=metric.value, unit=metric.unit
+                )
     return metrics
 
 

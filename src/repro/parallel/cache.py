@@ -219,6 +219,7 @@ class ResultCache:
         """
         path = self.path_for(spec)
         key = path.stem
+        tele = _telemetry.sink()
         memo = self._memo
         data = memo.get(key)
         if data is not None:
@@ -227,7 +228,8 @@ class ResultCache:
             del memo[key]
             memo[key] = data
             self.hits += 1
-            _telemetry.emit("cache.hit", key=key[:12], memo=True)
+            if tele is not None:
+                tele.emit("cache.hit", key=key[:12], memo=True)
             return result_from_dict(data)
         try:
             payload = json.loads(path.read_text())
@@ -238,7 +240,8 @@ class ResultCache:
             result = result_from_dict(payload["result"])
         except FileNotFoundError:
             self.misses += 1
-            _telemetry.emit("cache.miss", key=path.stem[:12])
+            if tele is not None:
+                tele.emit("cache.miss", key=path.stem[:12])
             return None
         except Exception:
             # Corrupt entry: recover by dropping it (best-effort — on a
@@ -249,11 +252,13 @@ class ResultCache:
             except OSError:
                 pass
             self.misses += 1
-            _telemetry.emit("cache.miss", key=path.stem[:12], corrupt=True)
+            if tele is not None:
+                tele.emit("cache.miss", key=path.stem[:12], corrupt=True)
             return None
         self._memoize(key, payload["result"])
         self.hits += 1
-        _telemetry.emit("cache.hit", key=key[:12])
+        if tele is not None:
+            tele.emit("cache.hit", key=key[:12])
         return result
 
     def _memoize(self, key: str, data: dict[str, Any]) -> None:

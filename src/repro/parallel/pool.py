@@ -200,7 +200,9 @@ def run_many(
         start_method or ("fork" if "fork" in methods else "spawn")
     )
     chunksize = chunksize or _default_chunksize(len(specs), jobs)
-    _telemetry.emit("farm.pool", jobs=jobs, specs=len(specs), chunksize=chunksize)
+    tele = _telemetry.sink()
+    if tele is not None:
+        tele.emit("farm.pool", jobs=jobs, specs=len(specs), chunksize=chunksize)
     indexed = list(enumerate(specs))
     chunks = [indexed[i : i + chunksize] for i in range(0, len(indexed), chunksize)]
 

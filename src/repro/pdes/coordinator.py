@@ -27,7 +27,7 @@ from __future__ import annotations
 import gc
 import multiprocessing
 import time
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -40,6 +40,13 @@ from ..scenario.arrivals import Arrivals
 from ..topology.partition import Partition
 from .mirror import BoundaryMirror
 from .shard import worker_main
+
+if TYPE_CHECKING:  # annotation-only imports
+    from multiprocessing.connection import Connection
+
+    from ..scenario.scenario import Scenario
+    from ..topology.base import Topology
+    from ..workload.base import Program
 
 __all__ = ["NotShardable", "check_shardable", "lookahead_of", "run_sharded"]
 
@@ -56,7 +63,7 @@ class NotShardable(SimulationError):
     """
 
 
-def lookahead_of(config, strategy) -> float:
+def lookahead_of(config: SimConfig, strategy: Strategy) -> float:
     """The minimum model-time latency of any cross-shard effect.
 
     Goal/response messages pay at least one boundary-channel transfer
@@ -77,7 +84,9 @@ def lookahead_of(config, strategy) -> float:
     return lookahead
 
 
-def _check(topology, strategy, config, partition) -> float:
+def _check(
+    topology: Topology, strategy: Strategy, config: SimConfig, partition: Partition
+) -> float:
     """Validate shardability; return the lookahead or raise NotShardable."""
     if process_kernel_active():
         raise NotShardable(
@@ -123,7 +132,7 @@ def _check(topology, strategy, config, partition) -> float:
     return lookahead
 
 
-def check_shardable(scenario, shards: int) -> tuple[Partition, float]:
+def check_shardable(scenario: Scenario, shards: int) -> tuple[Partition, float]:
     """Validate ``scenario`` for ``shards``-way execution.
 
     Returns the :class:`Partition` and the lookahead on success; raises
@@ -138,7 +147,7 @@ def check_shardable(scenario, shards: int) -> tuple[Partition, float]:
     return partition, lookahead
 
 
-def run_sharded(scenario, shards: int) -> SimResult:
+def run_sharded(scenario: Scenario, shards: int) -> SimResult:
     """Run ``scenario`` across ``shards`` worker processes.
 
     Bit-identical to ``scenario.run()`` — including error behavior: a
@@ -194,7 +203,7 @@ def run_sharded(scenario, shards: int) -> SimResult:
                 proc.join(timeout=5)
 
 
-def _recv(conn, shard: int, stage: str):
+def _recv(conn: Connection, shard: int, stage: str) -> Any:
     """One reply off a worker pipe; fatal-crash replies propagate."""
     try:
         tag, payload = conn.recv()
@@ -207,7 +216,16 @@ def _recv(conn, shard: int, stage: str):
     return payload
 
 
-def _drive(scenario, topology, strategy, program, config, partition, lookahead, conns):
+def _drive(
+    scenario: Scenario,
+    topology: Topology,
+    strategy: Strategy,
+    program: Program,
+    config: SimConfig,
+    partition: Partition,
+    lookahead: float,
+    conns: list[Connection],
+) -> SimResult:
     shards = partition.shards
     mirror = BoundaryMirror(partition, config.costs)
     #: per destination shard: injection entries not yet shipped
@@ -239,7 +257,7 @@ def _drive(scenario, topology, strategy, program, config, partition, lookahead, 
                 entry = key + ("word", (targets, src, kind, value))
                 dests = {partition.shard_of(t) for t in targets}
                 dests.discard(partition.shard_of(src))
-                for dest in dests:
+                for dest in sorted(dests):
                     pending[dest].append(entry)
         if boundary_sends:
             mirror.add_sends(boundary_sends)
@@ -254,7 +272,7 @@ def _drive(scenario, topology, strategy, program, config, partition, lookahead, 
         return reply["events"]
 
     tele = _telemetry.sink()
-    wall_start = time.perf_counter()
+    wall_start = time.perf_counter()  # lint: ok[wall-clock-in-kernel] telemetry throughput only
     if tele is not None:
         tele.emit(
             "shard.start",
@@ -312,7 +330,7 @@ def _drive(scenario, topology, strategy, program, config, partition, lookahead, 
             conns[s].send(("window", horizon, ready))
             active.append(s)
         windows += 1
-        barrier_start = time.perf_counter()
+        barrier_start = time.perf_counter()  # lint: ok[wall-clock-in-kernel] telemetry sync timing
         executed = 0
         for s in active:
             executed += absorb(s, _recv(conns[s], s, f"window {windows}"))
@@ -332,7 +350,7 @@ def _drive(scenario, topology, strategy, program, config, partition, lookahead, 
             tele.emit(
                 "shard.sync",
                 window=windows,
-                wall_ms=(time.perf_counter() - barrier_start) * 1e3,
+                wall_ms=(time.perf_counter() - barrier_start) * 1e3,  # lint: ok[wall-clock-in-kernel] telemetry sync timing
                 events_total=events_issued,
             )
 
@@ -348,7 +366,7 @@ def _drive(scenario, topology, strategy, program, config, partition, lookahead, 
         mirror, kstar, tstar, per_query, reports, samples_by_key,
     )
     if tele is not None:
-        wall = time.perf_counter() - wall_start
+        wall = time.perf_counter() - wall_start  # lint: ok[wall-clock-in-kernel] telemetry throughput only
         tele.emit(
             "shard.finish",
             shards=shards,
@@ -362,7 +380,7 @@ def _drive(scenario, topology, strategy, program, config, partition, lookahead, 
     return result
 
 
-def _resolve(candidates: list, queries: int):
+def _resolve(candidates: list, queries: int) -> tuple | None:
     """Walk completion candidates in global key order.
 
     Returns ``("done", kstar, tstar, per_query)`` once the last query
@@ -382,8 +400,19 @@ def _resolve(candidates: list, queries: int):
 
 
 def _assemble(
-    scenario, topology, strategy, program, config, partition, arrivals,
-    mirror, kstar, tstar, per_query, reports, samples_by_key,
+    scenario: Scenario,
+    topology: Topology,
+    strategy: Strategy,
+    program: Program,
+    config: SimConfig,
+    partition: Partition,
+    arrivals: Arrivals,
+    mirror: BoundaryMirror,
+    kstar: tuple,
+    tstar: float,
+    per_query: list,
+    reports: list,
+    samples_by_key: dict,
 ) -> SimResult:
     n = topology.n
     queries = arrivals.queries

@@ -28,6 +28,11 @@ injections always land in a later window.
 from __future__ import annotations
 
 import heapq
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # annotation-only imports
+    from ..oracle.config import CostModel
+    from ..topology.partition import Partition
 
 __all__ = ["BoundaryMirror"]
 
@@ -47,7 +52,7 @@ class _ChannelState:
 
 
 class BoundaryMirror:
-    def __init__(self, partition, costs) -> None:
+    def __init__(self, partition: Partition, costs: CostModel) -> None:
         n = partition.topology.n
         self.partition = partition
         self.costs = costs

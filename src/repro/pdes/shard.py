@@ -35,13 +35,25 @@ from __future__ import annotations
 import traceback
 from bisect import bisect_right
 from heapq import heapify, heappop, heappush
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from ..oracle.channel import Channel
 from ..oracle.engine import Process, SimulationError
 from ..oracle.machine import Machine
 from ..oracle.pe import PE
 from ..oracle.stats import StatsCollector
+
+if TYPE_CHECKING:  # annotation-only imports; runtime imports stay lazy
+    from multiprocessing.connection import Connection
+
+    from ..core.base import Strategy
+    from ..oracle.config import CostModel, SimConfig
+    from ..oracle.engine import Engine
+    from ..scenario.arrivals import Arrivals
+    from ..scenario.scenario import Scenario
+    from ..topology.base import Topology
+    from ..topology.partition import Partition
+    from ..workload.base import Program
 
 __all__ = ["PREAMBLE_KEY", "ShardMachine", "ShardWorker", "worker_main"]
 
@@ -119,7 +131,15 @@ class ShardChannel(Channel):
 
     __slots__ = ("_machine",)
 
-    def __init__(self, machine, engine, cid, members, costs, site):
+    def __init__(
+        self,
+        machine: ShardMachine,
+        engine: Engine,
+        cid: int,
+        members: tuple[int, ...],
+        costs: CostModel,
+        site: int,
+    ) -> None:
         super().__init__(engine, cid, members, costs, site)
         self._machine = machine
 
@@ -154,7 +174,15 @@ class BoundaryChannel(Channel):
 
     __slots__ = ("_machine",)
 
-    def __init__(self, machine, engine, cid, members, costs, site):
+    def __init__(
+        self,
+        machine: ShardMachine,
+        engine: Engine,
+        cid: int,
+        members: tuple[int, ...],
+        costs: CostModel,
+        site: int,
+    ) -> None:
         super().__init__(engine, cid, members, costs, site)
         self._machine = machine
 
@@ -183,7 +211,17 @@ class ShardMachine(Machine):
     identically everywhere.  Only execution is partitioned.
     """
 
-    def __init__(self, partition, shard, topology, program, strategy, config, start_pe, arrivals):
+    def __init__(
+        self,
+        partition: Partition,
+        shard: int,
+        topology: Topology,
+        program: Program,
+        strategy: Strategy,
+        config: SimConfig,
+        start_pe: int,
+        arrivals: Arrivals,
+    ) -> None:
         # Everything the component factories consult must exist before
         # super().__init__ constructs stats/pes/channels.
         self.partition = partition
@@ -233,13 +271,15 @@ class ShardMachine(Machine):
 
     # -- component factories ------------------------------------------------
 
-    def _make_stats(self, n, trace_hops):
+    def _make_stats(self, n: int, trace_hops: bool) -> ShardStats:
         return ShardStats(self, n, trace_hops)
 
-    def _make_pe(self, index, speed):
+    def _make_pe(self, index: int, speed: float) -> ShardPE:
         return ShardPE(index, self, speed)
 
-    def _make_channel(self, cid, members, costs, site):
+    def _make_channel(
+        self, cid: int, members: tuple[int, ...], costs: CostModel, site: int
+    ) -> Channel:
         cls = BoundaryChannel if self.partition.channel_shard[cid] == -1 else ShardChannel
         return cls(self, self.engine, cid, members, costs, site)
 
@@ -377,7 +417,7 @@ class ShardMachine(Machine):
 class ShardWorker:
     """Drives one ShardMachine through prepare / window / finalize."""
 
-    def __init__(self, scenario, shards: int, shard: int) -> None:
+    def __init__(self, scenario: Scenario, shards: int, shard: int) -> None:
         from ..topology.partition import Partition
 
         topology = scenario.resolve_topology()
@@ -548,7 +588,7 @@ class ShardWorker:
             "busy": [m.pes[pe].effective_busy(tstar) for pe in owned],
             "goals": [m.pes[pe].goals_executed for pe in owned],
             "first": [stats.first_goal_time[pe] for pe in owned],
-            "counters": {name: stats.__dict__[name] for name in _LOGGED_COUNTERS},
+            "counters": {name: stats.__dict__[name] for name in sorted(_LOGGED_COUNTERS)},
             "hist": dict(stats.hop_histogram),
             "channels": {
                 ch.cid: (ch.effective_busy(tstar), int(ch.messages_carried))
@@ -559,7 +599,7 @@ class ShardWorker:
         }
 
 
-def worker_main(conn, scenario, shards: int, shard: int) -> None:
+def worker_main(conn: Connection, scenario: Scenario, shards: int, shard: int) -> None:
     """Process entry point: serve coordinator commands over ``conn``."""
     try:
         worker = ShardWorker(scenario, shards, shard)

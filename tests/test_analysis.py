@@ -4,7 +4,6 @@ parallel metrics, Markdown rendering.
 
 from __future__ import annotations
 
-import math
 
 import pytest
 from hypothesis import given, settings

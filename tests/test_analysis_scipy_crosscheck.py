@@ -8,7 +8,6 @@ certificate.
 
 from __future__ import annotations
 
-import math
 
 import pytest
 from hypothesis import given, settings

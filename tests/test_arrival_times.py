@@ -6,7 +6,7 @@ import random
 
 import pytest
 
-from repro.core import paper_cwn, paper_gm
+from repro.core import paper_cwn
 from repro.oracle.config import SimConfig
 from repro.oracle.machine import Machine
 from repro.topology import Grid

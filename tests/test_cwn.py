@@ -7,7 +7,7 @@ import pytest
 from repro.core import CWN, paper_cwn
 from repro.oracle.config import SimConfig
 from repro.oracle.machine import Machine
-from repro.topology import Grid, Ring
+from repro.topology import Grid
 from repro.workload import DivideConquer, Fibonacci
 
 

@@ -28,8 +28,8 @@ from repro.experiments.timeseries import (
 )
 from repro.experiments.utilization_curves import render_curve, run_curve
 from repro.oracle.config import SimConfig
-from repro.topology import Grid, Hypercube, paper_dlm, paper_grid
-from repro.workload import DivideConquer, Fibonacci
+from repro.topology import Grid, Hypercube
+from repro.workload import Fibonacci
 
 
 class TestRunner:

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core import CWN, KeepLocal
-from repro.oracle.config import CostModel, SimConfig
+from repro.oracle.config import SimConfig
 from repro.oracle.machine import Machine
 from repro.topology import Complete, Grid
 from repro.workload import Fibonacci

@@ -9,7 +9,7 @@ from repro.core import CWN, GradientModel, KeepLocal
 from repro.oracle.config import CostModel, SimConfig
 from repro.oracle.engine import SimulationError
 from repro.oracle.machine import Machine
-from repro.topology import Complete, Grid, Ring
+from repro.topology import Grid, Ring
 from repro.workload import DivideConquer, Fibonacci
 
 

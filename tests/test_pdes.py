@@ -10,11 +10,11 @@ from __future__ import annotations
 
 import pytest
 
-from repro.oracle.config import CostModel, SimConfig
+from repro.oracle.config import SimConfig
 from repro.oracle.engine import use_process_kernel
 from repro.pdes import NotShardable, Partition, check_shardable, lookahead_of
 from repro.scenario import Scenario
-from repro.topology import DoubleLatticeMesh, Grid, Hypercube, Ring
+from repro.topology import Grid, Hypercube, Ring
 
 
 class TestPartition:

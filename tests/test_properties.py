@@ -10,12 +10,12 @@ from hypothesis import strategies as st
 
 from repro.core import CWN, GradientModel
 from repro.core.base import argmin_load
-from repro.oracle.config import CostModel, SimConfig
+from repro.oracle.config import SimConfig
 from repro.oracle.engine import Engine, hold
 from repro.oracle.machine import Machine
 from repro.topology import DoubleLatticeMesh, Grid, Hypercube, Ring
 from repro.workload import DivideConquer, Fibonacci, RandomTree, SkewedTree
-from repro.workload.base import Leaf, Split, _sequential_eval
+from repro.workload.base import Split, _sequential_eval
 
 # Simulation-backed properties are slow per example; keep example counts
 # deliberately modest and silence the slow-data health checks.

@@ -6,7 +6,6 @@ import pytest
 
 from repro.core import CWN, GradientModel, KeepLocal
 from repro.experiments.query_stream import render_stream, run_stream, spread_pes
-from repro.oracle.config import SimConfig
 from repro.oracle.machine import Machine
 from repro.topology import Grid
 from repro.workload import DivideConquer, Fibonacci

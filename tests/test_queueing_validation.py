@@ -17,7 +17,6 @@ instrument).
 
 from __future__ import annotations
 
-import math
 import random
 
 import pytest

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core import CWN, GradientModel
-from repro.oracle.config import CostModel, SimConfig
+from repro.oracle.config import CostModel
 from repro.oracle.machine import Machine
 from repro.topology import Grid
 from repro.workload import (

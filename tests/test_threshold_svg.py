@@ -6,7 +6,6 @@ import pytest
 
 from repro.core import CWN, ThresholdRandom, make_strategy
 from repro.experiments.svg import svg_line_chart
-from repro.oracle.config import SimConfig
 from repro.oracle.machine import Machine
 from repro.topology import Grid
 from repro.workload import Fibonacci

@@ -4,7 +4,6 @@ Torus3D, ChordalRing, CubeConnectedCycles, Star.
 
 from __future__ import annotations
 
-import math
 
 import pytest
 from hypothesis import given, settings

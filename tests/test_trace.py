@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.core import CWN, KeepLocal
-from repro.oracle.config import SimConfig
 from repro.oracle.machine import Machine
 from repro.oracle.trace import TraceAnalysis, TraceRecorder, attach
 from repro.topology import Grid

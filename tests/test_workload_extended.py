@@ -11,7 +11,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import CWN, paper_cwn
+from repro.core import paper_cwn
 from repro.oracle.config import SimConfig
 from repro.oracle.machine import Machine
 from repro.topology import Grid
