@@ -23,7 +23,7 @@ else
 fi
 
 if command -v mypy >/dev/null 2>&1; then
-  echo "== mypy (pdes + scenario islands) =="
+  echo "== mypy (pdes + scenario + lint islands) =="
   mypy --config-file pyproject.toml
 else
   echo "== mypy not installed; skipping (pip install mypy) =="
@@ -39,4 +39,4 @@ echo "== repro bench --quick vs committed BENCH (tolerance 4x) =="
 BENCH_TMP="$(mktemp -t repro-bench-XXXXXX.json)"
 trap 'rm -f "$BENCH_TMP"' EXIT
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro bench --quick \
-  --out "$BENCH_TMP" --compare BENCH_7.json --tolerance 4
+  --out "$BENCH_TMP" --compare BENCH_9.json --tolerance 4

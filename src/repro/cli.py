@@ -279,9 +279,16 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "github"),
         default="text",
-        help="report format (default: text)",
+        help="report format (default: text; 'github' emits ::error "
+        "workflow-command annotations for CI)",
+    )
+    lint.add_argument(
+        "--explain",
+        action="store_true",
+        help="print each finding's propagation trace (source→sink chain "
+        "or hook→effect call path) indented under its line",
     )
     lint.add_argument(
         "--baseline",
@@ -300,6 +307,12 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="rewrite the baseline to cover the current findings "
         "(reasons left as TODO placeholders to fill in) and exit 0",
+    )
+    lint.add_argument(
+        "--prune-baseline",
+        action="store_true",
+        help="drop baseline entries that matched no finding this pass "
+        "(stale debt), rewrite the file, and exit 0",
     )
     lint.add_argument(
         "--rules",
@@ -837,7 +850,31 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         )
         return 0
 
-    print(result.render_json() if args.format == "json" else result.render_text())
+    if args.prune_baseline:
+        if baseline is None or baseline_path is None:
+            print(
+                "repro: error: --prune-baseline needs a baseline file "
+                "(none found, or --no-baseline given)",
+                file=sys.stderr,
+            )
+            return 2
+        kept = tuple(e for e in baseline.entries if e in baseline.used)
+        dropped = len(baseline.entries) - len(kept)
+        Baseline(entries=kept).save(baseline_path)
+        print(
+            f"[lint] pruned {dropped} stale entr"
+            f"{'y' if dropped == 1 else 'ies'} from {baseline_path} "
+            f"({len(kept)} kept)",
+            file=sys.stderr,
+        )
+        return 0
+
+    if args.format == "json":
+        print(result.render_json())
+    elif args.format == "github":
+        print(result.render_github())
+    else:
+        print(result.render_text(explain=args.explain))
     return 0 if result.clean else 1
 
 

@@ -86,9 +86,17 @@ class LintResult:
             "errors": [{"path": p, "error": e} for p, e in self.errors],
         }
 
-    def render_text(self) -> str:
-        """The human report (one line per finding, summary trailer)."""
-        lines = [f.render() for f in self.findings]
+    def render_text(self, explain: bool = False) -> str:
+        """The human report (one line per finding, summary trailer).
+
+        With ``explain=True``, findings that carry a propagation trace
+        (``Finding.explain``) print it indented under their line.
+        """
+        lines = []
+        for f in self.findings:
+            lines.append(f.render())
+            if explain and f.explain:
+                lines.extend(f"    {step}" for step in f.explain.splitlines())
         for path, error in self.errors:
             lines.append(f"{path}:0:0: [parse-error] {error}")
         for entry in self.stale_baseline:
@@ -107,6 +115,43 @@ class LintResult:
 
     def render_json(self) -> str:
         return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def render_github(self) -> str:
+        """GitHub Actions workflow-command annotations (one per finding).
+
+        ``::error file=...,line=...,col=...,title=...::message`` lines
+        render inline on the PR diff.  Newlines in messages are encoded
+        as ``%0A`` per the workflow-command escaping rules.
+        """
+
+        def esc(text: str) -> str:
+            return (
+                text.replace("%", "%25")
+                .replace("\r", "%0D")
+                .replace("\n", "%0A")
+            )
+
+        lines = []
+        for f in self.findings:
+            message = f.message if not f.hint else f"{f.message} (fix: {f.hint})"
+            lines.append(
+                f"::error file={f.path},line={f.line},col={f.col},"
+                f"title=repro-lint {f.rule}::{esc(message)}"
+            )
+        for path, error in self.errors:
+            lines.append(
+                f"::error file={path},line=1,title=repro-lint parse-error::"
+                f"{esc(error)}"
+            )
+        for entry in self.stale_baseline:
+            lines.append(
+                f"::warning file={entry.path},title=repro-lint stale-baseline::"
+                f"{esc(f'baseline entry for {entry.rule!r} matched nothing — delete it')}"
+            )
+        lines.append(
+            f"{len(self.findings)} finding(s) in {self.files} file(s)"
+        )
+        return "\n".join(lines)
 
 
 def make_rules(only: Iterable[str] | None = None) -> list[Rule]:

@@ -37,6 +37,8 @@ class Finding:
     rule: str
     message: str
     hint: str = ""
+    #: optional multi-line propagation trace (``repro lint --explain``)
+    explain: str = ""
 
     def location(self) -> str:
         return f"{self.path}:{self.line}:{self.col}"
@@ -56,6 +58,7 @@ class Finding:
             "rule": self.rule,
             "message": self.message,
             "hint": self.hint,
+            "explain": self.explain,
         }
 
 

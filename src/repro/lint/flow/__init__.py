@@ -1,0 +1,116 @@
+"""``repro.lint.flow`` — interprocedural effect inference.
+
+The flow engine turns the repo's central correctness claim — *a
+strategy declared* ``shardable = True`` *really is shard-local* — from
+a reviewed convention into a proof obligation.  It builds a call graph
+over the kernel packages, extracts per-function effect summaries
+(machine-state reads/writes, RNG draws, wall-clock reads, ``stats``
+counter mutations, event scheduling, set-iteration order taint) with
+*parameterized localities*, propagates them to an interprocedural
+fixpoint, and instantiates every strategy entry point (hooks plus
+scheduled callbacks) with its acting PE.
+
+Layers (each its own module):
+
+* :mod:`.model` — effects, localities, summaries, traces;
+* :mod:`.extract` — intraprocedural extraction (the Machine primitive
+  table, scheduling-site semantics, per-PE vs. strategy-global state);
+* :mod:`.project` — call-graph tables, MRO resolution, the fixpoint;
+* :mod:`.strategies` — entry-point instantiation and the shardability
+  verdict;
+* :mod:`.taint` — determinism taint and set-returning-helper summaries.
+
+Three lint rules sit on top (``shardable-contract``,
+``determinism-taint``, ``helper-set-iteration``), and
+:func:`verify_strategy` gives the PDES coordinator a runtime
+cross-check (``check_shardable(..., verify=True)``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+from .model import ACTING, Effect, GLOBAL, Loc, OTHER, Step, Summary, Trace
+from .project import Closure, FlowProject, flow_for
+from .strategies import (
+    HOOKS,
+    PREAMBLE,
+    StrategyReport,
+    Violation,
+    analyze_strategy,
+    discover_strategies,
+    logged_counters,
+)
+
+__all__ = [
+    "ACTING",
+    "Closure",
+    "Effect",
+    "FlowProject",
+    "GLOBAL",
+    "HOOKS",
+    "Loc",
+    "OTHER",
+    "PREAMBLE",
+    "Step",
+    "StrategyReport",
+    "Summary",
+    "Trace",
+    "Violation",
+    "analyze_strategy",
+    "discover_strategies",
+    "flow_for",
+    "logged_counters",
+    "strategy_reports",
+    "verify_strategy",
+]
+
+
+def strategy_reports(index: "object") -> "dict[str, StrategyReport]":
+    """Analyze every registered strategy (cached on the index)."""
+    from ..context import ProjectIndex
+
+    assert isinstance(index, ProjectIndex)
+    cached = getattr(index, "_strategy_reports", None)
+    if isinstance(cached, dict):
+        return cached
+    project = flow_for(index)
+    reports: "dict[str, StrategyReport]" = {}
+    for name, cls, _rel, _line in discover_strategies(index):
+        reports[name] = analyze_strategy(project, index, name, cls)
+    index._strategy_reports = reports  # type: ignore[attr-defined]
+    return reports
+
+
+_VERIFY_CACHE: "dict[str, StrategyReport] | None" = None
+
+
+def _installed_reports() -> "dict[str, StrategyReport]":
+    """Strategy reports for the *installed* package (module-cached)."""
+    global _VERIFY_CACHE
+    if _VERIFY_CACHE is None:
+        from ..context import FileContext, ProjectIndex
+        from ..engine import collect_files, default_root
+
+        index = ProjectIndex()
+        for path in collect_files([default_root()]):
+            try:
+                index.add(FileContext.parse(Path(path)))
+            except (SyntaxError, UnicodeDecodeError, OSError):
+                continue
+        _VERIFY_CACHE = strategy_reports(index)
+    return _VERIFY_CACHE
+
+
+def verify_strategy(class_name: str) -> Optional[StrategyReport]:
+    """The inferred report for a strategy *class* name (or None).
+
+    Used by ``check_shardable(..., verify=True)`` to cross-check the
+    declared ``shardable`` flag against the static inference before
+    committing to a sharded run.
+    """
+    for report in _installed_reports().values():
+        if report.cls == class_name:
+            return report
+    return None

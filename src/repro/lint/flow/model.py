@@ -1,0 +1,242 @@
+"""The flow engine's currency: effects, localities, and summaries.
+
+The whole analysis is built around one question — *which PE's state
+does this code touch?* — so every observable action a function may
+perform is normalized to an :class:`Effect`: a ``kind`` (read / write /
+send / rng / clock / counter / schedule / set-iter), a ``what`` (the
+canonical name of the touched surface, e.g. ``machine.load_of`` or
+``self._probing[·]``) and a :data:`Loc` — the *locality* of the touch.
+
+Localities form a tiny abstract domain:
+
+* ``ACTING`` — the PE the current event is executing at (the first
+  parameter of a strategy hook, or the PE a scheduled callback's site
+  binds);
+* ``OTHER`` — some PE we cannot prove is the acting one;
+* ``GLOBAL`` — machine-global state (site 0 in the PDES site layout);
+* ``("param", name, idx)`` — *parameterized*: the locality of the
+  caller's argument bound to ``name`` (``idx`` selects an element when
+  the argument is a tuple payload, else ``None``).
+
+Parameterized localities are what make summaries reusable: a helper
+like ``_place(pe, msg)`` has one summary, and each call edge
+instantiates it — binding ``pe`` to ``ACTING`` on the hook path makes
+the helper's reads shard-local, binding it to ``OTHER`` on a foreign
+message path makes the very same reads violations.
+
+Every effect carries a :data:`Trace` (call-path steps) so ``repro lint
+--explain`` can print *how* the effect is reached, not just that it is.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, NamedTuple, Optional, Tuple, Union
+
+__all__ = [
+    "ACTING",
+    "Bindings",
+    "Binding",
+    "CallEdge",
+    "Effect",
+    "GLOBAL",
+    "Loc",
+    "OTHER",
+    "SchedEdge",
+    "Step",
+    "Summary",
+    "Trace",
+    "describe_loc",
+    "substitute_binding",
+    "substitute_loc",
+]
+
+#: A locality value (see the module docstring for the four shapes).
+Loc = Tuple[object, ...]
+
+ACTING: Loc = ("acting",)
+OTHER: Loc = ("other",)
+GLOBAL: Loc = ("global",)
+
+
+def param_loc(name: str, idx: Optional[int] = None) -> Loc:
+    """The parameterized locality of argument ``name`` (element ``idx``)."""
+    return ("param", name, idx)
+
+
+def describe_loc(loc: Loc) -> str:
+    """Stable human rendering (``acting`` / ``other`` / ``param:pe``)."""
+    if loc and loc[0] == "param":
+        name = loc[1]
+        idx = loc[2] if len(loc) > 2 else None
+        return f"param:{name}" if idx is None else f"param:{name}[{idx}]"
+    return str(loc[0]) if loc else "other"
+
+
+#: A call-argument binding: one locality, or per-element localities
+#: when the argument is a tuple expression (event payloads).
+Binding = Union[Loc, Dict[int, Loc]]
+#: callee parameter name -> binding
+Bindings = Dict[str, Binding]
+
+
+def substitute_loc(loc: Loc, bindings: Bindings) -> Loc:
+    """Resolve a parameterized locality through one call edge."""
+    if not loc or loc[0] != "param":
+        return loc
+    name = str(loc[1])
+    idx = loc[2] if len(loc) > 2 else None
+    bound = bindings.get(name)
+    if bound is None:
+        return OTHER
+    if isinstance(bound, dict):
+        if isinstance(idx, int):
+            return bound.get(idx, OTHER)
+        return OTHER  # a tuple flowed where a scalar locality was needed
+    if isinstance(idx, int) and bound and bound[0] == "param":
+        # the whole payload was passed through: select inside the
+        # caller's own parameter instead
+        if len(bound) > 2 and bound[2] is None:
+            return (bound[0], bound[1], idx)
+    return bound
+
+
+def substitute_binding(binding: Binding, bindings: Bindings) -> Binding:
+    if isinstance(binding, dict):
+        return {i: substitute_loc(v, bindings) for i, v in binding.items()}
+    return substitute_loc(binding, bindings)
+
+
+@dataclass(frozen=True, order=True)
+class Effect:
+    """One observable action: ``kind`` on ``what`` at locality ``loc``.
+
+    Kinds: ``read`` / ``write`` (machine or per-strategy state),
+    ``send`` (message origin), ``rng`` (stream draw), ``clock``
+    (wall-clock read), ``counter`` (``stats.*`` mutation, ``what`` is
+    the counter name), ``augment`` (write-only ``self.x += 1``
+    diagnostic accumulation — reported, never a violation),
+    ``schedule`` (event insertion, ``loc`` is the target site's PE),
+    ``set-iter`` (hash-order iteration).
+    """
+
+    kind: str
+    what: str
+    loc: Loc = GLOBAL
+
+    def describe(self) -> str:
+        if self.kind in ("counter", "clock", "set-iter", "augment"):
+            return f"{self.kind} {self.what}"
+        return f"{self.kind} {self.what}[{describe_loc(self.loc)}]"
+
+
+class Step(NamedTuple):
+    """One hop of an effect's propagation path (for ``--explain``)."""
+
+    qual: str
+    rel: str
+    line: int
+    note: str
+
+    def describe(self) -> str:
+        return f"{self.rel}:{self.line} in {self.qual}: {self.note}"
+
+
+#: The propagation path of an effect, outermost call first.
+Trace = Tuple[Step, ...]
+
+#: traces longer than this are truncated (cycles in the call graph)
+MAX_TRACE = 16
+
+
+def join_trace(head: Step, tail: Trace) -> Trace:
+    return ((head,) + tail)[:MAX_TRACE]
+
+
+@dataclass(frozen=True)
+class CallEdge:
+    """A direct (synchronous) call to another analyzed function.
+
+    ``target`` is symbolic — resolution is deferred to the fixpoint so
+    the same extraction serves every subclass: ``("self", name)``
+    resolves through the analysis class's MRO, ``("super", name)``
+    past the defining class, ``("func", name)`` against module-level
+    functions, ``("synthetic", key)`` against callback summaries
+    manufactured at schedule sites (lambdas, local closures).
+    """
+
+    target: Tuple[str, str]
+    line: int
+    args: Tuple[Binding, ...] = ()
+    kwargs: Tuple[Tuple[str, Binding], ...] = ()
+    note: str = ""
+
+
+@dataclass(frozen=True)
+class SchedEdge:
+    """An *asynchronous* call: a callback registered with the engine.
+
+    Unlike a :class:`CallEdge`, the callee's effects do **not** occur
+    inside the caller — they occur later, in the event phase, at the
+    site ``site_loc`` identifies.  The scheduling function itself only
+    gets a ``schedule`` effect; the callee becomes a fresh analysis
+    entry whose acting PE is the site PE.
+    """
+
+    target: Tuple[str, str]
+    line: int
+    site_loc: Loc
+    args: Tuple[Binding, ...] = ()
+    kwargs: Tuple[Tuple[str, Binding], ...] = ()
+    note: str = ""
+
+
+@dataclass
+class Summary:
+    """The intraprocedural facts of one function (or callback).
+
+    ``effects`` are parameterized over the function's own parameters;
+    ``calls`` / ``scheds`` carry argument bindings in the same space,
+    so the interprocedural fixpoint only ever substitutes localities.
+    """
+
+    qual: str
+    rel: str
+    line: int
+    owner: Optional[str]
+    params: Tuple[str, ...]
+    effects: Dict[Effect, Trace] = field(default_factory=dict)
+    calls: Tuple[CallEdge, ...] = ()
+    scheds: Tuple[SchedEdge, ...] = ()
+    #: callback summaries manufactured at this function's schedule sites
+    synthetics: Tuple["Summary", ...] = ()
+
+    @property
+    def key(self) -> str:
+        return f"{self.rel}:{self.qual}"
+
+    def add_effect(self, effect: Effect, trace: Trace) -> None:
+        old = self.effects.get(effect)
+        if old is None or len(trace) < len(old):
+            self.effects[effect] = trace
+
+
+def bind_call(
+    params: Tuple[str, ...],
+    args: Tuple[Binding, ...],
+    kwargs: Tuple[Tuple[str, Binding], ...],
+) -> Bindings:
+    """Map a resolved callee's parameters to the edge's argument bindings."""
+    out: Bindings = {}
+    for name, binding in zip(params, args):
+        out[name] = binding
+    for name, binding in kwargs:
+        if name in params:
+            out[name] = binding
+    return out
+
+
+def node_span(node: ast.AST) -> int:
+    """The 1-based line of an AST node (0 when absent)."""
+    return int(getattr(node, "lineno", 0))

@@ -52,7 +52,13 @@ class Rule:
         return ()
 
     def finding(
-        self, ctx_or_rel: object, line: int, col: int, message: str, hint: str | None = None
+        self,
+        ctx_or_rel: object,
+        line: int,
+        col: int,
+        message: str,
+        hint: str | None = None,
+        explain: str = "",
     ) -> Finding:
         """Build a finding for this rule (accepts a context or rel path)."""
         rel = ctx_or_rel if isinstance(ctx_or_rel, str) else ctx_or_rel.rel  # type: ignore[union-attr]
@@ -63,16 +69,20 @@ class Rule:
             rule=self.id,
             message=message,
             hint=self.hint if hint is None else hint,
+            explain=explain,
         )
 
 
 # Register the built-in rules (import for side effect, like the
 # strategy/topology/workload vocabularies do in their __init__).
 from . import cache_key  # noqa: E402,F401
+from . import determinism_taint  # noqa: E402,F401
 from . import fork_state  # noqa: E402,F401
+from . import helper_set_iteration  # noqa: E402,F401
 from . import iteration  # noqa: E402,F401
 from . import registry_contract  # noqa: E402,F401
 from . import rng  # noqa: E402,F401
+from . import shardable_contract  # noqa: E402,F401
 from . import telemetry_guard  # noqa: E402,F401
 from . import undo_coverage  # noqa: E402,F401
 from . import wallclock  # noqa: E402,F401

@@ -1,0 +1,141 @@
+"""helper-set-iteration — sets escaping through helpers stay caught.
+
+``unordered-iteration`` infers set-typedness *locally*: a set literal,
+a ``set()`` call, a union of known sets.  Its documented false negative
+(see the rule's docstring history): a helper that *returns* a set —
+
+    def frontier(self):
+        return {c.dst for c in self.channels}
+    ...
+    for pe in self.frontier():   # hash order, invisible locally
+
+iterates in hash order without a local construction to anchor on.
+This rule closes the gap with the flow project's return-type
+summaries: a whole-project fixpoint marks every kernel function whose
+return value may be a set (directly, or by returning another
+set-returning function's result), then flags kernel-scope loops,
+comprehensions, and order-sensitive reducers that consume such a call
+raw.  Sites the local rule already flags are skipped — one finding per
+defect, from whichever rule sees it first.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Optional
+
+from ..findings import Finding
+from . import RULES, Rule
+from ._ast_util import in_scope
+from .iteration import _ORDER_SENSITIVE_CALLS, _SetTypes
+
+_SCOPE = ("repro/oracle/", "repro/core/", "repro/pdes/", "repro/topology/")
+
+
+def _owners(tree: ast.Module) -> Iterator[tuple[Optional[str], ast.AST]]:
+    """(owning class, scope) for the module and every top-level def."""
+    yield None, tree
+    for stmt in tree.body:
+        if isinstance(stmt, ast.ClassDef):
+            for sub in ast.walk(stmt):
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield stmt.name, sub
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for sub in ast.walk(stmt):
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield None, sub
+
+
+class HelperSetIteration(Rule):
+    id = "helper-set-iteration"
+    hint = "wrap the helper call in sorted(...) at the consuming site"
+
+    def check_file(self, ctx, index) -> Iterable[Finding]:
+        if not in_scope(ctx.rel, _SCOPE):
+            return []
+        from ..flow.taint import set_returning_call
+
+        out: list[Finding] = []
+        seen: set[tuple[int, int]] = set()
+
+        def helper_ref(owner: Optional[str], node: ast.expr, names: dict) -> Optional[str]:
+            """Name of the set-returning helper behind ``node`` (or None)."""
+            if isinstance(node, ast.Call):
+                ref = set_returning_call(index, ctx, owner, node)
+                return None if ref is None else ref[2]
+            if isinstance(node, ast.Name):
+                return names.get(node.id)
+            return None
+
+        def flag(node: ast.expr, what: str) -> None:
+            key = (node.lineno, node.col_offset)
+            if key not in seen:
+                seen.add(key)
+                out.append(self.finding(ctx, node.lineno, node.col_offset, what))
+
+        for owner, scope in _owners(ctx.tree):
+            types = _SetTypes(scope)  # skip sites the local rule owns
+            # name bound to a set-returning helper's result -> helper name
+            names: dict[str, str] = {}
+            for node in ast.walk(scope):
+                if (
+                    isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and isinstance(node.value, ast.Call)
+                ):
+                    ref = set_returning_call(index, ctx, owner, node.value)
+                    if ref is not None:
+                        names[node.targets[0].id] = ref[2]
+            for node in ast.walk(scope):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node is not scope:
+                    continue
+                if isinstance(node, ast.For):
+                    ref = helper_ref(owner, node.iter, names)
+                    if ref is not None and not types.is_set(node.iter):
+                        flag(
+                            node.iter,
+                            f"for-loop iterates set-returning helper "
+                            f"{ref}() in hash order",
+                        )
+                elif isinstance(
+                    node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+                ):
+                    for gen in node.generators:
+                        ref = helper_ref(owner, gen.iter, names)
+                        if ref is not None and not types.is_set(gen.iter):
+                            flag(
+                                gen.iter,
+                                f"comprehension iterates set-returning "
+                                f"helper {ref}() in hash order",
+                            )
+                elif isinstance(node, ast.Call):
+                    func = node.func
+                    fname = (
+                        func.id
+                        if isinstance(func, ast.Name)
+                        else func.attr
+                        if isinstance(func, ast.Attribute)
+                        else None
+                    )
+                    if fname in _ORDER_SENSITIVE_CALLS and node.args:
+                        ref = helper_ref(owner, node.args[0], names)
+                        if ref is not None and not types.is_set(node.args[0]):
+                            flag(
+                                node.args[0],
+                                f"{fname}() consumes set-returning helper "
+                                f"{ref}() in hash order",
+                            )
+        return out
+
+
+@RULES.register(
+    "helper-set-iteration",
+    metadata={
+        "summary": "sets returned from helper functions must not be "
+        "iterated raw in kernel paths (closes unordered-iteration's "
+        "cross-function blind spot)",
+    },
+)
+def _build(rest: str = "") -> HelperSetIteration:
+    return HelperSetIteration()

@@ -1,0 +1,98 @@
+"""shardable-contract — the declared ``shardable`` flag is *proved*.
+
+Every registered strategy pins ``shardable`` to a bool literal
+(``registry-contract`` enforces that much), and the PDES farm trusts
+the flag to decide whether one machine may be split across processes.
+Until now the flag was a reviewed convention; this rule makes it a
+proof obligation.  The flow engine (:mod:`repro.lint.flow`) extracts
+per-function effect summaries, propagates them through the call graph
+to a fixpoint, and instantiates every hook (and every callback the
+hooks schedule) with its acting PE.  Two verdicts become findings:
+
+* **contract breach** — ``shardable = True`` but some hook transitively
+  reads or writes another PE's machine state, draws from a shared or
+  foreign RNG stream, reads the wall clock, schedules onto a foreign
+  site, mutates a ``stats`` counter the shard boundary protocol does
+  not log (``shard.py``'s ``_LOGGED_COUNTERS``), or iterates a set in
+  hash order.  Running such a strategy sharded silently diverges from
+  the sequential oracle.
+* **promotion candidate** — ``shardable = False`` but every inferred
+  effect is shard-local.  Either flip the flag (the farm is leaving
+  parallelism on the table) or waive with the dynamic reason the
+  analysis cannot see.
+
+``repro lint --explain`` prints the full propagation path (call chain
+from hook to effect) under each finding.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..findings import Finding
+from . import RULES, Rule
+
+
+class ShardableContract(Rule):
+    id = "shardable-contract"
+    hint = (
+        "make the hook shard-local (or declare shardable = False); "
+        "run `repro lint --explain` for the propagation path"
+    )
+
+    def check_project(self, index) -> Iterable[Finding]:
+        # Imported lazily: the flow engine is only built when the rule
+        # actually runs (and its project tables are cached on the index,
+        # shared with the other flow rules).
+        from ..flow import strategy_reports
+        from ..flow.strategies import render_trace
+
+        out: list[Finding] = []
+        for name, report in sorted(strategy_reports(index).items()):
+            if report.contract_breach:
+                shown = "; ".join(
+                    v.describe() for v in report.violations[:3]
+                )
+                if len(report.violations) > 3:
+                    shown += f"; … {len(report.violations) - 3} more"
+                explain = "\n".join(
+                    f"{v.describe()}\n{render_trace(v.trace, '  ')}"
+                    for v in report.violations
+                )
+                out.append(
+                    self.finding(
+                        report.rel,
+                        report.line,
+                        0,
+                        f"{report.cls} ({name!r}) declares shardable = True "
+                        f"but hooks reach non-shard-local state: {shown}",
+                        explain=explain,
+                    )
+                )
+            elif report.promotion_candidate:
+                out.append(
+                    self.finding(
+                        report.rel,
+                        report.line,
+                        0,
+                        f"{report.cls} ({name!r}) declares shardable = False "
+                        f"but every inferred hook effect is shard-local — "
+                        f"promotion candidate",
+                        hint=(
+                            "flip shardable to True, or waive with the "
+                            "dynamic reason the static analysis cannot see"
+                        ),
+                    )
+                )
+        return out
+
+
+@RULES.register(
+    "shardable-contract",
+    metadata={
+        "summary": "a strategy's declared shardable flag must agree with "
+        "interprocedural effect inference over its hooks",
+    },
+)
+def _build(rest: str = "") -> ShardableContract:
+    return ShardableContract()

@@ -55,8 +55,8 @@ __all__ = [
 #: Version of the BENCH_*.json payload layout.
 BENCH_SCHEMA = 1
 
-#: This PR's trajectory point: ``repro bench`` writes ``BENCH_7.json``.
-BENCH_NUMBER = 7
+#: This PR's trajectory point: ``repro bench`` writes ``BENCH_9.json``.
+BENCH_NUMBER = 9
 
 
 @dataclass(frozen=True)
@@ -227,11 +227,37 @@ def bench_pdes(quick: bool = False) -> dict[str, Metric]:
     }
 
 
+def bench_lint(quick: bool = False) -> dict[str, Metric]:
+    """Full-package ``repro lint`` wall time (ms, lower is better).
+
+    The linter runs in CI on every push and locally via ``check.sh``;
+    with the flow engine (call-graph construction, effect fixpoint,
+    strategy instantiation, taint pass) it is the heaviest rule set.
+    The budget is a full-repo pass well under 10 s — this metric is the
+    trajectory gate that keeps it there.
+    """
+    from repro.lint import run_lint
+
+    def lint_once():
+        # A fresh pass each repeat: the flow project caches on the
+        # ProjectIndex, which run_lint rebuilds, so this times the real
+        # cold-start cost CI pays.
+        result = run_lint()
+        assert not result.errors, result.errors
+        return result
+
+    repeats = 1 if quick else 2
+    seconds, _ = _best_seconds(lint_once, repeats)
+    return {
+        "lint_ms": Metric(seconds * 1000.0, "ms", higher_is_better=False),
+    }
+
+
 def run_benches(quick: bool = False) -> dict[str, Metric]:
     """All canonical benches, emitting one telemetry event per metric."""
     metrics: dict[str, Metric] = {}
     tele = _telemetry.sink()
-    for group in (bench_kernel, bench_construction, bench_farm, bench_pdes):
+    for group in (bench_kernel, bench_construction, bench_farm, bench_pdes, bench_lint):
         for name, metric in group(quick).items():
             metrics[name] = metric
             if tele is not None:
@@ -244,7 +270,7 @@ def run_benches(quick: bool = False) -> dict[str, Metric]:
 # -- the BENCH_<n>.json artifact -------------------------------------------------
 
 def default_bench_path(root: str | Path = ".") -> Path:
-    """Where this PR's trajectory point lives: ``<root>/BENCH_7.json``."""
+    """Where this PR's trajectory point lives: ``<root>/BENCH_9.json``."""
     return Path(root) / f"BENCH_{BENCH_NUMBER}.json"
 
 

@@ -1,0 +1,45 @@
+"""Regenerate ``tests/golden/strategy_effects.json``.
+
+Run after an *intentional* kernel or strategy change shifts the
+inferred effect summaries::
+
+    PYTHONPATH=src python tests/regen_strategy_effects.py
+
+Review the diff before committing — the golden file is the audit trail
+for every registered strategy's shardability proof.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lint.context import FileContext, ProjectIndex
+from repro.lint.engine import collect_files, default_root
+from repro.lint.flow import strategy_reports
+
+
+def main() -> None:
+    index = ProjectIndex()
+    for path in collect_files([default_root()]):
+        index.add(FileContext.parse(Path(path)))
+    reports = strategy_reports(index)
+    golden = {
+        name: {
+            "cls": r.cls,
+            "declared": r.declared,
+            "inferred_shardable": r.inferred_shardable,
+            "violations": len(r.violations),
+            "effects": r.effect_lines(),
+        }
+        for name, r in sorted(reports.items())
+    }
+    out = Path(__file__).parent / "golden" / "strategy_effects.json"
+    out.parent.mkdir(exist_ok=True)
+    out.write_text(json.dumps(golden, indent=2) + "\n")
+    total = sum(len(v["effects"]) for v in golden.values())
+    print(f"wrote {out} — {len(golden)} strategies, {total} effect lines")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,457 @@
+"""Tests for repro.lint.flow — interprocedural effect inference.
+
+Three layers:
+
+* the **golden test** — the inferred effect set of every registered
+  strategy's hooks is pinned to ``tests/golden/strategy_effects.json``,
+  and the inferred shardability verdict must agree with the declared
+  ``shardable`` flag for all fifteen strategies (the declared flags are
+  now *proved*, not reviewed);
+* **fixture tests** for the three flow rules (``shardable-contract``,
+  ``determinism-taint``, ``helper-set-iteration``) — one minimal tree
+  that triggers each, one that is clean;
+* the **CLI surface** — ``--explain`` traces, ``--format github``
+  annotations, ``--prune-baseline`` round trip, and the coordinator's
+  ``check_shardable(..., verify=True)`` cross-check.
+
+Regenerate the golden file after an intentional kernel change with::
+
+    PYTHONPATH=src python tests/regen_strategy_effects.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.lint import Finding, run_lint
+from repro.lint.context import FileContext, ProjectIndex
+from repro.lint.engine import collect_files, default_root
+from repro.lint.flow import (
+    ACTING,
+    GLOBAL,
+    OTHER,
+    strategy_reports,
+    verify_strategy,
+)
+
+GOLDEN = Path(__file__).parent / "golden" / "strategy_effects.json"
+
+#: the full registered-strategy vocabulary the golden test must cover
+ALL_STRATEGIES = {
+    "acwn", "bidding", "central", "cwn", "diffusion", "gm", "gm-batch",
+    "gm-event", "local", "random", "randomwalk", "roundrobin", "stealing",
+    "symmetric", "threshold",
+}
+
+
+def write_tree(root: Path, files: dict[str, str]) -> Path:
+    for rel, content in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(content)
+    return root
+
+
+def rules_hit(root: Path, *rules: str) -> list[Finding]:
+    result = run_lint([root], rules=list(rules) or None)
+    assert not result.errors, result.errors
+    return result.findings
+
+
+@pytest.fixture(scope="module")
+def installed_reports():
+    index = ProjectIndex()
+    for path in collect_files([default_root()]):
+        index.add(FileContext.parse(Path(path)))
+    return strategy_reports(index)
+
+
+# -- the golden test -------------------------------------------------------------
+
+
+class TestGoldenEffects:
+    def test_covers_every_registered_strategy(self, installed_reports):
+        assert set(installed_reports) == ALL_STRATEGIES
+
+    def test_declared_flag_agrees_with_inference(self, installed_reports):
+        """The audit: no strategy's declaration contradicts the analysis."""
+        disagreements = {
+            name: (r.declared, r.inferred_shardable)
+            for name, r in installed_reports.items()
+            if r.declared != r.inferred_shardable
+        }
+        assert disagreements == {}
+
+    def test_breaches_and_candidates_absent(self, installed_reports):
+        assert [n for n, r in installed_reports.items() if r.contract_breach] == []
+        assert [
+            n for n, r in installed_reports.items() if r.promotion_candidate
+        ] == []
+
+    def test_effect_lines_match_golden(self, installed_reports):
+        golden = json.loads(GOLDEN.read_text())
+        assert set(golden) == set(installed_reports)
+        for name, report in sorted(installed_reports.items()):
+            pinned = golden[name]
+            assert report.cls == pinned["cls"], name
+            assert report.declared == pinned["declared"], name
+            assert report.inferred_shardable == pinned["inferred_shardable"], name
+            assert len(report.violations) == pinned["violations"], name
+            assert report.effect_lines() == pinned["effects"], (
+                f"{name}: inferred effects drifted from the golden file — "
+                f"if the kernel change is intentional, regenerate with "
+                f"`PYTHONPATH=src python tests/regen_strategy_effects.py`"
+            )
+
+    def test_summaries_are_not_vacuous(self, installed_reports):
+        """A regression guard against the analysis silently seeing nothing."""
+        cwn = installed_reports["cwn"].effect_lines()
+        assert any("rng" in line for line in cwn)
+        assert any("machine" in line for line in cwn)
+        central = installed_reports["central"]
+        kinds = {v.effect.kind for v in central.violations}
+        assert "schedule" in kinds or "read" in kinds
+
+    def test_verify_strategy_lookup(self, installed_reports):
+        report = verify_strategy("CWN")
+        assert report is not None and report.name == "cwn"
+        assert verify_strategy("NoSuchClass") is None
+
+
+# -- shardable-contract ----------------------------------------------------------
+
+
+_STRATEGY_PRELUDE = """\
+class Strategy:
+    name = "abstract"
+    shardable = False
+
+    def on_goal_created(self, pe, goal):
+        pass
+
+    def on_idle(self, pe):
+        pass
+"""
+
+
+class TestShardableContract:
+    def test_breach_is_flagged(self, tmp_path):
+        write_tree(tmp_path, {
+            "repro/core/strats.py": _STRATEGY_PRELUDE + (
+                "class Leaky(Strategy):\n"
+                "    name = 'leaky'\n"
+                "    shardable = True\n"
+                "    def on_goal_created(self, pe, goal):\n"
+                "        return self.machine.load_of(pe + 1)\n"
+                "STRATEGIES.register('leaky', cls=Leaky)\n"
+            ),
+        })
+        findings = rules_hit(tmp_path, "shardable-contract")
+        assert [f.rule for f in findings] == ["shardable-contract"]
+        assert "'leaky'" in findings[0].message
+        assert "shardable = True" in findings[0].message
+        # the propagation trace rides on the finding for --explain
+        assert "load_of" in findings[0].explain
+
+    def test_transitive_breach_through_helper(self, tmp_path):
+        """The effect leaks through a call, not in the hook body itself."""
+        write_tree(tmp_path, {
+            "repro/core/strats.py": _STRATEGY_PRELUDE + (
+                "class Sneaky(Strategy):\n"
+                "    name = 'sneaky'\n"
+                "    shardable = True\n"
+                "    def _peek(self, who):\n"
+                "        return self.machine.load_of(who)\n"
+                "    def on_goal_created(self, pe, goal):\n"
+                "        return self._peek(pe + 1)\n"
+                "STRATEGIES.register('sneaky', cls=Sneaky)\n"
+            ),
+        })
+        findings = rules_hit(tmp_path, "shardable-contract")
+        assert findings and "_peek" in findings[0].explain
+
+    def test_promotion_candidate_is_flagged(self, tmp_path):
+        write_tree(tmp_path, {
+            "repro/core/strats.py": _STRATEGY_PRELUDE + (
+                "class Shy(Strategy):\n"
+                "    name = 'shy'\n"
+                "    shardable = False\n"
+                "    def on_goal_created(self, pe, goal):\n"
+                "        return self.machine.load_of(pe)\n"
+                "STRATEGIES.register('shy', cls=Shy)\n"
+            ),
+        })
+        findings = rules_hit(tmp_path, "shardable-contract")
+        assert findings and "promotion candidate" in findings[0].message
+
+    def test_clean_acting_local_strategy(self, tmp_path):
+        write_tree(tmp_path, {
+            "repro/core/strats.py": _STRATEGY_PRELUDE + (
+                "class Tidy(Strategy):\n"
+                "    name = 'tidy'\n"
+                "    shardable = True\n"
+                "    def on_goal_created(self, pe, goal):\n"
+                "        if self.machine.load_of(pe) > 2:\n"
+                "            self.machine.send_goal(pe, goal)\n"
+                "STRATEGIES.register('tidy', cls=Tidy)\n"
+            ),
+        })
+        assert rules_hit(tmp_path, "shardable-contract") == []
+
+
+# -- determinism-taint -----------------------------------------------------------
+
+
+class TestDeterminismTaint:
+    def test_wallclock_into_simresult(self, tmp_path):
+        write_tree(tmp_path, {
+            "repro/oracle/x.py": (
+                "import time\n"
+                "def collect():\n"
+                "    t = time.time()\n"
+                "    return SimResult(completion_time=t)\n"
+            ),
+        })
+        findings = rules_hit(tmp_path, "determinism-taint")
+        assert [f.rule for f in findings] == ["determinism-taint"]
+        assert "completion_time" in findings[0].message
+        assert findings[0].explain  # the source→sink chain
+
+    def test_taint_through_helper_return(self, tmp_path):
+        write_tree(tmp_path, {
+            "repro/oracle/x.py": (
+                "import time\n"
+                "def stamp():\n"
+                "    return time.time()\n"
+                "def collect():\n"
+                "    t = stamp()\n"
+                "    return SimResult(completion_time=t)\n"
+            ),
+        })
+        findings = rules_hit(tmp_path, "determinism-taint")
+        assert findings and "stamp" in findings[0].explain
+
+    def test_set_iteration_order_into_hash(self, tmp_path):
+        write_tree(tmp_path, {
+            "repro/scenario/x.py": (
+                "import hashlib\n"
+                "def key(items):\n"
+                "    parts = ''\n"
+                "    for item in {1, 2, 3}:\n"
+                "        parts += str(item)\n"
+                "    return hashlib.sha256(parts.encode())\n"
+            ),
+        })
+        findings = rules_hit(tmp_path, "determinism-taint")
+        assert findings and "iteration" in findings[0].message.lower()
+
+    def test_clean_seed_derived_result(self, tmp_path):
+        write_tree(tmp_path, {
+            "repro/oracle/x.py": (
+                "def collect(elapsed):\n"
+                "    return SimResult(completion_time=elapsed)\n"
+            ),
+        })
+        assert rules_hit(tmp_path, "determinism-taint") == []
+
+
+# -- helper-set-iteration --------------------------------------------------------
+
+
+class TestHelperSetIteration:
+    def test_helper_return_iterated_raw(self, tmp_path):
+        write_tree(tmp_path, {
+            "repro/topology/x.py": (
+                "def frontier():\n"
+                "    return {3, 1, 2}\n"
+                "def walk():\n"
+                "    total = 0\n"
+                "    for pe in frontier():\n"
+                "        total += pe\n"
+                "    return total\n"
+            ),
+        })
+        findings = rules_hit(tmp_path, "helper-set-iteration")
+        assert [f.rule for f in findings] == ["helper-set-iteration"]
+        assert "frontier" in findings[0].message
+        # the local rule misses this — exactly the closed blind spot
+        assert rules_hit(tmp_path, "unordered-iteration") == []
+
+    def test_aliased_helper_result(self, tmp_path):
+        write_tree(tmp_path, {
+            "repro/topology/x.py": (
+                "def frontier():\n"
+                "    return {3, 1, 2}\n"
+                "def walk():\n"
+                "    f = frontier()\n"
+                "    return [pe for pe in f]\n"
+            ),
+        })
+        assert rules_hit(tmp_path, "helper-set-iteration")
+
+    def test_method_helper_via_mro(self, tmp_path):
+        write_tree(tmp_path, {
+            "repro/topology/x.py": (
+                "class Base:\n"
+                "    def frontier(self):\n"
+                "        return {c for c in self.channels}\n"
+                "class Ring(Base):\n"
+                "    def walk(self):\n"
+                "        return sum(self.frontier())\n"
+            ),
+        })
+        findings = rules_hit(tmp_path, "helper-set-iteration")
+        assert findings and "sum" in findings[0].message
+
+    def test_clean_sorted_consumption(self, tmp_path):
+        write_tree(tmp_path, {
+            "repro/topology/x.py": (
+                "def frontier():\n"
+                "    return {3, 1, 2}\n"
+                "def walk():\n"
+                "    return [pe for pe in sorted(frontier())]\n"
+                "def count():\n"
+                "    return len(frontier())\n"
+            ),
+            # outside the kernel scope, raw iteration is allowed
+            "repro/obs/x.py": (
+                "def frontier():\n"
+                "    return {1, 2}\n"
+                "for v in frontier():\n"
+                "    pass\n"
+            ),
+        })
+        assert rules_hit(tmp_path, "helper-set-iteration") == []
+
+
+# -- localities (unit) -----------------------------------------------------------
+
+
+class TestLocalities:
+    def test_substitution(self):
+        from repro.lint.flow.model import param_loc, substitute_loc
+
+        bindings = {"who": ACTING}
+        assert substitute_loc(param_loc("who"), bindings) == ACTING
+        assert substitute_loc(param_loc("missing"), bindings) == OTHER
+        assert substitute_loc(GLOBAL, bindings) == GLOBAL
+
+    def test_tuple_element_bindings(self):
+        from repro.lint.flow.model import param_loc, substitute_loc
+
+        bindings = {"payload": {0: ACTING, 1: OTHER}}
+        assert substitute_loc(param_loc("payload", 0), bindings) == ACTING
+        assert substitute_loc(param_loc("payload", 1), bindings) == OTHER
+
+
+# -- CLI surface -----------------------------------------------------------------
+
+
+class TestCliSurface:
+    def test_explain_prints_trace(self, tmp_path, capsys):
+        write_tree(tmp_path, {
+            "repro/oracle/x.py": (
+                "import time\n"
+                "def collect():\n"
+                "    t = time.time()\n"
+                "    return SimResult(completion_time=t)\n"
+            ),
+        })
+        assert main([
+            "lint", str(tmp_path), "--no-baseline",
+            "--rules", "determinism-taint", "--explain",
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "determinism-taint" in out
+        assert "\n    " in out  # indented chain lines
+
+    def test_github_format(self, tmp_path, capsys):
+        write_tree(tmp_path, {
+            "repro/oracle/x.py": (
+                "members = {3, 1, 2}\n"
+                "for pe in members:\n"
+                "    pass\n"
+            ),
+        })
+        assert main([
+            "lint", str(tmp_path), "--no-baseline", "--format", "github",
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "::error file=repro/oracle/x.py,line=2," in out
+        assert "unordered-iteration" in out
+
+    def test_prune_baseline_round_trip(self, tmp_path, capsys):
+        from repro.lint import Baseline, BaselineEntry
+
+        write_tree(tmp_path, {
+            "repro/oracle/x.py": (
+                "members = {3, 1, 2}\n"
+                "for pe in members:\n"
+                "    pass\n"
+            ),
+        })
+        target = tmp_path / "baseline.json"
+        Baseline(entries=(
+            BaselineEntry(
+                "unordered-iteration", "repro/oracle/x.py",
+                "for pe in members:", "grandfathered loop",
+            ),
+            BaselineEntry(
+                "unordered-iteration", "repro/gone/y.py",
+                "for q in others:", "stale — file was deleted",
+            ),
+        )).save(target)
+        assert main([
+            "lint", str(tmp_path), "--baseline", str(target),
+            "--prune-baseline",
+        ]) == 0
+        kept = Baseline.load(target)
+        assert [e.path for e in kept.entries] == ["repro/oracle/x.py"]
+        # after pruning, the lint pass is clean under the kept baseline
+        assert main(["lint", str(tmp_path), "--baseline", str(target)]) == 0
+
+    def test_prune_without_baseline_errors(self, tmp_path):
+        write_tree(tmp_path, {"repro/oracle/x.py": "pass\n"})
+        assert main([
+            "lint", str(tmp_path), "--no-baseline", "--prune-baseline",
+        ]) == 2
+
+
+# -- coordinator cross-check -----------------------------------------------------
+
+
+class TestCoordinatorVerify:
+    def test_verify_accepts_proved_strategy(self):
+        from repro.pdes import check_shardable
+        from repro.scenario import Scenario
+
+        scenario = Scenario.from_spec("divide:24 @ ring:16 / cwn?seed=3")
+        partition, lookahead = check_shardable(scenario, 2, verify=True)
+        assert lookahead > 0
+
+    def test_verify_rejects_fabricated_breach(self, monkeypatch):
+        from repro.lint.flow.model import Effect
+        from repro.lint.flow.strategies import StrategyReport, Violation
+        import repro.pdes.coordinator as coordinator
+        from repro.pdes import NotShardable, check_shardable
+        from repro.scenario import Scenario
+        import repro.lint.flow as flow
+
+        breach = StrategyReport(
+            name="cwn", cls="CWN", rel="repro/core/cwn.py", line=1,
+            declared=True,
+            violations=[Violation(
+                entry="on_idle",
+                effect=Effect("read", "machine.load_of", OTHER),
+                reason="reads another PE's load",
+                trace=(),
+            )],
+        )
+        monkeypatch.setattr(flow, "verify_strategy", lambda cls: breach)
+        scenario = Scenario.from_spec("divide:24 @ ring:16 / cwn?seed=3")
+        with pytest.raises(NotShardable, match="effect inference"):
+            check_shardable(scenario, 2, verify=True)
