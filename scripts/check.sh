@@ -39,4 +39,4 @@ echo "== repro bench --quick vs committed BENCH (tolerance 4x) =="
 BENCH_TMP="$(mktemp -t repro-bench-XXXXXX.json)"
 trap 'rm -f "$BENCH_TMP"' EXIT
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro bench --quick \
-  --out "$BENCH_TMP" --compare BENCH_9.json --tolerance 4
+  --out "$BENCH_TMP" --compare BENCH_10.json --tolerance 4

@@ -25,6 +25,12 @@ Commands map one-to-one onto the experiment modules:
 * ``repro bench`` — the perf-trajectory harness: canonical benches into
   a schema-versioned ``BENCH_<n>.json``, ``--compare`` as a CI gate;
 * ``repro watch`` — live dashboard over a ``REPRO_TELEMETRY`` stream;
+* ``repro serve`` — long-lived scenario service: HTTP/stdin fronts,
+  batching + three-way dedup, a warm worker fleet scheduled by the
+  paper's own dispatch policies (``--replay FILE`` races the policies
+  on a recorded stream instead of serving);
+* ``repro submit "fib:15 @ grid:8x8 / cwn"`` — client for a running
+  ``repro serve`` (prints the same canonical JSON as ``run --json``);
 * ``repro lint`` — the determinism & invariant linter
   (:mod:`repro.lint`): machine-checks the code shape the repo's
   guarantees rest on (exit 0 clean / 1 findings / 2 usage error).
@@ -124,6 +130,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "scenario must be shardable — see docs/pdes.md)",
     )
     run.add_argument("--verbose", action="store_true", help="print per-PE stats")
+    run.add_argument(
+        "--json",
+        action="store_true",
+        help="print the result as canonical JSON (sorted keys, compact "
+        "separators) — byte-identical to the 'result' field a running "
+        "`repro serve` returns for the same spec",
+    )
 
     lst = sub.add_parser(
         "list",
@@ -262,6 +275,111 @@ def _build_parser() -> argparse.ArgumentParser:
         "--cols", type=int, default=None, help="heat-frame width override"
     )
     watch.add_argument("--color", action="store_true", help="ANSI 256-color frames")
+
+    serve = sub.add_parser(
+        "serve",
+        help="long-lived scenario service (HTTP/stdin) over a warm "
+        "worker fleet, dispatch scheduled by the paper's own policies",
+        description="Serve scenario specs over HTTP (POST /run, GET "
+        "/healthz, GET /stats) or stdin lines.  Identical concurrent "
+        "requests coalesce onto one computation, warm results come from "
+        "the shared on-disk cache, and genuine misses batch before "
+        "dispatching to a persistent worker fleet.  SIGTERM drains "
+        "gracefully.  --replay races a recorded request stream through "
+        "several dispatch policies and reports latency percentiles and "
+        "throughput per policy instead of serving.",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8023, help="TCP port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--stdin",
+        action="store_true",
+        help="serve spec lines from stdin (JSONL responses on stdout) "
+        "instead of HTTP",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, metavar="N", help="fleet size"
+    )
+    serve.add_argument(
+        "--policy",
+        default="central",
+        help="dispatch policy: central, random, roundrobin, cwn, gm "
+        "(adapters of the paper's strategies; default central)",
+    )
+    serve.add_argument(
+        "--window",
+        type=float,
+        default=0.01,
+        metavar="SECONDS",
+        help="batch admission window (default 0.01)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=16, metavar="N", help="batch size cap"
+    )
+    serve.add_argument(
+        "--high-water",
+        type=int,
+        default=256,
+        metavar="N",
+        help="max admitted-but-unfinished computations before 429",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=64,
+        metavar="N",
+        help="per-worker bounded task-queue depth",
+    )
+    serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip the shared on-disk result cache (coalescing still on)",
+    )
+    serve.add_argument("--seed", type=int, default=1, help="policy RNG seed")
+    serve.add_argument(
+        "--replay",
+        default=None,
+        metavar="FILE",
+        help="replay this recorded request stream through each --policies "
+        "entry and print a per-policy latency/throughput table",
+    )
+    serve.add_argument(
+        "--policies",
+        default="central,random,cwn,gm",
+        metavar="NAMES",
+        help="comma-separated policies for --replay "
+        "(default central,random,cwn,gm)",
+    )
+    serve.add_argument(
+        "--speed",
+        type=float,
+        default=0.0,
+        metavar="FACTOR",
+        help="replay pacing: honor recorded arrival offsets scaled by "
+        "FACTOR (0 = as fast as admission allows)",
+    )
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit one scenario spec to a running `repro serve`",
+        description="POST the spec to a running serve instance and print "
+        "the result as canonical JSON — byte-identical to `repro run "
+        "--json` for the same spec.",
+    )
+    submit.add_argument("spec", help="scenario spec, e.g. 'fib:15 @ grid:8x8 / cwn'")
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, default=8023)
+    submit.add_argument(
+        "--timeout", type=float, default=120.0, help="client socket timeout"
+    )
+    submit.add_argument(
+        "--envelope",
+        action="store_true",
+        help="print the full response envelope (key, source, wall_ms) "
+        "instead of just the result JSON",
+    )
 
     lint = sub.add_parser(
         "lint",
@@ -424,10 +542,8 @@ def _scenario_from_args(args: argparse.Namespace):
         )
         raise SystemExit(2)
     if args.seed is not None:
-        scenario = replace(scenario, seed=args.seed)
-    elif scenario.seed is None and scenario.config.seed == 0:
-        scenario = replace(scenario, seed=1)
-    return scenario
+        return replace(scenario, seed=args.seed)
+    return scenario.seeded()
 
 
 def _plan_scenario(scenario, jobs: "int | None", cache: object):
@@ -467,6 +583,13 @@ def _cmd_run(args: argparse.Namespace) -> None:
     else:
         with _farmed(args) as (jobs, cache):
             res = _plan_scenario(scenario, jobs, cache)
+    if getattr(args, "json", False):
+        from .parallel import result_json
+
+        # Canonical JSON — the exact bytes a running `repro serve`
+        # returns in its "result" field, so the two can be diffed.
+        print(result_json(res))
+        return
     print(res.summary())
     if args.verbose:
         import numpy as np
@@ -769,6 +892,100 @@ def _cmd_watch(args: argparse.Namespace) -> None:
         raise SystemExit(2) from None
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import POLICY_NAMES
+
+    if args.replay is not None:
+        from .serve import render_replay, run_replay
+
+        policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+        unknown = sorted(set(policies) - set(POLICY_NAMES))
+        if unknown:
+            print(
+                f"repro: error: unknown serve polic"
+                f"{'y' if len(unknown) == 1 else 'ies'}: {', '.join(unknown)} "
+                f"(have: {', '.join(POLICY_NAMES)})",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            stats = run_replay(
+                args.replay,
+                policies=policies,
+                workers=args.workers,
+                window=args.window,
+                max_batch=args.max_batch,
+                seed=args.seed,
+                speed=args.speed,
+                use_cache=not args.no_cache,
+            )
+        except (OSError, ValueError) as exc:
+            print(f"repro: error: {exc}", file=sys.stderr)
+            return 2
+        print(render_replay(stats))
+        return 0
+
+    if args.policy not in POLICY_NAMES:
+        print(
+            f"repro: error: unknown serve policy {args.policy!r} "
+            f"(have: {', '.join(POLICY_NAMES)})",
+            file=sys.stderr,
+        )
+        return 2
+    knobs = dict(
+        workers=args.workers,
+        policy=args.policy,
+        window=args.window,
+        max_batch=args.max_batch,
+        high_water=args.high_water,
+        queue_depth=args.queue_depth,
+        no_cache=args.no_cache,
+        seed=args.seed,
+    )
+    if args.stdin:
+        from .serve import serve_stdin
+
+        return serve_stdin(**knobs)
+    from .serve import serve_forever
+
+    return serve_forever(host=args.host, port=args.port, **knobs)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import http.client
+    import json
+
+    conn = http.client.HTTPConnection(args.host, args.port, timeout=args.timeout)
+    body = json.dumps({"spec": args.spec})
+    try:
+        conn.request(
+            "POST", "/run", body=body, headers={"Content-Type": "application/json"}
+        )
+        response = conn.getresponse()
+        payload = json.loads(response.read())
+    except (OSError, ValueError) as exc:
+        print(
+            f"repro: error: no serve instance at "
+            f"http://{args.host}:{args.port} ({exc})",
+            file=sys.stderr,
+        )
+        return 2
+    finally:
+        conn.close()
+    if response.status != 200:
+        print(
+            f"repro: error: serve answered {response.status}: "
+            f"{payload.get('error', payload)}",
+            file=sys.stderr,
+        )
+        return 1
+    shown = payload if args.envelope else payload["result"]
+    # Same canonical rendering as `repro run --json`, so the outputs of
+    # a direct run and a served run diff byte-for-byte.
+    print(json.dumps(shown, sort_keys=True, separators=(",", ":")))
+    return 0
+
+
 def _default_baseline() -> "str | None":
     """The baseline file ``repro lint`` uses when ``--baseline`` is absent.
 
@@ -898,6 +1115,8 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "watch": _cmd_watch,
     "lint": _cmd_lint,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
 }
 
 

@@ -31,6 +31,9 @@ _SCOPE = (
     "repro/scenario/",
     "repro/parallel/",
     "repro/experiments/",
+    # The serve fleet forks workers exactly like the farm does, so the
+    # same copy-on-write hazard applies to everything it imports.
+    "repro/serve/",
 )
 
 #: constructors whose result is a mutable container

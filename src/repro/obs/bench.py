@@ -17,6 +17,10 @@ Canonical benches (quick mode shrinks repeats, not coverage):
 * **farm** — cold-cache batch throughput through
   :func:`repro.parallel.run_batch` and the warm-rerun cache hit rate
   (which must be 1.0: a warm rerun simulates nothing);
+* **serve** — the scenario service end to end: cold requests/s through
+  a warm 2-worker fleet, warm-dedup requests/s (every request answered
+  from the shared cache without touching the fleet), and the replay
+  harness's p50/p99 latency on a fixed mixed stream;
 * **pdes** — one large machine through the conservative parallel
   engine (:func:`repro.pdes.run_sharded`, 4 shards) against the same
   scenario serial, plus the speedup ratio.  On a single-core host the
@@ -55,8 +59,8 @@ __all__ = [
 #: Version of the BENCH_*.json payload layout.
 BENCH_SCHEMA = 1
 
-#: This PR's trajectory point: ``repro bench`` writes ``BENCH_9.json``.
-BENCH_NUMBER = 9
+#: This PR's trajectory point: ``repro bench`` writes ``BENCH_10.json``.
+BENCH_NUMBER = 10
 
 
 @dataclass(frozen=True)
@@ -227,6 +231,64 @@ def bench_pdes(quick: bool = False) -> dict[str, Metric]:
     }
 
 
+def bench_serve(quick: bool = False) -> dict[str, Metric]:
+    """The scenario service end to end (requests/s and replay latency).
+
+    One persistent 2-worker fleet serves two passes of the same distinct
+    specs: the cold pass measures batched dispatch through the fleet,
+    the warm pass must answer every request from the shared cache
+    (asserted — a warm pass that simulates is a dedup regression, not a
+    slow bench).  The replay metrics run the fixed mixed stream through
+    the ``central`` policy and report wall-clock p50/p99, gating the
+    per-request overhead (parse, hash, batch window, queue hops).
+    """
+    import asyncio
+
+    from repro.parallel import ResultCache
+    from repro.serve import ReplayRequest, ScenarioService, WorkerFleet, make_policy
+    from repro.serve.replay import run_replay
+
+    n_specs = 8 if quick else 16
+    specs = [f"fib:9 @ grid:2x2 / cwn?seed={seed}" for seed in range(1, n_specs + 1)]
+
+    async def drive(cache: ResultCache) -> tuple[float, float]:
+        fleet = WorkerFleet(workers=2)
+        service = ScenarioService(
+            fleet, make_policy("central", 2), cache=cache, window=0.005, max_batch=8
+        )
+        await service.start()
+        start = time.perf_counter()
+        await asyncio.gather(*(service.submit(s) for s in specs))
+        cold_s = time.perf_counter() - start
+        assert service.stats.computed == n_specs, "cold pass should compute everything"
+        start = time.perf_counter()
+        await asyncio.gather(*(service.submit(s) for s in specs))
+        warm_s = time.perf_counter() - start
+        assert service.stats.cache_hits == n_specs, (
+            "warm pass should be all cache hits"
+        )
+        await service.stop()
+        return cold_s, warm_s
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as root:
+        cold_s, warm_s = asyncio.run(drive(ResultCache(root)))
+
+    # Same stream in quick and full mode (like bench_pdes): percentile
+    # metrics on different streams would not be comparable across the
+    # committed trajectory points.
+    stream = [
+        ReplayRequest(f"fib:9 @ grid:2x2 / cwn?seed={seed}")
+        for seed in (1, 2, 3, 4, 1, 2, 3, 4, 1, 2, 3, 4)
+    ]
+    replay = run_replay(stream, policies=("central",), workers=2, window=0.005)[0]
+    return {
+        "serve_cold_requests_per_s": Metric(n_specs / cold_s, "requests/s"),
+        "serve_warm_dedup_requests_per_s": Metric(n_specs / warm_s, "requests/s"),
+        "serve_replay_p50_ms": Metric(replay.p50_ms, "ms", higher_is_better=False),
+        "serve_replay_p99_ms": Metric(replay.p99_ms, "ms", higher_is_better=False),
+    }
+
+
 def bench_lint(quick: bool = False) -> dict[str, Metric]:
     """Full-package ``repro lint`` wall time (ms, lower is better).
 
@@ -257,7 +319,14 @@ def run_benches(quick: bool = False) -> dict[str, Metric]:
     """All canonical benches, emitting one telemetry event per metric."""
     metrics: dict[str, Metric] = {}
     tele = _telemetry.sink()
-    for group in (bench_kernel, bench_construction, bench_farm, bench_pdes, bench_lint):
+    for group in (
+        bench_kernel,
+        bench_construction,
+        bench_farm,
+        bench_serve,
+        bench_pdes,
+        bench_lint,
+    ):
         for name, metric in group(quick).items():
             metrics[name] = metric
             if tele is not None:
@@ -270,7 +339,7 @@ def run_benches(quick: bool = False) -> dict[str, Metric]:
 # -- the BENCH_<n>.json artifact -------------------------------------------------
 
 def default_bench_path(root: str | Path = ".") -> Path:
-    """Where this PR's trajectory point lives: ``<root>/BENCH_9.json``."""
+    """Where this PR's trajectory point lives: ``<root>/BENCH_<n>.json``."""
     return Path(root) / f"BENCH_{BENCH_NUMBER}.json"
 
 

@@ -57,6 +57,21 @@ class WatchState:
         self.shard_sync_ms = 0.0
         self.shard_windows = 0
         self.shard_finish: dict[str, Any] | None = None
+        #: scenario-service progress (repro serve)
+        self.serve_info: dict[str, Any] | None = None
+        self.serve_requests = 0
+        self.serve_cache_hits = 0
+        self.serve_coalesced = 0
+        self.serve_misses = 0
+        self.serve_batches = 0
+        self.serve_largest_batch = 0
+        self.serve_dispatched = 0
+        self.serve_completed = 0
+        self.serve_errors = 0
+        self.serve_busy = 0
+        self.serve_wall_ms = 0.0
+        self.serve_outstanding: list[int] | None = None
+        self.serve_stop: dict[str, Any] | None = None
         self.events_seen = 0
 
     # -- ingestion ---------------------------------------------------------------
@@ -103,6 +118,37 @@ class WatchState:
             self.shard_sync_ms += float(event.get("wall_ms", 0.0))
         elif kind == "shard.finish":
             self.shard_finish = event
+        elif kind == "serve.start":
+            self.serve_info = event
+            self.serve_stop = None
+        elif kind == "serve.request":
+            self.serve_requests += 1
+            if event.get("source") == "cache":
+                self.serve_cache_hits += 1
+            else:
+                self.serve_misses += 1
+        elif kind == "serve.coalesce":
+            self.serve_requests += 1
+            self.serve_coalesced += 1
+        elif kind == "serve.batch":
+            self.serve_batches += 1
+            self.serve_largest_batch = max(
+                self.serve_largest_batch, int(event.get("size", 0))
+            )
+        elif kind == "serve.dispatch":
+            self.serve_dispatched += 1
+            outstanding = event.get("outstanding")
+            if isinstance(outstanding, list):
+                self.serve_outstanding = [int(v) for v in outstanding]
+        elif kind == "serve.complete":
+            self.serve_completed += 1
+            self.serve_wall_ms += float(event.get("wall_ms", 0.0))
+            if not event.get("ok", True):
+                self.serve_errors += 1
+        elif kind == "serve.busy":
+            self.serve_busy += 1
+        elif kind == "serve.stop":
+            self.serve_stop = event
 
     def feed_line(self, line: str) -> None:
         for event in _telemetry.read_events(_StringSource(line)):
@@ -119,12 +165,18 @@ class WatchState:
 
     def status_line(self) -> str:
         """One compact line (the non-TTY live mode)."""
-        return (
+        line = (
             f"runs {self.runs_done}/{self.runs_total}"
             f" · cache {self.cache_hits}h/{self.cache_misses}m"
             f" · {self.events_per_s / 1000:.0f}k evt/s"
             f" · failures {self.failures}"
         )
+        if self.serve_requests:
+            line += (
+                f" · serve {self.serve_requests} req "
+                f"({self.serve_cache_hits + self.serve_coalesced} dedup)"
+            )
+        return line
 
     def render(self, color: bool = False, cols: int | None = None) -> str:
         """The full dashboard as text (one frame of the live view)."""
@@ -176,6 +228,48 @@ class WatchState:
                     f"{win.get('shards_active')} shard(s) active, "
                     f"{self.shard_events:,} events, "
                     f"sync {self.shard_sync_ms:.0f} ms"
+                )
+        if self.serve_info is not None or self.serve_requests:
+            info = self.serve_info or {}
+            where = (
+                f"http://{info.get('host')}:{info.get('port')} · "
+                if info.get("host") is not None
+                else ""
+            )
+            lines.append(
+                f"serve      : {where}{info.get('workers', '?')} worker(s) · "
+                f"policy {info.get('policy', '?')}"
+                + (" · stopped" if self.serve_stop is not None else "")
+            )
+            dedup = self.serve_cache_hits + self.serve_coalesced
+            lines.append(
+                f"  requests : {self.serve_requests} "
+                f"({self.serve_cache_hits} cache, {self.serve_coalesced} "
+                f"coalesced, {self.serve_misses} computed) · "
+                f"{self.serve_busy} busy · {self.serve_errors} errors"
+                + (
+                    f" · dedup {100 * dedup / self.serve_requests:.0f}%"
+                    if self.serve_requests
+                    else ""
+                )
+            )
+            if self.serve_dispatched:
+                mean_ms = (
+                    self.serve_wall_ms / self.serve_completed
+                    if self.serve_completed
+                    else 0.0
+                )
+                outstanding = (
+                    " ".join(str(v) for v in self.serve_outstanding)
+                    if self.serve_outstanding is not None
+                    else "?"
+                )
+                lines.append(
+                    f"  fleet    : {self.serve_dispatched} dispatched in "
+                    f"{self.serve_batches} batch(es) "
+                    f"(largest {self.serve_largest_batch}) · "
+                    f"{self.serve_completed} done · "
+                    f"mean {mean_ms:.0f} ms · outstanding [{outstanding}]"
                 )
         sample = self.last_sample
         if sample is not None:

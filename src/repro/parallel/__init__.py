@@ -28,9 +28,17 @@ too::
 
 from __future__ import annotations
 
-from .cache import CACHE_SCHEMA, CacheStats, ResultCache, default_cache_dir
+from .cache import (
+    CACHE_SCHEMA,
+    CacheStats,
+    ResultCache,
+    default_cache_dir,
+    result_from_dict,
+    result_json,
+    result_to_dict,
+)
 from .orchestrator import BatchReport, run_batch
-from .pool import FarmError, RunFailure, resolve_jobs, run_many
+from .pool import FarmError, RunFailure, resolve_jobs, run_many, warm_worker
 from .spec import SPEC_SCHEMA, RunSpec
 
 __all__ = [
@@ -44,6 +52,10 @@ __all__ = [
     "SPEC_SCHEMA",
     "default_cache_dir",
     "resolve_jobs",
+    "result_from_dict",
+    "result_json",
+    "result_to_dict",
     "run_batch",
     "run_many",
+    "warm_worker",
 ]

@@ -42,7 +42,7 @@ from ..oracle.engine import SimulationError
 from ..oracle.stats import SimResult
 from .spec import RunSpec
 
-__all__ = ["FarmError", "RunFailure", "resolve_jobs", "run_many"]
+__all__ = ["FarmError", "RunFailure", "resolve_jobs", "run_many", "warm_worker"]
 
 #: progress callback signature: (completed_count, total_count)
 ProgressFn = Callable[[int, int], None]
@@ -88,16 +88,24 @@ def resolve_jobs(jobs: int | None) -> int:
     return jobs
 
 
-def _worker_init() -> None:
-    """Warm a worker: import the whole simulator stack exactly once.
+def warm_worker() -> None:
+    """Warm a worker process: import the whole simulator stack once.
 
     Also lights up telemetry from ``REPRO_TELEMETRY`` — under fork the
     worker inherits the parent's sink, but under spawn this is where a
-    worker joins the append-only stream.
+    worker joins the append-only stream.  Public because every
+    process-pool in the repo shares this birth ritual: the farm's
+    per-batch pools here, and the serve fleet's persistent workers
+    (:mod:`repro.serve.fleet`), which stay warm across batches instead
+    of re-paying it per dispatch.
     """
     from ..experiments import runner  # noqa: F401  (import for side effect)
 
     _telemetry.init_from_env()
+
+
+#: backwards-compatible private alias (the executor initializer below)
+_worker_init = warm_worker
 
 
 def _run_one(item: tuple[int, RunSpec]) -> tuple[int, bool, object]:

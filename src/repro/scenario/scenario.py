@@ -149,6 +149,18 @@ class Scenario:
             return self.config
         return self.config.replace(seed=self.seed)
 
+    def seeded(self, default: int = 1) -> "Scenario":
+        """This scenario with ``default`` as the seed when none was given.
+
+        The CLI's default-seed rule, shared with ``repro serve``: a
+        scenario that names no seed anywhere (no ``--seed``, no
+        ``?seed=``/``?cfg.seed=`` spec override) runs with seed
+        ``default``, so the two fronts hash — and answer — identically.
+        """
+        if self.seed is None and self.config.seed == 0:
+            return replace(self, seed=default)
+        return self
+
     def build(self) -> "Machine":
         """Construct (but do not run) the fully wired machine."""
         from ..oracle.machine import Machine

@@ -1,0 +1,209 @@
+"""`ServePolicy` — the paper's load-balancing schemes on the real queue.
+
+The service's dispatcher faces exactly the problem conf_icpp_Kale88
+studies: a stream of independent work units must be spread over a fleet
+of processors, and the quality of the spread is bounded by how much
+each placement decision knows about the fleet's current load.  A
+:class:`ServePolicy` is one placement rule; the registry maps entries
+of :data:`repro.core.STRATEGIES` onto fleet analogues so ``repro serve
+--replay`` can measure which of the paper's policies serves a recorded
+query stream fastest:
+
+* ``central``  — perfect instantaneous knowledge: always the least
+  loaded worker (the paper's centralized scheme, which the paper keeps
+  as the quality yardstick);
+* ``random``   — seeded uniform choice, zero knowledge (the paper's
+  strawman);
+* ``roundrobin`` — cyclic placement, zero knowledge but perfect
+  spreading of *counts* (not of cost);
+* ``cwn``      — contracting within a neighborhood: examine a bounded
+  window of workers starting at the last placement and take the least
+  loaded inside it, then move the pointer there — bounded information,
+  bounded movement, like the paper's CWN;
+* ``gm``       — gradient model: place by *stale* load estimates that
+  refresh only every ``refresh`` dispatches, tracking the paper's GM
+  property that load information propagates with delay.
+
+Policies are deliberately deterministic given (workers, seed, request
+order): replay comparisons must measure the policy, not the RNG.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Sequence
+
+__all__ = ["POLICY_NAMES", "ServePolicy", "make_policy"]
+
+
+class ServePolicy:
+    """Base placement rule: pick a worker for each dispatched scenario.
+
+    ``pick`` sees the dispatcher's live outstanding-task counts (index
+    = worker), returns a worker index, and may keep internal state
+    (pointers, stale estimates).  ``completed`` is called when a worker
+    finishes a task — the hook policies with delayed knowledge use to
+    model information flow.
+    """
+
+    #: registry name (also the core.STRATEGIES entry this maps from)
+    name = "?"
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError(f"a fleet needs >= 1 worker (got {workers})")
+        self.workers = workers
+
+    def pick(self, outstanding: Sequence[int]) -> int:
+        raise NotImplementedError
+
+    def completed(self, worker: int) -> None:
+        """A task finished on ``worker`` (default: stateless no-op)."""
+
+
+class CentralPolicy(ServePolicy):
+    """Least-loaded worker under perfect instantaneous knowledge."""
+
+    name = "central"
+
+    def pick(self, outstanding: Sequence[int]) -> int:
+        best = 0
+        best_load = outstanding[0]
+        for i in range(1, self.workers):
+            if outstanding[i] < best_load:
+                best, best_load = i, outstanding[i]
+        return best
+
+
+class RandomPolicy(ServePolicy):
+    """Seeded uniform placement — the zero-knowledge baseline."""
+
+    name = "random"
+
+    def __init__(self, workers: int, seed: int = 1) -> None:
+        super().__init__(workers)
+        self._rng = random.Random(seed)
+
+    def pick(self, outstanding: Sequence[int]) -> int:
+        return self._rng.randrange(self.workers)
+
+
+class RoundRobinPolicy(ServePolicy):
+    """Cyclic placement: perfect count spreading, blind to cost."""
+
+    name = "roundrobin"
+
+    def __init__(self, workers: int) -> None:
+        super().__init__(workers)
+        self._next = 0
+
+    def pick(self, outstanding: Sequence[int]) -> int:
+        chosen = self._next
+        self._next = (chosen + 1) % self.workers
+        return chosen
+
+
+class CwnPolicy(ServePolicy):
+    """Contracting-within-neighborhood: best of a bounded window.
+
+    Examines ``radius + 1`` workers starting at the pointer (the last
+    placement), takes the least loaded among them, and moves the
+    pointer there.  With ``radius >= workers - 1`` this degenerates to
+    ``central``; with ``radius = 0`` it degenerates to sticky placement
+    — the interesting regime is in between, exactly as in the paper.
+    """
+
+    name = "cwn"
+
+    def __init__(self, workers: int, radius: int | None = None) -> None:
+        super().__init__(workers)
+        if radius is None:
+            # ~half the fleet, at least one neighbor: enough knowledge
+            # to contract, little enough that the window matters.
+            radius = max(1, workers // 2)
+        if radius < 0:
+            raise ValueError(f"radius must be >= 0 (got {radius})")
+        self.radius = radius
+        self._pointer = 0
+
+    def pick(self, outstanding: Sequence[int]) -> int:
+        best = self._pointer
+        best_load = outstanding[best]
+        for step in range(1, min(self.radius, self.workers - 1) + 1):
+            i = (self._pointer + step) % self.workers
+            if outstanding[i] < best_load:
+                best, best_load = i, outstanding[i]
+        self._pointer = best
+        return best
+
+
+class GmPolicy(ServePolicy):
+    """Gradient model: place by stale estimates, refreshed with delay.
+
+    The dispatcher keeps its own belief of each worker's load.  Beliefs
+    only resynchronize with the true outstanding counts every
+    ``refresh`` dispatches — in between, the policy sees its own
+    placements (it knows what it sent where) but not completions, the
+    same one-sided staleness that makes the paper's GM overshoot.
+    """
+
+    name = "gm"
+
+    def __init__(self, workers: int, refresh: int = 4) -> None:
+        super().__init__(workers)
+        if refresh < 1:
+            raise ValueError(f"refresh must be >= 1 (got {refresh})")
+        self.refresh = refresh
+        self._beliefs = [0] * workers
+        self._since_sync = 0
+
+    def pick(self, outstanding: Sequence[int]) -> int:
+        if self._since_sync >= self.refresh:
+            self._beliefs = list(outstanding)
+            self._since_sync = 0
+        beliefs = self._beliefs
+        best = 0
+        best_load = beliefs[0]
+        for i in range(1, self.workers):
+            if beliefs[i] < best_load:
+                best, best_load = i, beliefs[i]
+        beliefs[best] += 1
+        self._since_sync += 1
+        return best
+
+
+#: name -> factory(workers, seed); the replay/bench default ordering
+_FACTORIES: dict[str, Callable[[int, int], ServePolicy]] = {
+    "central": lambda workers, seed: CentralPolicy(workers),
+    "random": lambda workers, seed: RandomPolicy(workers, seed=seed),
+    "roundrobin": lambda workers, seed: RoundRobinPolicy(workers),
+    "cwn": lambda workers, seed: CwnPolicy(workers),
+    "gm": lambda workers, seed: GmPolicy(workers),
+}
+
+#: the serve-side policy vocabulary, in replay-report order
+POLICY_NAMES = tuple(_FACTORIES)
+
+
+def make_policy(name: str, workers: int, seed: int = 1) -> ServePolicy:
+    """Instantiate the named policy for a ``workers``-strong fleet.
+
+    Every name is also an entry of :data:`repro.core.STRATEGIES` — the
+    adapter exists so the service dogfoods the paper's vocabulary, and
+    the registry lookup keeps the two from drifting apart.
+    """
+    factory = _FACTORIES.get(name)
+    if factory is None:
+        known = ", ".join(POLICY_NAMES)
+        raise ValueError(
+            f"unknown serve policy {name!r}; the fleet dispatcher "
+            f"implements: {known}"
+        )
+    from ..core import STRATEGIES
+
+    if name not in STRATEGIES.names():  # pragma: no cover - registry invariant
+        raise ValueError(
+            f"serve policy {name!r} has no repro.core.STRATEGIES entry — "
+            f"the adapter only maps the paper's strategies"
+        )
+    return factory(workers, seed)

@@ -1,0 +1,205 @@
+"""Wire protocol of ``repro serve``: one JSON shape over two fronts.
+
+A request names a scenario by its spec-grammar spelling (the PR-5
+grammar, e.g. ``fib:15 @ grid:8x8 / cwn?seed=3``); a response carries
+the scenario's content hash, where the answer came from, and the
+result in the cache's canonical ``result_to_dict`` rendering — the
+exact bytes ``repro run --json`` prints, so clients can diff service
+responses against direct runs byte-for-byte.
+
+Fronts sharing this shape:
+
+* **HTTP/1.1** — ``POST /run`` with a JSON body ``{"spec": "..."}``
+  (or a plain-text spec body), plus ``GET /healthz`` and ``GET
+  /stats``.  The handler speaks just enough HTTP/1.1 for stdlib
+  clients (``http.client``, ``urllib``) with keep-alive — deliberately
+  no web framework, the repo takes no new dependencies;
+* **stdin** — one spec per line in, one response JSON per line out
+  (scripting mode; EOF drains and exits).
+
+Response ``source`` values: ``"cache"`` (warm hit from the shared
+:class:`~repro.parallel.cache.ResultCache`), ``"coalesced"`` (attached
+to an identical in-flight computation), ``"computed"`` (simulated by
+the fleet for this request).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "HttpRequest",
+    "error_body",
+    "http_response",
+    "read_http_request",
+    "request_spec",
+    "response_body",
+]
+
+#: bumped when the response JSON layout changes incompatibly
+PROTOCOL_VERSION = 1
+
+#: request bodies larger than this are refused outright (a scenario
+#: spec is a one-liner; megabytes means a confused or hostile client)
+MAX_BODY_BYTES = 64 * 1024
+MAX_HEADER_BYTES = 16 * 1024
+
+
+# -- request/response bodies -----------------------------------------------------
+
+def request_spec(body: bytes) -> str:
+    """Extract the scenario spec from a request body.
+
+    Accepts ``{"spec": "..."}`` JSON or a bare plain-text spec; raises
+    :class:`ValueError` with a client-presentable message otherwise.
+    """
+    text = body.decode("utf-8", errors="replace").strip()
+    if not text:
+        raise ValueError("empty request body; send {'spec': '<scenario spec>'}")
+    if text.startswith(("{", "[")):
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"malformed JSON body: {exc}") from None
+        if not isinstance(payload, dict) or not isinstance(payload.get("spec"), str):
+            raise ValueError("JSON body must be an object with a string 'spec'")
+        return payload["spec"]
+    return text
+
+
+def response_body(
+    spec: str,
+    key: str,
+    source: str,
+    result: dict[str, Any],
+    wall_ms: float,
+) -> dict[str, Any]:
+    """The success-response JSON object (shared by both fronts)."""
+    return {
+        "v": PROTOCOL_VERSION,
+        "spec": spec,
+        "key": key,
+        "source": source,
+        "wall_ms": round(wall_ms, 3),
+        "result": result,
+    }
+
+
+def error_body(error: str, status: str = "error") -> dict[str, Any]:
+    """The failure-response JSON object (``status``: error|busy)."""
+    return {"v": PROTOCOL_VERSION, "status": status, "error": error}
+
+
+# -- minimal HTTP/1.1 ------------------------------------------------------------
+
+@dataclass(frozen=True)
+class HttpRequest:
+    """One parsed request: enough HTTP for the serve endpoints."""
+
+    method: str
+    path: str
+    headers: dict[str, str]
+    body: bytes
+
+    @property
+    def keep_alive(self) -> bool:
+        # HTTP/1.1 default is persistent; only an explicit close closes.
+        return self.headers.get("connection", "").lower() != "close"
+
+
+class BadRequest(ValueError):
+    """A request the handler cannot or will not parse."""
+
+
+async def read_http_request(reader: asyncio.StreamReader) -> HttpRequest | None:
+    """Parse one HTTP/1.1 request from the stream; ``None`` on clean EOF.
+
+    Raises :class:`BadRequest` for malformed or oversized input (the
+    caller answers 400 and closes).
+    """
+    try:
+        request_line = await reader.readline()
+    except (ConnectionError, asyncio.IncompleteReadError):  # pragma: no cover
+        return None
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise BadRequest(f"malformed request line: {request_line[:80]!r}")
+    method, path = parts[0].upper(), parts[1]
+    headers: dict[str, str] = {}
+    total = 0
+    while True:
+        line = await reader.readline()
+        if not line:
+            raise BadRequest("connection closed mid-headers")
+        total += len(line)
+        if total > MAX_HEADER_BYTES:
+            raise BadRequest("header block too large")
+        if line in (b"\r\n", b"\n"):
+            break
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise BadRequest(f"malformed header line: {line[:80]!r}")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    length_text = headers.get("content-length")
+    if length_text is not None:
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise BadRequest(f"bad Content-Length: {length_text!r}") from None
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise BadRequest(f"unacceptable Content-Length: {length}")
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                raise BadRequest("connection closed mid-body") from None
+    return HttpRequest(method=method, path=path, headers=headers, body=body)
+
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def http_response(
+    status: int,
+    payload: dict[str, Any] | str,
+    keep_alive: bool = True,
+) -> bytes:
+    """Serialize one response (JSON payload dicts, raw text strings).
+
+    Dict payloads are rendered with sorted keys and compact separators
+    — the same canonical JSON convention as ``result_json`` — so the
+    ``result`` field inside arrives byte-identical to ``repro run
+    --json`` output.
+    """
+    if isinstance(payload, str):
+        body = payload.encode("utf-8")
+        content_type = "text/plain; charset=utf-8"
+    else:
+        body = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode(
+            "utf-8"
+        )
+        content_type = "application/json"
+    reason = _REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        "\r\n"
+    )
+    return head.encode("latin-1") + body

@@ -64,9 +64,9 @@ def test_experiments_doc_names_every_bench():
 
 @pytest.mark.parametrize(
     "doc",
-    ["architecture.md", "observability.md", "scenarios.md", "simulator.md",
-     "strategies.md", "topologies.md", "workloads.md", "experiments.md",
-     "tutorial.md"],
+    ["architecture.md", "observability.md", "scenarios.md", "serve.md",
+     "simulator.md", "strategies.md", "topologies.md", "workloads.md",
+     "experiments.md", "tutorial.md"],
 )
 def test_docs_exist_and_nonempty(doc):
     path = DOCS / doc

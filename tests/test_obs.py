@@ -157,6 +157,10 @@ def test_real_quick_bench_meets_acceptance(tmp_path):
         "hypercube12_construct_ms",
         "farm_runs_per_s",
         "warm_cache_hit_rate",
+        "serve_cold_requests_per_s",
+        "serve_warm_dedup_requests_per_s",
+        "serve_replay_p50_ms",
+        "serve_replay_p99_ms",
     ):
         assert required in metrics, f"{required} missing from bench output"
         assert metrics[required].value > 0
@@ -325,3 +329,71 @@ class TestFarmSummarySatellites:
     def test_cache_stats_human_form_unchanged(self, tmp_path, capsys):
         assert main(["cache", "stats", "--dir", str(tmp_path / "c")]) == 0
         assert "entries      : 0" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# the serve panel
+# ---------------------------------------------------------------------------
+
+def _serve_stream(tmp_path):
+    """A telemetry stream recorded from a real in-process serve session."""
+    import asyncio
+
+    from repro.parallel import ResultCache
+    from repro.serve import ScenarioService, WorkerFleet, make_policy
+
+    stream = tmp_path / "serve.jsonl"
+    spec = "fib:8 @ grid:2x2 / cwn"
+
+    async def go():
+        fleet = WorkerFleet(workers=1)
+        service = ScenarioService(
+            fleet,
+            make_policy("central", 1),
+            cache=ResultCache(tmp_path / "serve-cache"),
+            window=0.005,
+        )
+        await service.start()
+        await asyncio.gather(service.submit(spec), service.submit(spec))
+        await service.submit(spec)  # warm: a cache hit
+        await service.stop()
+
+    with telemetry.capture(stream):
+        asyncio.run(go())
+    return stream
+
+
+class TestWatchServePanel:
+    def test_feed_aggregates_serve_events(self, tmp_path):
+        state = WatchState()
+        for event in telemetry.read_events(_serve_stream(tmp_path)):
+            state.feed(event)
+        assert state.serve_info is not None
+        assert state.serve_requests == 3
+        assert state.serve_coalesced == 1
+        assert state.serve_cache_hits == 1
+        assert state.serve_misses == 1
+        assert state.serve_dispatched == 1
+        assert state.serve_completed == 1
+        assert state.serve_errors == 0
+        assert state.serve_batches == 1
+
+    def test_render_shows_the_serve_panel(self, tmp_path):
+        state = WatchState()
+        for event in telemetry.read_events(_serve_stream(tmp_path)):
+            state.feed(event)
+        text = state.render()
+        assert "serve      :" in text
+        assert "policy central" in text
+        assert "requests : 3 (1 cache, 1 coalesced, 1 computed)" in text
+        assert "fleet    : 1 dispatched in 1 batch(es)" in text
+        assert "dedup 67%" in text
+
+    def test_status_line_carries_serve_counts(self, tmp_path):
+        state = WatchState()
+        for event in telemetry.read_events(_serve_stream(tmp_path)):
+            state.feed(event)
+        assert "serve 3 req (2 dedup)" in state.status_line()
+
+    def test_no_serve_panel_without_serve_events(self):
+        assert "serve      :" not in WatchState().render()

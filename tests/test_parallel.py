@@ -413,3 +413,82 @@ class TestExperimentWiring:
         serial = sweep.run([2, 4], seeds=(1, 2))
         farmed = sweep.run([2, 4], seeds=(1, 2), jobs=2, cache=ResultCache(tmp_path))
         assert farmed == serial
+
+
+class TestGetOrPut:
+    """The singleflight contract: one compute per key under contention."""
+
+    def test_miss_computes_and_persists(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = RunSpec("fib:9", "grid:5x5", "cwn", seed=1)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return spec.run()
+
+        first = cache.get_or_put(spec, compute)
+        second = cache.get_or_put(spec, compute)
+        assert len(calls) == 1, "second call must be a read, not a recompute"
+        assert_results_equal(first, second)
+        assert cache.path_for(spec).exists()
+
+    def test_thread_hammer_computes_exactly_once(self, tmp_path):
+        import threading
+
+        cache = ResultCache(tmp_path)
+        spec = RunSpec("fib:9", "grid:5x5", "cwn", seed=1)
+        reference = spec.run()
+        barrier = threading.Barrier(8)
+        compute_count = []
+        count_lock = threading.Lock()
+        results = [None] * 8
+        errors = []
+
+        def compute():
+            with count_lock:
+                compute_count.append(1)
+            return spec.run()
+
+        def hammer(i):
+            try:
+                barrier.wait()  # maximize the race window
+                results[i] = cache.get_or_put(spec, compute)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors, errors
+        assert len(compute_count) == 1, (
+            f"{len(compute_count)} computes for one key — the losers of the "
+            f"write race must re-read, not recompute"
+        )
+        for result in results:
+            assert result is not None
+            assert_results_equal(result, reference)
+        # The in-flight lock registry must drain back to empty.
+        assert not cache._inflight
+
+    def test_distinct_keys_do_not_serialize(self, tmp_path):
+        import threading
+
+        cache = ResultCache(tmp_path)
+        specs = [RunSpec("fib:8", "grid:4x4", "cwn", seed=s) for s in (1, 2, 3, 4)]
+        started = threading.Barrier(4)
+        results = [None] * 4
+
+        def hammer(i):
+            started.wait()
+            results[i] = cache.get_or_put(specs[i], specs[i].run)
+
+        threads = [threading.Thread(target=hammer, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert all(r is not None for r in results)
+        assert {r.seed for r in results} == {1, 2, 3, 4}
